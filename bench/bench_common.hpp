@@ -1,0 +1,67 @@
+// Shared plumbing for the paper-reproduction binaries: standard processor
+// sweeps, the scheduler line-ups of each experiment family, and a tiny
+// main() wrapper that prints the figure header and shape-check summary.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <vector>
+
+#include "experiments/expectations.hpp"
+#include "experiments/figure.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+
+namespace afs::bench {
+
+/// P = 1..8 (the Iris and Symmetry experiments).
+inline std::vector<int> iris_procs() { return {1, 2, 3, 4, 5, 6, 7, 8}; }
+
+/// The Butterfly sweep the §4.4 figures plot.
+inline std::vector<int> butterfly_procs() {
+  return {1, 2, 4, 8, 16, 24, 32, 40, 48, 56};
+}
+
+/// The KSR-1 sweep of §5.2.
+inline std::vector<int> ksr_procs() {
+  return {1, 2, 4, 8, 12, 16, 24, 32, 40, 48, 57};
+}
+
+/// §4.3 Iris line-up (Figs. 3-9): the eight head-to-head algorithms.
+inline std::vector<SchedulerEntry> iris_schedulers() {
+  std::vector<SchedulerEntry> out;
+  for (const auto& spec : paper_scheduler_specs()) out.push_back(entry(spec));
+  return out;
+}
+
+/// §4.4 Butterfly line-up (Figs. 10-13): AFS, GSS, TRAPEZOID.
+inline std::vector<SchedulerEntry> butterfly_schedulers() {
+  std::vector<SchedulerEntry> out;
+  for (const auto& spec : butterfly_scheduler_specs()) out.push_back(entry(spec));
+  return out;
+}
+
+/// §5.2 KSR-1 line-up (Figs. 15-17): the six dynamic + static algorithms.
+inline std::vector<SchedulerEntry> ksr_schedulers() {
+  return {entry("AFS"),       entry("STATIC"),    entry("MOD-FACTORING"),
+          entry("FACTORING"), entry("TRAPEZOID"), entry("GSS")};
+}
+
+/// Runs the figure, prints the shape summary, returns a process exit code
+/// (shape mismatches are reported but do not fail the binary: they are
+/// data, recorded in EXPERIMENTS.md).
+inline int run_and_report(
+    const FigureSpec& spec,
+    const std::function<void(const FigureResult&, std::ostream&)>& shapes) {
+  try {
+    const FigureResult result = run_figure(spec, std::cout);
+    if (shapes) shapes(result, std::cout);
+    std::cout << std::endl;
+    return EXIT_SUCCESS;
+  } catch (const std::exception& e) {
+    std::cerr << spec.id << " failed: " << e.what() << "\n";
+    return EXIT_FAILURE;
+  }
+}
+
+}  // namespace afs::bench

@@ -1,0 +1,111 @@
+// Supporting microbenchmarks (google-benchmark) on the real-thread
+// substrate: scheduler grab cost, chunk-policy arithmetic, and end-to-end
+// parallel_for dispatch, across the algorithm families. These quantify
+// the constant factors behind the simulator's sync-cost parameters.
+#include <benchmark/benchmark.h>
+
+#include "kernels/sor.hpp"
+#include "kernels/synthetic.hpp"
+#include "machines/machines.hpp"
+#include "runtime/parallel_for.hpp"
+#include "sim/machine_sim.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/chunk_policy.hpp"
+#include "sched/registry.hpp"
+
+namespace afs {
+namespace {
+
+void BM_GrabDrain(benchmark::State& state, const char* spec) {
+  auto sched = make_scheduler(spec);
+  const std::int64_t n = state.range(0);
+  std::int64_t grabs = 0;
+  for (auto _ : state) {
+    sched->start_loop(n, 8);
+    for (int w = 0;; w = (w + 1) % 8) {
+      const Grab g = sched->next(w);
+      if (g.done()) break;
+      ++grabs;
+      benchmark::DoNotOptimize(g.range.begin);
+    }
+    sched->end_loop();
+  }
+  state.counters["grabs/loop"] =
+      static_cast<double>(grabs) / static_cast<double>(state.iterations());
+}
+BENCHMARK_CAPTURE(BM_GrabDrain, ss, "SS")->Arg(4096);
+BENCHMARK_CAPTURE(BM_GrabDrain, gss, "GSS")->Arg(4096);
+BENCHMARK_CAPTURE(BM_GrabDrain, factoring, "FACTORING")->Arg(4096);
+BENCHMARK_CAPTURE(BM_GrabDrain, trapezoid, "TRAPEZOID")->Arg(4096);
+BENCHMARK_CAPTURE(BM_GrabDrain, afs, "AFS")->Arg(4096);
+BENCHMARK_CAPTURE(BM_GrabDrain, mod_factoring, "MOD-FACTORING")->Arg(4096);
+
+void BM_PolicyChunkMath(benchmark::State& state, const char* which) {
+  std::unique_ptr<ChunkPolicy> policy;
+  if (std::string(which) == "gss") policy = make_gss();
+  else if (std::string(which) == "factoring") policy = make_factoring();
+  else policy = make_trapezoid();
+  policy->reset(1 << 20, 16);
+  std::int64_t remaining = 1 << 20;
+  for (auto _ : state) {
+    const std::int64_t c = policy->next_chunk(remaining);
+    benchmark::DoNotOptimize(c);
+    remaining -= c;
+    if (remaining <= 0) {
+      remaining = 1 << 20;
+      policy->reset(remaining, 16);
+    }
+  }
+}
+BENCHMARK_CAPTURE(BM_PolicyChunkMath, gss, "gss");
+BENCHMARK_CAPTURE(BM_PolicyChunkMath, factoring, "factoring");
+BENCHMARK_CAPTURE(BM_PolicyChunkMath, trapezoid, "trapezoid");
+
+void BM_ParallelForDispatch(benchmark::State& state, const char* spec) {
+  ThreadPool pool(static_cast<int>(state.range(0)));
+  auto sched = make_scheduler(spec);
+  for (auto _ : state) {
+    std::atomic<std::int64_t> sum{0};
+    parallel_for(pool, *sched, 1024, [&sum](IterRange r, int) {
+      sum.fetch_add(r.size(), std::memory_order_relaxed);
+    });
+    benchmark::DoNotOptimize(sum.load());
+  }
+}
+BENCHMARK_CAPTURE(BM_ParallelForDispatch, gss_p4, "GSS")->Arg(4);
+BENCHMARK_CAPTURE(BM_ParallelForDispatch, afs_p4, "AFS")->Arg(4);
+BENCHMARK_CAPTURE(BM_ParallelForDispatch, static_p4, "STATIC")->Arg(4);
+
+void BM_SimulatorEventThroughput(benchmark::State& state) {
+  // Events per second of the discrete-event engine on a footprint-bearing
+  // kernel: the number that bounds how large a (P, N, epochs) experiment
+  // is practical.
+  MachineSim sim(iris());
+  const auto prog = SorKernel::program(256, 4);
+  std::int64_t iterations_simulated = 0;
+  for (auto _ : state) {
+    auto sched = make_scheduler("AFS");
+    const SimResult r = sim.run(prog, *sched, 8);
+    iterations_simulated += r.iterations;
+    benchmark::DoNotOptimize(r.makespan);
+  }
+  state.counters["sim_iters/s"] = benchmark::Counter(
+      static_cast<double>(iterations_simulated), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SimulatorEventThroughput);
+
+void BM_SimulatorMemorylessFastPath(benchmark::State& state) {
+  // The O(1) work_sum path: Table 2's 2e8-iteration loop per run.
+  MachineSim sim(iris());
+  const auto prog = balanced_program(200'000'000);
+  for (auto _ : state) {
+    auto sched = make_scheduler("GSS");
+    benchmark::DoNotOptimize(sim.run(prog, *sched, 8).makespan);
+  }
+}
+BENCHMARK(BM_SimulatorMemorylessFastPath);
+
+}  // namespace
+}  // namespace afs
+
+BENCHMARK_MAIN();

@@ -1,0 +1,44 @@
+// Shared driver for the Tables 3-5 synchronization-operation counts: run a
+// program under each scheduler for P in {1,2,4,6,8} on the Iris model and
+// report removals per loop (central algorithms) and per-queue local /
+// remote removals per loop (AFS), exactly the columns of the paper.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+#include "util/table.hpp"
+#include "workload/loop_spec.hpp"
+
+namespace afs::bench {
+
+inline void run_sync_ops_table(const std::string& id, const std::string& title,
+                               const LoopProgram& program) {
+  std::cout << "== " << id << ": " << title << " ==\n";
+  Table table({"P", "SS", "GSS", "FACTORING", "TRAPEZOID", "AFS remote/queue",
+               "AFS local/queue"});
+  MachineSim sim(iris());
+
+  for (int p : {1, 2, 4, 6, 8}) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const char* spec : {"SS", "GSS", "FACTORING", "TRAPEZOID"}) {
+      auto sched = make_scheduler(spec);
+      const SimResult r = sim.run(program, *sched, p);
+      row.push_back(Table::num(r.sched_stats.grabs_per_loop(), 1));
+    }
+    auto afs = make_scheduler("AFS");
+    const SimResult r = sim.run(program, *afs, p);
+    row.push_back(Table::num(r.sched_stats.remote_per_queue_per_loop(), 2));
+    row.push_back(Table::num(r.sched_stats.local_per_queue_per_loop(), 2));
+    table.add_row(std::move(row));
+  }
+  std::cout << table.to_ascii();
+  table.write_csv("bench_results/" + id + ".csv");
+  std::cout << "(csv: bench_results/" << id << ".csv)\n\n";
+}
+
+}  // namespace afs::bench

@@ -1,0 +1,13 @@
+// Table 3: synchronization operations per loop for SOR (N = 512).
+// Paper shape: SS = 512 regardless of P; TRAPEZOID fewest of the central
+// algorithms, then GSS, then FACTORING; AFS needs ~0.4-1 remote and
+// ~7-27 local operations per queue.
+#include "kernels/sor.hpp"
+#include "sync_ops_common.hpp"
+
+int main() {
+  using namespace afs;
+  bench::run_sync_ops_table("tab3", "sync operations per loop, SOR N=512",
+                            SorKernel::program(512, 4));
+  return 0;
+}

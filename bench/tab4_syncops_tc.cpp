@@ -1,0 +1,15 @@
+// Table 4: synchronization operations per loop for transitive closure on
+// the skewed 640-node graph (320-node clique). Paper shape: SS = 640;
+// TRAPEZOID fewest central ops; AFS needs only ~1-2 remote operations per
+// queue per loop despite the heavy input-dependent imbalance.
+#include "kernels/transitive_closure.hpp"
+#include "sync_ops_common.hpp"
+#include "workload/graphs.hpp"
+
+int main() {
+  using namespace afs;
+  bench::run_sync_ops_table(
+      "tab4", "sync operations per loop, transitive closure (640, skewed)",
+      TransitiveClosureKernel::program(clique_graph(640, 320)));
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Table 5: synchronization operations for adjoint convolution (N = 75,
+// 5625 iterations, single loop). Paper shape: SS = 5625; TRAPEZOID fewest;
+// AFS does somewhat more ops than TRAPEZOID (spread over P queues) —
+// which §4.6 shows is harmless because sync is <1% of execution time.
+#include "kernels/adjoint_convolution.hpp"
+#include "sync_ops_common.hpp"
+
+int main() {
+  using namespace afs;
+  bench::run_sync_ops_table("tab5",
+                            "sync operations, adjoint convolution N=75",
+                            AdjointConvolutionKernel::program(75));
+  return 0;
+}

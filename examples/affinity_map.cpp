@@ -1,0 +1,100 @@
+// Visualizes the paper's central idea: which processor executes which
+// iterations, epoch after epoch. Each row of the map is one epoch of a
+// parallel loop; each column is a band of iterations; the glyph is the id
+// of the processor that executed it. Under AFS the columns stay vertical
+// (affinity); under GSS they shift every epoch (every row reload); under
+// AFS with an imbalanced tail you can watch steals nibble the edges.
+//
+// Usage: affinity_map [scheduler] [n] [procs] [epochs] [imbalance]
+//   imbalance: 0 = balanced loop, 1 = heavy first 12.5% of iterations
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sched/registry.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+char glyph(int worker) {
+  if (worker < 0) return '?';
+  if (worker < 10) return static_cast<char>('0' + worker);
+  return static_cast<char>('a' + worker - 10);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace afs;
+  const std::string spec = argc > 1 ? argv[1] : "AFS";
+  const std::int64_t n = argc > 2 ? std::atoll(argv[2]) : 512;
+  const int p = argc > 3 ? std::atoi(argv[3]) : 8;
+  const int epochs = argc > 4 ? std::atoi(argv[4]) : 12;
+  const bool imbalanced = argc > 5 && std::atoi(argv[5]) != 0;
+
+  auto sched = make_scheduler(spec);
+  std::cout << "chunk-to-processor map, " << sched->name() << ", N=" << n
+            << ", P=" << p << (imbalanced ? ", heavy head" : ", balanced")
+            << " (each column ~" << (n / 64) << " iterations)\n\n";
+
+  // Drive the scheduler directly, single-threaded, simulating relative
+  // worker progress: each worker owes "debt" equal to the cost of what it
+  // has executed; the least-indebted worker asks next. Heavy iterations
+  // (first 12.5%) cost 8x when imbalance is on.
+  Xoshiro256 rng(7);
+  for (int e = 0; e < epochs; ++e) {
+    sched->start_loop(n, p);
+    std::vector<int> owner(static_cast<std::size_t>(n), -1);
+    // Small random start offsets model real-machine noise: without them,
+    // central-queue schedulers would reach the queue in the same order
+    // every epoch and look deceptively affinity-friendly.
+    std::vector<double> debt(static_cast<std::size_t>(p));
+    for (auto& d : debt) d = rng.next_double() * (static_cast<double>(n) / p / 4.0);
+    std::vector<bool> done(static_cast<std::size_t>(p), false);
+    int done_count = 0;
+    while (done_count < p) {
+      int w = -1;
+      for (int i = 0; i < p; ++i)
+        if (!done[static_cast<std::size_t>(i)] &&
+            (w < 0 || debt[static_cast<std::size_t>(i)] <
+                          debt[static_cast<std::size_t>(w)]))
+          w = i;
+      const Grab g = sched->next(w);
+      if (g.done()) {
+        done[static_cast<std::size_t>(w)] = true;
+        ++done_count;
+        continue;
+      }
+      for (std::int64_t i = g.range.begin; i < g.range.end; ++i) {
+        owner[static_cast<std::size_t>(i)] = w;
+        const bool heavy = imbalanced && i < n / 8;
+        debt[static_cast<std::size_t>(w)] += heavy ? 8.0 : 1.0;
+      }
+    }
+    sched->end_loop();
+
+    // Render 64 columns: majority owner per band.
+    std::string row(64, ' ');
+    for (int c = 0; c < 64; ++c) {
+      const std::int64_t lo = c * n / 64;
+      const std::int64_t hi = (c + 1) * n / 64;
+      std::vector<int> votes(static_cast<std::size_t>(p), 0);
+      for (std::int64_t i = lo; i < hi; ++i)
+        if (owner[static_cast<std::size_t>(i)] >= 0)
+          ++votes[static_cast<std::size_t>(owner[static_cast<std::size_t>(i)])];
+      int best = 0;
+      for (int i = 1; i < p; ++i)
+        if (votes[static_cast<std::size_t>(i)] > votes[static_cast<std::size_t>(best)])
+          best = i;
+      row[static_cast<std::size_t>(c)] = glyph(best);
+    }
+    std::cout << "epoch " << (e < 10 ? " " : "") << e << "  " << row << "\n";
+  }
+
+  std::cout << "\nVertical stripes = iterations stayed home (affinity).\n"
+               "Shifting patterns = every epoch reloads caches.\n"
+               "Try: affinity_map GSS ; affinity_map AFS 512 8 12 1 ;\n"
+               "     affinity_map AFS-LE 512 8 12 1 (fewer repeated steals)\n";
+  return 0;
+}

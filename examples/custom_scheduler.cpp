@@ -1,0 +1,105 @@
+// Extending the library: write your own loop scheduler by implementing
+// the Scheduler interface, then run it through the same runtime, kernels
+// and simulator as the built-ins. The example implements "EVEN-ODD"
+// scheduling — a deliberately naive central-queue policy that alternates
+// one big and one small chunk — and compares it against GSS and AFS on a
+// real kernel and on the simulated Iris.
+#include <iostream>
+#include <mutex>
+
+#include "kernels/gauss.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/machine_sim.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+// A user-defined scheduler only has to provide start_loop/next/stats.
+class EvenOddScheduler final : public afs::Scheduler {
+ public:
+  const std::string& name() const override {
+    static const std::string kName = "EVEN-ODD";
+    return kName;
+  }
+
+  void start_loop(std::int64_t n, int p) override {
+    next_ = 0;
+    end_ = n;
+    p_ = p;
+    flip_ = false;
+    ++loops_;
+  }
+
+  afs::Grab next(int /*worker*/) override {
+    std::scoped_lock lock(mutex_);
+    const std::int64_t remaining = end_ - next_;
+    if (remaining <= 0) return {};
+    // Alternate 2/P and 1/(2P) of the remaining iterations.
+    const std::int64_t denom = flip_ ? 2 * p_ : (p_ + 1) / 2;
+    flip_ = !flip_;
+    const std::int64_t c =
+        std::max<std::int64_t>(1, remaining / std::max<std::int64_t>(1, denom));
+    afs::Grab g{{next_, next_ + c}, afs::GrabKind::kCentral, 0};
+    next_ += c;
+    ++stats_.local_grabs;
+    stats_.iters_local += c;
+    return g;
+  }
+
+  afs::SyncStats stats() const override { return {{stats_}, loops_}; }
+  void reset_stats() override { stats_ = {}; loops_ = 0; }
+  std::unique_ptr<afs::Scheduler> clone() const override {
+    return std::make_unique<EvenOddScheduler>();
+  }
+
+ private:
+  std::mutex mutex_;
+  std::int64_t next_ = 0, end_ = 0;
+  int p_ = 1;
+  bool flip_ = false;
+  afs::QueueStats stats_;
+  std::int64_t loops_ = 0;
+};
+
+}  // namespace
+
+int main() {
+  using namespace afs;
+
+  // 1. Correctness on the real-thread substrate: the custom scheduler must
+  //    produce the same elimination result as the serial code.
+  GaussKernel serial(96), par(96);
+  serial.init(5);
+  par.init(5);
+  serial.eliminate_serial();
+  {
+    ThreadPool pool(4);
+    EvenOddScheduler sched;
+    par.eliminate_parallel(pool, sched);
+  }
+  std::cout << "custom scheduler correctness: "
+            << (serial.matrix() == par.matrix() ? "OK (bit-exact)" : "BROKEN")
+            << "\n\n";
+
+  // 2. Performance on the simulated Iris, against two built-ins.
+  MachineSim sim(iris());
+  const auto program = GaussKernel::program(256);
+  Table t({"scheduler", "P=8 time", "grabs", "misses"});
+  for (int which = 0; which < 3; ++which) {
+    std::unique_ptr<Scheduler> sched;
+    if (which == 0) sched = std::make_unique<EvenOddScheduler>();
+    if (which == 1) sched = make_scheduler("GSS");
+    if (which == 2) sched = make_scheduler("AFS");
+    const SimResult r = sim.run(program, *sched, 8);
+    t.add_row({sched->name(), Table::num(r.makespan, 0),
+               Table::num(r.sched_stats.total().total_grabs()),
+               Table::num(r.misses)});
+  }
+  std::cout << t.to_ascii()
+            << "\nEVEN-ODD works, but like every central-queue scheduler it\n"
+               "reloads caches constantly — the simulator makes the cost\n"
+               "visible without owning a 1992 SGI.\n";
+  return 0;
+}

@@ -1,0 +1,66 @@
+// What-if explorer for the simulator substrate: run one kernel across the
+// four machine models of the paper and print, for each, how every
+// scheduler scales — the condensed version of the paper's whole
+// evaluation, in one command.
+//
+// Usage: machine_explorer [kernel] [procs]
+//   kernel: gauss | sor | tc | adjoint      (default gauss)
+//   procs : max processors to sweep to      (default machine max, <= 16)
+#include <algorithm>
+#include <iostream>
+#include <string>
+
+#include "kernels/adjoint_convolution.hpp"
+#include "kernels/gauss.hpp"
+#include "kernels/sor.hpp"
+#include "kernels/transitive_closure.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+#include "util/table.hpp"
+#include "workload/graphs.hpp"
+
+int main(int argc, char** argv) {
+  using namespace afs;
+  const std::string kernel = argc > 1 ? argv[1] : "gauss";
+  const int max_procs = argc > 2 ? std::atoi(argv[2]) : 16;
+
+  LoopProgram program;
+  if (kernel == "gauss") {
+    program = GaussKernel::program(256);
+  } else if (kernel == "sor") {
+    program = SorKernel::program(256, 16);
+  } else if (kernel == "tc") {
+    program = TransitiveClosureKernel::program(clique_graph(256, 128));
+  } else if (kernel == "adjoint") {
+    program = AdjointConvolutionKernel::program(40);
+  } else {
+    std::cerr << "unknown kernel '" << kernel
+              << "' (want gauss|sor|tc|adjoint)\n";
+    return 1;
+  }
+  std::cout << "kernel: " << program.name << "\n\n";
+
+  for (const MachineConfig& m : {iris(), symmetry(), butterfly1(), ksr1()}) {
+    MachineSim sim(m);
+    const double serial = sim.ideal_serial_time(program);
+    std::cout << "-- " << m.name << " --\n";
+    Table t({"scheduler", "P", "time", "speedup", "misses", "steals"});
+    for (const char* spec : {"AFS", "GSS", "TRAPEZOID", "STATIC"}) {
+      for (int p : {1, 4, 8, 16}) {
+        if (p > std::min(m.max_processors, max_procs)) continue;
+        auto sched = make_scheduler(spec);
+        const SimResult r = sim.run(program, *sched, p);
+        t.add_row({spec, std::to_string(p), Table::num(r.makespan, 0),
+                   Table::num(serial / r.makespan, 2), Table::num(r.misses),
+                   Table::num(r.remote_grabs)});
+      }
+    }
+    std::cout << t.to_ascii() << "\n";
+  }
+  std::cout << "Reading guide: on the iris/ksr1 models AFS's speedup keeps\n"
+               "climbing where GSS/TRAPEZOID flatten (bus/ring saturation);\n"
+               "on the symmetry model all schedulers look alike because\n"
+               "compute dwarfs communication (paper §5.1).\n";
+  return 0;
+}

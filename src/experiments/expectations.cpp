@@ -1,0 +1,37 @@
+#include "experiments/expectations.hpp"
+
+#include <limits>
+
+namespace afs {
+
+bool beats(const FigureResult& r, const std::string& fast,
+           const std::string& slow, int p, double factor) {
+  return r.time(slow, p) >= factor * r.time(fast, p);
+}
+
+bool comparable(const FigureResult& r, const std::string& a,
+                const std::string& b, int p, double tolerance) {
+  const double ta = r.time(a, p);
+  const double tb = r.time(b, p);
+  const double hi = ta > tb ? ta : tb;
+  const double lo = ta > tb ? tb : ta;
+  return hi <= lo * (1.0 + tolerance);
+}
+
+int effective_processors(const FigureResult& r, const std::string& label,
+                         double tolerance) {
+  const auto it = r.results.find(label);
+  if (it == r.results.end()) return 0;
+  double best = std::numeric_limits<double>::max();
+  for (const auto& [p, res] : it->second) best = std::min(best, res.makespan);
+  for (const auto& [p, res] : it->second)
+    if (res.makespan <= best * (1.0 + tolerance)) return p;
+  return 0;
+}
+
+bool report_shape(std::ostream& out, bool ok, const std::string& what) {
+  out << (ok ? "shape OK:       " : "shape MISMATCH: ") << what << "\n";
+  return ok;
+}
+
+}  // namespace afs

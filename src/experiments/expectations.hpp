@@ -1,0 +1,31 @@
+// Shape checks: small predicates the reproduction binaries use to compare
+// measured curves against the paper's qualitative claims, printed as
+// "shape: ..." lines and recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <ostream>
+#include <string>
+
+#include "experiments/figure.hpp"
+
+namespace afs {
+
+/// True when scheduler `fast` beats `slow` by at least `factor` at
+/// processor count p (completion time of slow >= factor * fast).
+bool beats(const FigureResult& r, const std::string& fast,
+           const std::string& slow, int p, double factor = 1.0);
+
+/// True when two schedulers are within `tolerance` (relative) at p.
+bool comparable(const FigureResult& r, const std::string& a,
+                const std::string& b, int p, double tolerance = 0.15);
+
+/// Effective processors: the smallest P in the sweep whose completion time
+/// is within `tolerance` of the scheduler's best over the sweep — "cannot
+/// effectively use more than X processors" in the paper's phrasing.
+int effective_processors(const FigureResult& r, const std::string& label,
+                         double tolerance = 0.10);
+
+/// Prints "shape OK: <what>" or "shape MISMATCH: <what>" and returns ok.
+bool report_shape(std::ostream& out, bool ok, const std::string& what);
+
+}  // namespace afs

@@ -1,0 +1,100 @@
+#include "experiments/figure.hpp"
+
+#include <algorithm>
+
+#include "sched/registry.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+
+SchedulerEntry entry(const std::string& spec) {
+  return {spec, [spec] { return make_scheduler(spec); }};
+}
+
+SchedulerEntry entry(std::string label,
+                     std::function<std::unique_ptr<Scheduler>()> make) {
+  return {std::move(label), std::move(make)};
+}
+
+double FigureResult::time(const std::string& label, int p) const {
+  const auto s = results.find(label);
+  AFS_CHECK_MSG(s != results.end(), "no scheduler " << label);
+  const auto r = s->second.find(p);
+  AFS_CHECK_MSG(r != s->second.end(), "no P=" << p << " for " << label);
+  return r->second.makespan;
+}
+
+double FigureResult::advantage(const std::string& a, const std::string& b,
+                               int p) const {
+  return time(b, p) / time(a, p);
+}
+
+Table FigureResult::completion_table() const {
+  std::vector<std::string> headers{"P"};
+  for (const auto& [label, _] : results) headers.push_back(label);
+  Table t(std::move(headers));
+
+  // Row set: union of P values (identical across schedulers in practice).
+  std::vector<int> procs;
+  for (const auto& [_, by_p] : results)
+    for (const auto& [p, __] : by_p)
+      if (std::find(procs.begin(), procs.end(), p) == procs.end())
+        procs.push_back(p);
+  std::sort(procs.begin(), procs.end());
+
+  for (int p : procs) {
+    std::vector<std::string> row{std::to_string(p)};
+    for (const auto& [label, by_p] : results) {
+      const auto it = by_p.find(p);
+      row.push_back(it == by_p.end() ? "-" : Table::num(it->second.makespan, 0));
+    }
+    t.add_row(std::move(row));
+  }
+  return t;
+}
+
+FigureResult run_figure(const FigureSpec& spec, std::ostream& out) {
+  AFS_CHECK(!spec.procs.empty() && !spec.schedulers.empty());
+  out << "== " << spec.id << ": " << spec.title << " ==\n";
+  out << "machine: " << spec.machine.name << ", program: " << spec.program.name
+      << "\n";
+
+  FigureResult result;
+  result.id = spec.id;
+
+  MachineSim sim(spec.machine, spec.sim_options);
+  result.serial_time = sim.ideal_serial_time(spec.program);
+
+  for (const SchedulerEntry& se : spec.schedulers) {
+    for (int p : spec.procs) {
+      AFS_CHECK_MSG(p <= spec.machine.max_processors,
+                    "P=" << p << " exceeds " << spec.machine.name);
+      auto sched = se.make();
+      result.results[se.label][p] = sim.run(spec.program, *sched, p);
+    }
+    out << "  " << se.label << ": done\n";
+  }
+
+  out << result.completion_table().to_ascii();
+  write_figure_csv(result, "bench_results/" + spec.id + ".csv");
+  out << "(csv: bench_results/" << spec.id << ".csv)\n\n";
+  return result;
+}
+
+void write_figure_csv(const FigureResult& result, const std::string& path) {
+  Table csv({"figure", "scheduler", "procs", "time", "speedup", "busy", "sync",
+             "comm", "idle", "misses", "remote_grabs", "central_grabs"});
+  for (const auto& [label, by_p] : result.results) {
+    for (const auto& [p, r] : by_p) {
+      csv.add_row({result.id, label, std::to_string(p), Table::num(r.makespan, 1),
+                   Table::num(r.speedup_vs(result.serial_time), 3),
+                   Table::num(r.busy, 1), Table::num(r.sync, 1),
+                   Table::num(r.comm, 1), Table::num(r.idle, 1),
+                   Table::num(r.misses), Table::num(r.remote_grabs),
+                   Table::num(r.central_grabs)});
+    }
+  }
+  csv.write_csv(path);
+}
+
+}  // namespace afs

@@ -1,0 +1,68 @@
+// Figure/table harness: runs a LoopProgram under a set of schedulers over
+// a processor sweep on a simulated machine, collects completion times and
+// metric breakdowns, prints the paper's series and writes CSV.
+//
+// Every bench/ reproduction binary is a thin declaration of one
+// FigureSpec (plus any custom rows the original table had).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "machines/machine_config.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/machine_sim.hpp"
+#include "util/table.hpp"
+#include "workload/loop_spec.hpp"
+
+namespace afs {
+
+/// A named scheduler factory. A fresh scheduler is built per (P, run) so
+/// state (caches of the sim persist per run; scheduler stats do not leak).
+struct SchedulerEntry {
+  std::string label;
+  std::function<std::unique_ptr<Scheduler>()> make;
+};
+
+/// Factory from a registry spec string (label defaults to the spec).
+SchedulerEntry entry(const std::string& spec);
+SchedulerEntry entry(std::string label,
+                     std::function<std::unique_ptr<Scheduler>()> make);
+
+struct FigureSpec {
+  std::string id;     ///< e.g. "fig04"
+  std::string title;  ///< e.g. "Gaussian elimination on the Iris (N=768)"
+  MachineConfig machine;
+  LoopProgram program;
+  std::vector<int> procs;
+  std::vector<SchedulerEntry> schedulers;
+  SimOptions sim_options;
+};
+
+struct FigureResult {
+  FigureSpec spec() = delete;  // (avoid accidental copies of the program)
+  std::string id;
+  /// results[scheduler_label][P] = simulation result.
+  std::map<std::string, std::map<int, SimResult>> results;
+  double serial_time = 0.0;
+
+  double time(const std::string& label, int p) const;
+  /// Completion-time table: rows = P, one column per scheduler.
+  Table completion_table() const;
+  /// Speedup of `a` over `b` at processor count p: time(b)/time(a).
+  double advantage(const std::string& a, const std::string& b, int p) const;
+};
+
+/// Runs the sweep; prints progress and the final table to `out`, writes
+/// CSV to bench_results/<id>.csv.
+FigureResult run_figure(const FigureSpec& spec, std::ostream& out);
+
+/// Writes one long-format CSV (figure, scheduler, procs, time, speedup,
+/// busy, sync, comm, idle, misses, steals) for downstream plotting.
+void write_figure_csv(const FigureResult& result, const std::string& path);
+
+}  // namespace afs

@@ -1,0 +1,76 @@
+#include "kernels/adjoint_convolution.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace afs {
+
+AdjointConvolutionKernel::AdjointConvolutionKernel(std::int64_t n,
+                                                   std::uint64_t seed)
+    : m_(n * n) {
+  AFS_CHECK(n >= 1);
+  Xoshiro256 rng(seed);
+  x_ = rng.next_double() + 0.5;
+  a_.assign(static_cast<std::size_t>(m_), 0.0);
+  b_.resize(static_cast<std::size_t>(m_));
+  c_.resize(static_cast<std::size_t>(m_));
+  for (auto& v : b_) v = rng.next_double() - 0.5;
+  for (auto& v : c_) v = rng.next_double() - 0.5;
+}
+
+void AdjointConvolutionKernel::run_serial() {
+  for (std::int64_t i = 0; i < m_; ++i) {
+    double acc = a_[static_cast<std::size_t>(i)];
+    for (std::int64_t k = i; k < m_; ++k)
+      acc += x_ * b_[static_cast<std::size_t>(k)] *
+             c_[static_cast<std::size_t>(k - i)];
+    a_[static_cast<std::size_t>(i)] = acc;
+  }
+}
+
+void AdjointConvolutionKernel::run_parallel(ThreadPool& pool,
+                                            Scheduler& sched) {
+  parallel_for(pool, sched, m_, [this](IterRange r, int) {
+    for (std::int64_t i = r.begin; i < r.end; ++i) {
+      double acc = a_[static_cast<std::size_t>(i)];
+      for (std::int64_t k = i; k < m_; ++k)
+        acc += x_ * b_[static_cast<std::size_t>(k)] *
+               c_[static_cast<std::size_t>(k - i)];
+      a_[static_cast<std::size_t>(i)] = acc;
+    }
+  });
+}
+
+double AdjointConvolutionKernel::checksum() const {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < m_; ++i)
+    sum += a_[static_cast<std::size_t>(i)] * (1.0 + 1e-9 * static_cast<double>(i));
+  return sum;
+}
+
+LoopProgram AdjointConvolutionKernel::program(std::int64_t n,
+                                              double unit_work) {
+  const std::int64_t m = n * n;
+  ParallelLoopSpec spec;
+  spec.n = m;
+  spec.work = [m, unit_work](std::int64_t i) {
+    return static_cast<double>(m - i) * unit_work;
+  };
+  spec.work_sum = [m, unit_work](std::int64_t b, std::int64_t e) {
+    // sum_{i=b}^{e-1} (m - i) = (e - b) * (2m - b - e + 1) / 2
+    const double len = static_cast<double>(e - b);
+    return unit_work * len *
+           (2.0 * static_cast<double>(m) - static_cast<double>(b) -
+            static_cast<double>(e) + 1.0) /
+           2.0;
+  };
+  return single_loop_program("adjoint-" + std::to_string(n), 1,
+                             [spec](int) { return spec; });
+}
+
+CostFn AdjointConvolutionKernel::cost(std::int64_t n) {
+  const std::int64_t m = n * n;
+  return [m](std::int64_t i) { return static_cast<double>(m - i); };
+}
+
+}  // namespace afs

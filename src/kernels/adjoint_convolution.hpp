@@ -1,0 +1,47 @@
+// Adjoint convolution (paper §4.2, fourth kernel).
+//
+//   DO PARALLEL I = 1, N*N
+//     DO SEQUENTIAL K = I, N*N
+//       A(I) = A(I) + X*B(K)*C(I-K)
+//
+// A single parallel loop (no enclosing sequential loop, hence no affinity
+// to exploit) with strongly decreasing costs: iteration i takes O(N*N - i)
+// time. The pure load-balancing stress test of Figs. 7-8, and the natural
+// home of the reverse-index adapter.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+#include "workload/loop_spec.hpp"
+
+namespace afs {
+
+class AdjointConvolutionKernel {
+ public:
+  /// Arrays have m = n*n elements (the paper's N = 75 gives m = 5625).
+  AdjointConvolutionKernel(std::int64_t n, std::uint64_t seed);
+
+  void run_serial();
+  /// `reverse` wraps the scheduler in the reverse-index adapter externally;
+  /// here the body just executes whatever range it is given.
+  void run_parallel(ThreadPool& pool, Scheduler& sched);
+
+  double checksum() const;
+  std::int64_t m() const { return m_; }
+
+  /// Simulator descriptor: single loop, work(i) = (m - i) * unit_work,
+  /// no footprint (the paper treats this kernel as affinity-free).
+  static LoopProgram program(std::int64_t n, double unit_work = 1.0);
+
+  /// Oracle cost model for BEST-STATIC.
+  static CostFn cost(std::int64_t n);
+
+ private:
+  std::int64_t m_;
+  double x_;
+  std::vector<double> a_, b_, c_;
+};
+
+}  // namespace afs

@@ -1,0 +1,23 @@
+#include "kernels/compute.hpp"
+
+#include <atomic>
+#include <cmath>
+
+namespace afs {
+
+double compute_units(double units) {
+  const auto steps = static_cast<std::int64_t>(std::llround(units)) * 4;
+  double x = 1.000000001;
+  for (std::int64_t i = 0; i < steps; ++i) x = x * 1.0000001 + 1e-12;
+  return x;
+}
+
+namespace {
+std::atomic<double> sink{0.0};
+}
+
+void consume(double value) {
+  sink.store(value, std::memory_order_relaxed);
+}
+
+}  // namespace afs

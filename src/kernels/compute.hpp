@@ -1,0 +1,19 @@
+// Calibrated busy work for kernels whose cost is specified in abstract
+// units (L4, the synthetic §4.4 loops): burns a fixed number of dependent
+// floating-point operations per unit so real-thread runs have costs
+// proportional to the simulated ones.
+#pragma once
+
+#include <cstdint>
+
+namespace afs {
+
+/// Executes ~4 dependent flops per unit and returns a data-dependent value
+/// so the optimizer cannot elide the loop. Deterministic.
+double compute_units(double units);
+
+/// Sink for results of computations whose value is irrelevant; prevents
+/// dead-code elimination without volatile tricks at every call site.
+void consume(double value);
+
+}  // namespace afs

@@ -1,0 +1,78 @@
+#include "kernels/gauss.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace afs {
+
+GaussKernel::GaussKernel(std::int64_t n) : n_(n), a_(n, n) {
+  AFS_CHECK(n >= 1);
+}
+
+void GaussKernel::init(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (std::int64_t i = 0; i < n_; ++i) {
+    double off_diag = 0.0;
+    for (std::int64_t j = 0; j < n_; ++j) {
+      a_(i, j) = rng.next_double() - 0.5;
+      if (i != j) off_diag += std::abs(a_(i, j));
+    }
+    a_(i, i) = off_diag + 1.0;  // strict diagonal dominance
+  }
+}
+
+void GaussKernel::eliminate_rows(std::int64_t e, IterRange rows) {
+  // rows are iteration indices: row = e + 1 + idx.
+  for (std::int64_t idx = rows.begin; idx < rows.end; ++idx) {
+    const std::int64_t i = e + 1 + idx;
+    const double factor = a_(i, e) / a_(e, e);
+    for (std::int64_t j = e; j < n_; ++j) a_(i, j) -= factor * a_(e, j);
+  }
+}
+
+void GaussKernel::eliminate_serial() {
+  for (std::int64_t e = 0; e < n_ - 1; ++e)
+    eliminate_rows(e, {0, n_ - e - 1});
+}
+
+void GaussKernel::eliminate_parallel(ThreadPool& pool, Scheduler& sched) {
+  for (std::int64_t e = 0; e < n_ - 1; ++e) {
+    parallel_for(pool, sched, n_ - e - 1, [this, e](IterRange r, int) {
+      eliminate_rows(e, r);
+    });
+  }
+}
+
+double GaussKernel::checksum() const {
+  double sum = 0.0;
+  for (std::int64_t i = 0; i < n_; ++i)
+    for (std::int64_t j = 0; j < n_; ++j) sum += a_(i, j) * (1.0 + 1e-6 * i);
+  return sum;
+}
+
+LoopProgram GaussKernel::program(std::int64_t n, double work_per_element) {
+  LoopProgram p;
+  p.name = "gauss-" + std::to_string(n);
+  p.epochs = static_cast<int>(n - 1);
+  p.epoch_loops = [n, work_per_element](int e) {
+    ParallelLoopSpec spec;
+    spec.n = n - e - 1;
+    const double active = static_cast<double>(n - e);
+    spec.work = [active, work_per_element](std::int64_t) {
+      return active * work_per_element;
+    };
+    spec.footprint = [e, active](std::int64_t idx,
+                                 std::vector<BlockAccess>& out) {
+      out.push_back({static_cast<std::int64_t>(e), active, false});  // pivot row
+      out.push_back({e + 1 + idx, active, true});                   // own row
+    };
+    return std::vector<ParallelLoopSpec>{spec};
+  };
+  return p;
+}
+
+CostFn GaussKernel::epoch_cost(std::int64_t n, int e) {
+  return uniform_cost(static_cast<double>(n - e));
+}
+
+}  // namespace afs

@@ -1,0 +1,57 @@
+// Gaussian elimination (paper §4.2, second kernel).
+//
+//   DO SEQUENTIAL K = 2, N
+//     DO PARALLEL I = K, N
+//       DO SEQUENTIAL J = K-1, N+1
+//         A[I][J] -= A[K-1][J] * A[I][K-1] / A[K-1][K-1]
+//
+// Epoch e eliminates column e below the pivot: the parallel loop shrinks
+// by one iteration per epoch, every iteration writes its own row and reads
+// the shared pivot row. Moderate affinity (rows shift slowly across the
+// chunk grid as the loop base advances) with mild load imbalance — the
+// Fig. 4/14/15 workhorse.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/parallel_for.hpp"
+#include "util/array2d.hpp"
+#include "workload/loop_spec.hpp"
+
+namespace afs {
+
+class GaussKernel {
+ public:
+  explicit GaussKernel(std::int64_t n);
+
+  /// Random diagonally-dominant matrix: elimination is numerically stable
+  /// without pivoting, so all schedules produce bit-identical results.
+  void init(std::uint64_t seed);
+
+  /// Full elimination on the calling thread (reference).
+  void eliminate_serial();
+
+  /// Full elimination with each epoch's row updates as a parallel loop.
+  void eliminate_parallel(ThreadPool& pool, Scheduler& sched);
+
+  double checksum() const;
+  std::int64_t n() const { return n_; }
+  const Array2D<double>& matrix() const { return a_; }
+
+  /// Simulator descriptor: n-1 epochs; epoch e has n-e-1 iterations of
+  /// (n-e) * work_per_element units each, reading pivot row e and writing
+  /// row e+1+idx.
+  static LoopProgram program(std::int64_t n, double work_per_element = 2.0);
+
+  /// Oracle cost model for BEST-STATIC at epoch e (uniform across the
+  /// epoch's iterations — Gauss's imbalance is across epochs, not within).
+  static CostFn epoch_cost(std::int64_t n, int e);
+
+ private:
+  void eliminate_rows(std::int64_t e, IterRange rows);
+
+  std::int64_t n_;
+  Array2D<double> a_;
+};
+
+}  // namespace afs

@@ -1,0 +1,75 @@
+#include "kernels/sor.hpp"
+
+#include <utility>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace afs {
+
+SorKernel::SorKernel(std::int64_t n, double omega)
+    : n_(n), omega_(omega), src_(n, n), dst_(n, n) {
+  AFS_CHECK(n >= 1);
+  AFS_CHECK(omega > 0.0 && omega < 2.0);
+}
+
+void SorKernel::init(std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  for (std::int64_t j = 0; j < n_; ++j)
+    for (std::int64_t k = 0; k < n_; ++k) src_(j, k) = rng.next_double();
+  dst_ = src_;
+}
+
+void SorKernel::update_row(std::int64_t j) {
+  // Boundary rows are fixed (Dirichlet); interior points relax toward the
+  // 4-neighbor average of the previous sweep.
+  if (j == 0 || j == n_ - 1) {
+    for (std::int64_t k = 0; k < n_; ++k) dst_(j, k) = src_(j, k);
+    return;
+  }
+  dst_(j, 0) = src_(j, 0);
+  dst_(j, n_ - 1) = src_(j, n_ - 1);
+  for (std::int64_t k = 1; k < n_ - 1; ++k) {
+    const double avg = 0.25 * (src_(j - 1, k) + src_(j + 1, k) +
+                               src_(j, k - 1) + src_(j, k + 1));
+    dst_(j, k) = src_(j, k) + omega_ * (avg - src_(j, k));
+  }
+}
+
+void SorKernel::epoch_serial() {
+  for (std::int64_t j = 0; j < n_; ++j) update_row(j);
+  std::swap(src_, dst_);
+}
+
+void SorKernel::epoch_parallel(ThreadPool& pool, Scheduler& sched) {
+  parallel_for(pool, sched, n_, [this](IterRange r, int) {
+    for (std::int64_t j = r.begin; j < r.end; ++j) update_row(j);
+  });
+  std::swap(src_, dst_);
+}
+
+double SorKernel::checksum() const {
+  double sum = 0.0;
+  for (std::int64_t j = 0; j < n_; ++j)
+    for (std::int64_t k = 0; k < n_; ++k) sum += src_(j, k) * (1.0 + 1e-6 * j);
+  return sum;
+}
+
+LoopProgram SorKernel::program(std::int64_t n, int epochs,
+                               double work_per_element) {
+  ParallelLoopSpec spec;
+  spec.n = n;
+  spec.work = [n, work_per_element](std::int64_t) {
+    return static_cast<double>(n) * work_per_element;
+  };
+  spec.footprint = [n](std::int64_t j, std::vector<BlockAccess>& out) {
+    const double row_units = static_cast<double>(n);
+    if (j > 0) out.push_back({j - 1, row_units, false});
+    if (j + 1 < n) out.push_back({j + 1, row_units, false});
+    out.push_back({j, row_units, true});
+  };
+  return single_loop_program("sor-" + std::to_string(n), epochs,
+                             [spec](int) { return spec; });
+}
+
+}  // namespace afs

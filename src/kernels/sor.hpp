@@ -1,0 +1,59 @@
+// Successive Over-Relaxation (paper §4.2, first kernel).
+//
+//   DO SEQUENTIAL I = 1, MAXITERATIONS
+//     DO PARALLEL J = 1, N
+//       DO SEQUENTIAL K = 1, N
+//         A(J,K) = UPDATE(A,J,K)
+//
+// Iteration J of the parallel loop always touches row J (plus its
+// neighbors): perfect affinity, no load imbalance. The real implementation
+// uses a weighted-Jacobi sweep (double-buffered) rather than in-place
+// Gauss-Seidel so results are bit-identical under every schedule — same
+// loop structure, same row-per-iteration footprint; the substitution is
+// recorded in DESIGN.md.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/parallel_for.hpp"
+#include "util/array2d.hpp"
+#include "workload/loop_spec.hpp"
+
+namespace afs {
+
+class SorKernel {
+ public:
+  /// n x n grid; omega is the relaxation weight.
+  explicit SorKernel(std::int64_t n, double omega = 0.8);
+
+  /// Deterministic pseudo-random initial grid.
+  void init(std::uint64_t seed);
+
+  /// One reference sweep on the calling thread.
+  void epoch_serial();
+
+  /// One sweep executed as a parallel loop over rows.
+  void epoch_parallel(ThreadPool& pool, Scheduler& sched);
+
+  /// Grid checksum for cross-schedule verification.
+  double checksum() const;
+
+  std::int64_t n() const { return n_; }
+  const Array2D<double>& grid() const { return src_; }
+
+  /// Simulator descriptor: `epochs` sweeps over an n x n grid.
+  /// work_per_element ~ flops per grid point; Fig. 17 raises it to model
+  /// the KSR-1's software floating-point division.
+  static LoopProgram program(std::int64_t n, int epochs,
+                             double work_per_element = 5.0);
+
+ private:
+  void update_row(std::int64_t j);
+
+  std::int64_t n_;
+  double omega_;
+  Array2D<double> src_;
+  Array2D<double> dst_;
+};
+
+}  // namespace afs

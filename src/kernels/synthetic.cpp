@@ -1,0 +1,116 @@
+#include "kernels/synthetic.hpp"
+
+#include "util/check.hpp"
+#include "workload/cost_models.hpp"
+
+namespace afs {
+
+namespace {
+// sum_{i=b}^{e-1} (n - i) — arithmetic series.
+double triangular_sum(std::int64_t n, std::int64_t b, std::int64_t e) {
+  const double len = static_cast<double>(e - b);
+  return len *
+         (2.0 * static_cast<double>(n) - static_cast<double>(b) -
+          static_cast<double>(e) + 1.0) /
+         2.0;
+}
+
+// sum_{k=1}^{m} k^2 = m(m+1)(2m+1)/6.
+double square_pyramid(double m) { return m * (m + 1.0) * (2.0 * m + 1.0) / 6.0; }
+
+// sum_{i=b}^{e-1} (n - i)^2 = sum_{k=n-e+1}^{n-b} k^2.
+double parabolic_sum(std::int64_t n, std::int64_t b, std::int64_t e) {
+  return square_pyramid(static_cast<double>(n - b)) -
+         square_pyramid(static_cast<double>(n - e));
+}
+}  // namespace
+
+LoopProgram triangular_program(std::int64_t n) {
+  AFS_CHECK(n >= 0);
+  ParallelLoopSpec spec;
+  spec.n = n;
+  spec.work = triangular_cost(n);
+  spec.work_sum = [n](std::int64_t b, std::int64_t e) {
+    return triangular_sum(n, b, e);
+  };
+  return single_loop_program("triangular-" + std::to_string(n), 1,
+                             [spec](int) { return spec; });
+}
+
+LoopProgram parabolic_program(std::int64_t n) {
+  AFS_CHECK(n >= 0);
+  ParallelLoopSpec spec;
+  spec.n = n;
+  spec.work = parabolic_cost(n);
+  spec.work_sum = [n](std::int64_t b, std::int64_t e) {
+    return parabolic_sum(n, b, e);
+  };
+  return single_loop_program("parabolic-" + std::to_string(n), 1,
+                             [spec](int) { return spec; });
+}
+
+LoopProgram head_heavy_program(std::int64_t n, double fraction, double heavy,
+                               double light) {
+  AFS_CHECK(n >= 0);
+  const auto cutoff =
+      static_cast<std::int64_t>(fraction * static_cast<double>(n));
+  ParallelLoopSpec spec;
+  spec.n = n;
+  spec.work = head_heavy_cost(n, fraction, heavy, light);
+  spec.work_sum = [cutoff, heavy, light](std::int64_t b, std::int64_t e) {
+    const std::int64_t heavy_count =
+        std::max<std::int64_t>(0, std::min(e, cutoff) - b);
+    const std::int64_t light_count = (e - b) - heavy_count;
+    return static_cast<double>(heavy_count) * heavy +
+           static_cast<double>(light_count) * light;
+  };
+  return single_loop_program("head-heavy-" + std::to_string(n), 1,
+                             [spec](int) { return spec; });
+}
+
+LoopProgram drifting_hotspot_program(std::int64_t n, int epochs,
+                                     std::int64_t width, double speed,
+                                     double heavy, double light,
+                                     double row_units) {
+  AFS_CHECK(n >= 0 && epochs >= 1 && width >= 0 && width <= n);
+  AFS_CHECK(heavy >= 0.0 && light >= 0.0 && row_units >= 0.0);
+  LoopProgram p;
+  p.name = "drifting-hotspot-" + std::to_string(n);
+  p.epochs = epochs;
+  p.epoch_loops = [n, width, speed, heavy, light, row_units](int e) {
+    const std::int64_t start =
+        n > 0 ? static_cast<std::int64_t>(e * speed) % n : 0;
+    auto in_band = [n, width, start](std::int64_t i) {
+      // The band may wrap around the end of the iteration space.
+      const std::int64_t offset = (i - start % n + n) % n;
+      return offset < width;
+    };
+    ParallelLoopSpec spec;
+    spec.n = n;
+    spec.work = [in_band, heavy, light](std::int64_t i) {
+      return in_band(i) ? heavy : light;
+    };
+    if (row_units > 0.0) {
+      spec.footprint = [row_units](std::int64_t i,
+                                   std::vector<BlockAccess>& out) {
+        out.push_back({i, row_units, true});
+      };
+    }
+    return std::vector<ParallelLoopSpec>{spec};
+  };
+  return p;
+}
+
+LoopProgram balanced_program(std::int64_t n, double unit) {
+  AFS_CHECK(n >= 0 && unit >= 0.0);
+  ParallelLoopSpec spec;
+  spec.n = n;
+  spec.work = uniform_cost(unit);
+  spec.work_sum = [unit](std::int64_t b, std::int64_t e) {
+    return static_cast<double>(e - b) * unit;
+  };
+  return single_loop_program("balanced-" + std::to_string(n), 1,
+                             [spec](int) { return spec; });
+}
+
+}  // namespace afs

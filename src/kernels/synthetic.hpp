@@ -1,0 +1,41 @@
+// The synthetic single-loop workloads of §4.4-§4.6: pure cost shapes with
+// no memory accesses, used to study load balancing and synchronization in
+// isolation on the Butterfly, and the 200-million-iteration balanced loop
+// of the Table 2 arrival-time experiment.
+#pragma once
+
+#include <cstdint>
+
+#include "workload/loop_spec.hpp"
+
+namespace afs {
+
+/// Fig. 10: iteration i costs (n - i) units (triangular).
+LoopProgram triangular_program(std::int64_t n);
+
+/// Fig. 11: iteration i costs (n - i)^2 units (decreasing parabolic).
+LoopProgram parabolic_program(std::int64_t n);
+
+/// Fig. 12: the first `fraction` of iterations cost `heavy`, the rest
+/// `light` (paper: 10% at 100 units, 90% at 1 unit, n = 50000).
+LoopProgram head_heavy_program(std::int64_t n, double fraction = 0.1,
+                               double heavy = 100.0, double light = 1.0);
+
+/// Fig. 13 / Table 2: a perfectly balanced loop, `unit` work per iteration.
+/// Carries an O(1) work_sum so even n = 2e8 simulates instantly.
+LoopProgram balanced_program(std::int64_t n, double unit = 1.0);
+
+/// An iterative simulation whose load hotspot drifts slowly across the
+/// iteration space — the situation §4.3 sketches when motivating the
+/// last-executed AFS variant ("the conditions that produce load imbalance
+/// do not vary wildly from one simulation step to the next"). Epoch e has
+/// a heavy band of `width` iterations starting at floor(e * speed) mod n,
+/// costing `heavy` each; the rest cost `light`. When `row_units` > 0,
+/// iteration i also reads+writes data block i, so schedulers additionally
+/// compete on affinity.
+LoopProgram drifting_hotspot_program(std::int64_t n, int epochs,
+                                     std::int64_t width, double speed,
+                                     double heavy = 50.0, double light = 1.0,
+                                     double row_units = 0.0);
+
+}  // namespace afs

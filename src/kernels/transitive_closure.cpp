@@ -1,0 +1,96 @@
+#include "kernels/transitive_closure.hpp"
+
+#include <memory>
+#include <utility>
+
+#include "util/check.hpp"
+
+namespace afs {
+
+TransitiveClosureKernel::TransitiveClosureKernel(BoolMatrix graph)
+    : n_(graph.rows()), a_(std::move(graph)) {
+  AFS_CHECK(a_.rows() == a_.cols());
+}
+
+void TransitiveClosureKernel::run_serial() {
+  for (std::int64_t k = 0; k < n_; ++k) {
+    for (std::int64_t j = 0; j < n_; ++j) {
+      if (!a_(j, k) || j == k) continue;
+      for (std::int64_t i = 0; i < n_; ++i)
+        if (a_(k, i)) a_(j, i) = 1;
+    }
+  }
+}
+
+void TransitiveClosureKernel::run_parallel(ThreadPool& pool, Scheduler& sched) {
+  for (std::int64_t k = 0; k < n_; ++k) {
+    parallel_for(pool, sched, n_, [this, k](IterRange r, int) {
+      for (std::int64_t j = r.begin; j < r.end; ++j) {
+        if (!a_(j, k) || j == k) continue;
+        for (std::int64_t i = 0; i < n_; ++i)
+          if (a_(k, i)) a_(j, i) = 1;
+      }
+    });
+  }
+}
+
+std::int64_t TransitiveClosureKernel::reachable_pairs() const {
+  std::int64_t c = 0;
+  for (std::int64_t j = 0; j < n_; ++j)
+    for (std::int64_t i = 0; i < n_; ++i)
+      if (a_(j, i)) ++c;
+  return c;
+}
+
+std::vector<std::vector<std::uint8_t>> TransitiveClosureKernel::active_trace(
+    BoolMatrix graph) {
+  const std::int64_t n = graph.rows();
+  std::vector<std::vector<std::uint8_t>> active(
+      static_cast<std::size_t>(n),
+      std::vector<std::uint8_t>(static_cast<std::size_t>(n), 0));
+  for (std::int64_t k = 0; k < n; ++k) {
+    for (std::int64_t j = 0; j < n; ++j)
+      active[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)] =
+          graph(j, k);
+    for (std::int64_t j = 0; j < n; ++j) {
+      if (!graph(j, k) || j == k) continue;
+      for (std::int64_t i = 0; i < n; ++i)
+        if (graph(k, i)) graph(j, i) = 1;
+    }
+  }
+  return active;
+}
+
+LoopProgram TransitiveClosureKernel::program(const BoolMatrix& graph,
+                                             double work_per_element) {
+  const std::int64_t n = graph.rows();
+  // A boolean row moves far fewer bytes than a double row: with 2-byte
+  // logicals, n entries = n/4 transfer units (one unit = 8 bytes).
+  const double row_units = static_cast<double>(n) / 4.0;
+  auto trace = std::make_shared<std::vector<std::vector<std::uint8_t>>>(
+      active_trace(graph));
+
+  LoopProgram p;
+  p.name = "tc-" + std::to_string(n);
+  p.epochs = static_cast<int>(n);
+  p.epoch_loops = [n, work_per_element, row_units, trace](int k) {
+    ParallelLoopSpec spec;
+    spec.n = n;
+    spec.work = [n, work_per_element, trace, k](std::int64_t j) {
+      return (*trace)[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)]
+                 ? static_cast<double>(n) * work_per_element
+                 : 1.0;
+    };
+    spec.footprint = [row_units, trace, k](std::int64_t j,
+                                           std::vector<BlockAccess>& out) {
+      if (!(*trace)[static_cast<std::size_t>(k)][static_cast<std::size_t>(j)])
+        return;  // inactive iteration: the O(1) edge test touches nothing big
+      out.push_back({static_cast<std::int64_t>(k), row_units, false});
+      out.push_back({j, row_units, true});
+    };
+    return std::vector<ParallelLoopSpec>{spec};
+  };
+  return p;
+}
+
+}  // namespace afs

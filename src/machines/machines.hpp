@@ -1,0 +1,29 @@
+// The paper's four testbeds as simulator configurations, plus the BBN
+// TC2000 used in the §5.1 architecture-trend discussion.
+#pragma once
+
+#include "machines/machine_config.hpp"
+
+namespace afs {
+
+/// SGI 4D/480GTX "Iris": 8-processor bus-based cache-coherent workstation,
+/// 1 MB second-level caches, fast processors relative to its 64 MB/s bus.
+MachineConfig iris();
+
+/// BBN Butterfly I: 60-processor NUMA; no caches, 7 us non-local access,
+/// expensive (non-local) work-queue operations.
+MachineConfig butterfly1();
+
+/// Sequent Symmetry S81: bus-based, cache-coherent, ~30x slower processors
+/// than the Iris with a slightly faster (80 MB/s) bus and small 64 KB caches.
+MachineConfig symmetry();
+
+/// KSR-1: 64-processor cache-only (COMA) machine; 32 MB local cache per
+/// processor, high-latency ring interconnect, expensive synchronization.
+MachineConfig ksr1();
+
+/// BBN TC2000: the §5.1 trend data point — ~60x the Butterfly I's compute,
+/// only ~2.5-3.6x its communication. Provided for the trend bench/ablation.
+MachineConfig tc2000();
+
+}  // namespace afs

@@ -1,0 +1,63 @@
+// Helpers for the loop shapes the paper cares about.
+//
+// * run_epochs: the canonical "parallel loop nested in a sequential loop"
+//   — reuses one scheduler across epochs (which is what lets AFS preserve
+//   affinity) and implicitly joins between epochs.
+// * Index2D / coalesce: nested parallel loops flattened into one index
+//   space, the transformation the paper cites ([23], [24]) for multi-way
+//   nests like L4.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "runtime/parallel_for.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+
+/// Runs `epochs` instances of an n-iteration parallel loop under one
+/// scheduler. `body(epoch, i, worker)` is invoked for every (epoch, i).
+inline void run_epochs(ThreadPool& pool, Scheduler& sched, int epochs,
+                       std::int64_t n,
+                       const std::function<void(int, std::int64_t, int)>& body) {
+  AFS_CHECK(epochs >= 0);
+  for (int e = 0; e < epochs; ++e) {
+    parallel_for(pool, sched, n, [&body, e](IterRange r, int worker) {
+      for (std::int64_t i = r.begin; i < r.end; ++i) body(e, i, worker);
+    });
+  }
+}
+
+/// A coalesced 2-D rectangular index space: flat index k in
+/// [0, rows*cols) maps to (k / cols, k % cols). Row-major so that
+/// consecutive flat indices share a row — preserving whatever row affinity
+/// the nest has.
+struct Index2D {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+
+  std::int64_t size() const { return rows * cols; }
+  std::int64_t row(std::int64_t flat) const { return flat / cols; }
+  std::int64_t col(std::int64_t flat) const { return flat % cols; }
+  std::int64_t flat(std::int64_t r, std::int64_t c) const {
+    return r * cols + c;
+  }
+};
+
+/// Coalesced doubly-nested parallel loop:
+///   DO PARALLEL i = 0, rows; DO PARALLEL j = 0, cols: body(i, j)
+/// executed as one parallel loop of rows*cols iterations.
+inline void parallel_for_2d(
+    ThreadPool& pool, Scheduler& sched, std::int64_t rows, std::int64_t cols,
+    const std::function<void(std::int64_t, std::int64_t, int)>& body) {
+  AFS_CHECK(rows >= 0 && cols >= 0);
+  const Index2D space{rows, cols};
+  parallel_for(pool, sched, space.size(),
+               [&body, space](IterRange r, int worker) {
+                 for (std::int64_t k = r.begin; k < r.end; ++k)
+                   body(space.row(k), space.col(k), worker);
+               });
+}
+
+}  // namespace afs

@@ -1,0 +1,40 @@
+#include "runtime/parallel_for.hpp"
+
+#include <thread>
+
+#include "util/check.hpp"
+
+namespace afs {
+
+void parallel_for(ThreadPool& pool, Scheduler& sched, std::int64_t n,
+                  const ChunkBody& body, const ParallelForOptions& options) {
+  AFS_CHECK(n >= 0);
+  sched.start_loop(n, pool.size());
+  pool.run_on_all([&](int worker) {
+    const auto w = static_cast<std::size_t>(worker);
+    if (w < options.start_delays.size() && options.start_delays[w] > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double>(options.start_delays[w]));
+    }
+    for (;;) {
+      const Grab g = sched.next(worker);
+      if (g.done()) break;
+      AFS_DCHECK(!g.range.empty());
+      body(g.range, worker);
+    }
+  });
+  sched.end_loop();
+}
+
+void parallel_for_each(ThreadPool& pool, Scheduler& sched, std::int64_t n,
+                       const IterBody& body,
+                       const ParallelForOptions& options) {
+  parallel_for(
+      pool, sched, n,
+      [&body](IterRange r, int worker) {
+        for (std::int64_t i = r.begin; i < r.end; ++i) body(i, worker);
+      },
+      options);
+}
+
+}  // namespace afs

@@ -1,0 +1,40 @@
+// parallel_for: execute a parallel loop on real threads under any
+// Scheduler. This is the library's primary public entry point for
+// applications (the examples and the kernel implementations all go through
+// it); the simulator substrate mirrors the same semantics in virtual time.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/thread_pool.hpp"
+#include "sched/scheduler.hpp"
+
+namespace afs {
+
+/// Chunk-granularity body: invoked with each granted range and the worker
+/// that executes it. Iterations inside a range run in ascending order.
+using ChunkBody = std::function<void(IterRange, int worker)>;
+
+/// Iteration-granularity body.
+using IterBody = std::function<void(std::int64_t i, int worker)>;
+
+struct ParallelForOptions {
+  /// Per-worker artificial start delays (seconds); shorter vectors are
+  /// zero-padded. Used by the Table 2 processor-arrival-time experiment.
+  std::vector<double> start_delays;
+};
+
+/// Runs iterations [0, n) under `sched` on all workers of `pool`.
+/// Calls sched.start_loop / end_loop around the execution.
+void parallel_for(ThreadPool& pool, Scheduler& sched, std::int64_t n,
+                  const ChunkBody& body, const ParallelForOptions& options = {});
+
+/// Convenience wrapper that invokes `body` once per iteration.
+void parallel_for_each(ThreadPool& pool, Scheduler& sched, std::int64_t n,
+                       const IterBody& body,
+                       const ParallelForOptions& options = {});
+
+}  // namespace afs

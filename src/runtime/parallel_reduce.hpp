@@ -1,0 +1,58 @@
+// Parallel reduction over a loop's iterations, scheduled like any other
+// parallel loop. Each worker folds its chunks into a private accumulator
+// (no sharing, no atomics in the hot path); partials are combined in
+// worker-id order at the end.
+//
+// Determinism note: the *set* of iterations each worker receives depends
+// on the scheduler, so floating-point reductions are deterministic only up
+// to re-association (exactly like OpenMP reductions). Integer / exact
+// reductions are schedule-independent.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+#include "util/align.hpp"
+
+namespace afs {
+
+/// Reduces map(range) over [0, n): each worker computes
+/// acc = combine(acc, map(range)) over its chunks, starting from
+/// `identity`; partials are combined left-to-right by worker id.
+template <typename T>
+T parallel_reduce(ThreadPool& pool, Scheduler& sched, std::int64_t n,
+                  T identity,
+                  const std::function<T(IterRange, int)>& map,
+                  const std::function<T(T, T)>& combine,
+                  const ParallelForOptions& options = {}) {
+  std::vector<CacheAligned<T>> partial(static_cast<std::size_t>(pool.size()),
+                                       CacheAligned<T>(identity));
+  parallel_for(
+      pool, sched, n,
+      [&map, &combine, &partial](IterRange r, int worker) {
+        T& acc = partial[static_cast<std::size_t>(worker)].value;
+        acc = combine(acc, map(r, worker));
+      },
+      options);
+  T result = identity;
+  for (const auto& p : partial) result = combine(result, p.value);
+  return result;
+}
+
+/// Convenience: sums value(i) over [0, n).
+template <typename T>
+T parallel_sum(ThreadPool& pool, Scheduler& sched, std::int64_t n,
+               const std::function<T(std::int64_t)>& value) {
+  return parallel_reduce<T>(
+      pool, sched, n, T{},
+      [&value](IterRange r, int) {
+        T acc{};
+        for (std::int64_t i = r.begin; i < r.end; ++i) acc += value(i);
+        return acc;
+      },
+      [](T a, T b) { return a + b; });
+}
+
+}  // namespace afs

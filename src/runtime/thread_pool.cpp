@@ -1,0 +1,62 @@
+#include "runtime/thread_pool.hpp"
+
+#include "util/check.hpp"
+
+namespace afs {
+
+ThreadPool::ThreadPool(int workers) {
+  AFS_CHECK(workers >= 1);
+  threads_.reserve(static_cast<std::size_t>(workers));
+  for (int i = 0; i < workers; ++i)
+    threads_.emplace_back([this, i] { worker_main(i); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::scoped_lock lock(mutex_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  // jthread joins in its destructor.
+}
+
+void ThreadPool::worker_main(int id) {
+  std::uint64_t seen_generation = 0;
+  for (;;) {
+    const std::function<void(int)>* job = nullptr;
+    {
+      std::unique_lock lock(mutex_);
+      cv_start_.wait(lock, [&] {
+        return stop_ || generation_ != seen_generation;
+      });
+      if (stop_) return;
+      seen_generation = generation_;
+      job = job_;
+    }
+    try {
+      (*job)(id);
+    } catch (...) {
+      std::scoped_lock lock(mutex_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    {
+      std::scoped_lock lock(mutex_);
+      if (--running_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(int)>& job) {
+  std::unique_lock lock(mutex_);
+  AFS_CHECK_MSG(running_ == 0, "run_on_all is not reentrant");
+  job_ = &job;
+  running_ = size();
+  first_error_ = nullptr;
+  ++generation_;
+  cv_start_.notify_all();
+  cv_done_.wait(lock, [&] { return running_ == 0; });
+  job_ = nullptr;
+  if (first_error_) std::rethrow_exception(first_error_);
+}
+
+}  // namespace afs

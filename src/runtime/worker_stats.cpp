@@ -1,0 +1,61 @@
+#include "runtime/worker_stats.hpp"
+
+#include <algorithm>
+
+#include "util/align.hpp"
+#include "util/stopwatch.hpp"
+
+namespace afs {
+
+namespace {
+double max_over_mean(const std::vector<WorkerStats>& workers,
+                     double (*metric)(const WorkerStats&)) {
+  if (workers.empty()) return 1.0;
+  double sum = 0.0, mx = 0.0;
+  for (const auto& w : workers) {
+    const double v = metric(w);
+    sum += v;
+    mx = std::max(mx, v);
+  }
+  const double mean = sum / static_cast<double>(workers.size());
+  return mean > 0.0 ? mx / mean : 1.0;
+}
+}  // namespace
+
+double RunStats::iteration_imbalance() const {
+  return max_over_mean(workers, [](const WorkerStats& w) {
+    return static_cast<double>(w.iterations);
+  });
+}
+
+double RunStats::time_imbalance() const {
+  return max_over_mean(workers,
+                       [](const WorkerStats& w) { return w.busy_seconds; });
+}
+
+RunStats parallel_for_timed(ThreadPool& pool, Scheduler& sched,
+                            std::int64_t n, const ChunkBody& body,
+                            const ParallelForOptions& options) {
+  std::vector<CacheAligned<WorkerStats>> per_worker(
+      static_cast<std::size_t>(pool.size()));
+  Stopwatch total;
+  parallel_for(
+      pool, sched, n,
+      [&body, &per_worker](IterRange r, int worker) {
+        WorkerStats& w = per_worker[static_cast<std::size_t>(worker)].value;
+        Stopwatch sw;
+        body(r, worker);
+        w.busy_seconds += sw.seconds();
+        ++w.chunks;
+        w.iterations += r.size();
+      },
+      options);
+
+  RunStats stats;
+  stats.elapsed_seconds = total.seconds();
+  stats.workers.reserve(per_worker.size());
+  for (const auto& w : per_worker) stats.workers.push_back(w.value);
+  return stats;
+}
+
+}  // namespace afs

@@ -1,0 +1,45 @@
+// Per-worker execution statistics for the real-thread substrate.
+//
+// The paper's analysis revolves around who executed what and how evenly
+// the work spread; WorkerStats makes that observable on real threads so
+// applications (and our integration tests) can measure imbalance and
+// migration without a profiler.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+
+namespace afs {
+
+struct WorkerStats {
+  std::int64_t chunks = 0;      ///< grabs executed by this worker
+  std::int64_t iterations = 0;  ///< iterations executed by this worker
+  double busy_seconds = 0.0;    ///< wall time inside the loop body
+};
+
+struct RunStats {
+  std::vector<WorkerStats> workers;
+  double elapsed_seconds = 0.0;  ///< wall time of the whole parallel_for
+
+  std::int64_t total_iterations() const {
+    std::int64_t t = 0;
+    for (const auto& w : workers) t += w.iterations;
+    return t;
+  }
+
+  /// max/mean of per-worker iteration counts: 1.0 = perfectly even.
+  double iteration_imbalance() const;
+
+  /// max/mean of per-worker busy time: the paper's real imbalance metric.
+  double time_imbalance() const;
+};
+
+/// parallel_for that additionally measures per-worker work. Body semantics
+/// are identical to parallel_for.
+RunStats parallel_for_timed(ThreadPool& pool, Scheduler& sched,
+                            std::int64_t n, const ChunkBody& body,
+                            const ParallelForOptions& options = {});
+
+}  // namespace afs

@@ -1,0 +1,210 @@
+#include "sched/affinity_scheduler.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace afs {
+
+IterRange affinity_initial_chunk(std::int64_t n, int p, int i) {
+  AFS_CHECK(p >= 1 && i >= 0 && i < p);
+  const std::int64_t begin = ceil_div(static_cast<std::int64_t>(i) * n, p);
+  const std::int64_t end =
+      std::min(n, ceil_div((static_cast<std::int64_t>(i) + 1) * n, p));
+  return {begin, std::max(begin, end)};
+}
+
+AffinityScheduler::AffinityScheduler(AffinityOptions options)
+    : options_(options) {
+  AFS_CHECK(options_.k >= 0);
+  AFS_CHECK(options_.steal_denom >= 0);
+  AFS_CHECK(options_.probe_count >= 1);
+  name_ = "AFS";
+  if (options_.k > 0) name_ += "(k=" + std::to_string(options_.k) + ")";
+  if (options_.steal_denom > 0)
+    name_ += "(steal=1/" + std::to_string(options_.steal_denom) + ")";
+  if (options_.seeding == AffinityOptions::Seeding::kLastExecuted)
+    name_ += "-LE";
+  if (options_.victim == AffinityOptions::Victim::kRandomProbe)
+    name_ += "-RAND(" + std::to_string(options_.probe_count) + ")";
+}
+
+const std::string& AffinityScheduler::name() const { return name_; }
+
+void AffinityScheduler::start_loop(std::int64_t n, int p) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  n_ = n;
+  k_ = options_.k > 0 ? options_.k : p;
+  steal_denom_ = options_.steal_denom > 0 ? options_.steal_denom : p;
+
+  if (p != p_) {
+    // (Re)build per-processor queues; preserve nothing across P changes.
+    queues_.clear();
+    exec_log_.clear();
+    probe_rng_.clear();
+    for (int i = 0; i < p; ++i) {
+      queues_.push_back(std::make_unique<CacheAligned<LocalQueue>>());
+      exec_log_.push_back(
+          std::make_unique<CacheAligned<std::vector<IterRange>>>());
+      probe_rng_.push_back(std::make_unique<CacheAligned<Xoshiro256>>(
+          Xoshiro256(options_.probe_seed + static_cast<std::uint64_t>(i))));
+    }
+    p_ = p;
+    have_seed_ = false;
+  }
+
+  const bool use_seed = options_.seeding ==
+                            AffinityOptions::Seeding::kLastExecuted &&
+                        have_seed_ && seed_n_ == n && seed_p_ == p;
+  for (int i = 0; i < p_; ++i) {
+    LocalQueue& q = queues_[i]->value;
+    q.ranges.clear();
+    std::int64_t total = 0;
+    if (use_seed) {
+      for (const IterRange& r : next_seed_[i]) {
+        q.ranges.push_back(r);
+        total += r.size();
+      }
+    } else {
+      const IterRange r = affinity_initial_chunk(n, p, i);
+      if (!r.empty()) {
+        q.ranges.push_back(r);
+        total = r.size();
+      }
+    }
+    q.size.store(total, std::memory_order_relaxed);
+    exec_log_[i]->value.clear();
+  }
+  ++loops_;
+}
+
+Grab AffinityScheduler::local_grab(int worker) {
+  LocalQueue& q = queues_[worker]->value;
+  std::scoped_lock lock(q.mutex);
+  std::int64_t total = q.size.load(std::memory_order_relaxed);
+  if (total <= 0) return {};
+  // Take ceil(total/k) iterations, clipped to the front range: a grab is a
+  // single contiguous range (fragmented queues — only possible under
+  // last-executed seeding — may need more grabs, which is exactly the
+  // fragmentation cost the paper discusses in §4.3).
+  const std::int64_t want = ceil_div(total, k_);
+  IterRange& front = q.ranges.front();
+  const IterRange taken = front.take_front(want);
+  if (front.empty()) q.ranges.pop_front();
+  q.size.store(total - taken.size(), std::memory_order_relaxed);
+  ++q.stats.local_grabs;
+  q.stats.iters_local += taken.size();
+  return {taken, GrabKind::kLocal, worker};
+}
+
+int AffinityScheduler::find_victim(int thief) {
+  // Reading loads requires no synchronization (paper, footnote 4).
+  if (options_.victim == AffinityOptions::Victim::kRandomProbe) {
+    // Scalable variant: sample probe_count queues; if none of the sample
+    // has work, fall back to a full scan so termination detection stays
+    // exact (returning -1 means "the loop is drained").
+    Xoshiro256& rng = probe_rng_[static_cast<std::size_t>(thief)]->value;
+    int victim = -1;
+    std::int64_t best = 0;
+    for (int probe = 0; probe < options_.probe_count; ++probe) {
+      const int i = static_cast<int>(rng.next_in(0, p_ - 1));
+      const std::int64_t s =
+          queues_[i]->value.size.load(std::memory_order_relaxed);
+      if (s > best) {
+        best = s;
+        victim = i;
+      }
+    }
+    if (victim >= 0) return victim;
+  }
+  int victim = -1;
+  std::int64_t best = 0;
+  for (int i = 0; i < p_; ++i) {
+    const std::int64_t s = queues_[i]->value.size.load(std::memory_order_relaxed);
+    if (s > best) {
+      best = s;
+      victim = i;
+    }
+  }
+  return victim;
+}
+
+Grab AffinityScheduler::steal(int thief, int victim) {
+  (void)thief;  // the queue's stats attribute steals to the victim side
+  LocalQueue& q = queues_[victim]->value;
+  std::scoped_lock lock(q.mutex);
+  const std::int64_t total = q.size.load(std::memory_order_relaxed);
+  if (total <= 0) return {};  // Drained while we were scanning; retry.
+  const std::int64_t want = ceil_div(total, steal_denom_);
+  IterRange& back = q.ranges.back();
+  const IterRange taken = back.take_back(want);
+  if (back.empty()) q.ranges.pop_back();
+  q.size.store(total - taken.size(), std::memory_order_relaxed);
+  ++q.stats.remote_grabs;
+  q.stats.iters_remote += taken.size();
+  return {taken, GrabKind::kRemote, victim};
+}
+
+Grab AffinityScheduler::next(int worker) {
+  AFS_CHECK(worker >= 0 && worker < p_);
+  Grab g = local_grab(worker);
+  while (g.done()) {
+    const int victim = find_victim(worker);
+    if (victim < 0) return {};  // All queues empty: loop finished.
+    g = steal(worker, victim);
+    // A failed steal (victim drained between scan and lock) retries the scan.
+  }
+  if (options_.seeding == AffinityOptions::Seeding::kLastExecuted)
+    exec_log_[worker]->value.push_back(g.range);
+  return g;
+}
+
+void AffinityScheduler::end_loop() {
+  if (options_.seeding != AffinityOptions::Seeding::kLastExecuted) return;
+  // Build next epoch's seed: each processor keeps what it executed, with
+  // adjacent ranges coalesced to limit fragmentation.
+  next_seed_.assign(p_, {});
+  for (int i = 0; i < p_; ++i) {
+    auto ranges = exec_log_[i]->value;
+    std::sort(ranges.begin(), ranges.end(),
+              [](const IterRange& a, const IterRange& b) {
+                return a.begin < b.begin;
+              });
+    for (const IterRange& r : ranges) {
+      if (r.empty()) continue;
+      if (!next_seed_[i].empty() && next_seed_[i].back().end == r.begin) {
+        next_seed_[i].back().end = r.end;
+      } else {
+        next_seed_[i].push_back(r);
+      }
+    }
+  }
+  have_seed_ = true;
+  seed_n_ = n_;
+  seed_p_ = p_;
+}
+
+SyncStats AffinityScheduler::stats() const {
+  SyncStats s;
+  s.loops = loops_;
+  s.queues.reserve(queues_.size());
+  for (const auto& q : queues_) {
+    std::scoped_lock lock(q->value.mutex);
+    s.queues.push_back(q->value.stats);
+  }
+  return s;
+}
+
+void AffinityScheduler::reset_stats() {
+  for (auto& q : queues_) {
+    std::scoped_lock lock(q->value.mutex);
+    q->value.stats = {};
+  }
+  loops_ = 0;
+}
+
+std::unique_ptr<Scheduler> AffinityScheduler::clone() const {
+  return std::make_unique<AffinityScheduler>(options_);
+}
+
+}  // namespace afs

@@ -1,0 +1,118 @@
+// Affinity scheduling (AFS) — the paper's contribution (§2.2, Figure 1).
+//
+// Per-processor work queues. Chunk i of ceil(N/P) iterations is always
+// placed on processor i's queue (deterministic assignment), so repeated
+// executions of the loop find their data already cached. Owners remove
+// 1/k of their local queue per grab (k = P by default); a processor whose
+// queue is empty finds the most-loaded queue and steals 1/P of it. Stolen
+// chunks are executed indivisibly, so an iteration migrates at most once
+// per loop instance.
+//
+// Two extensions beyond the evaluated algorithm, both flagged in DESIGN.md:
+//  * `steal_denom` generalizes the 1/P steal fraction.
+//  * Seeding::kLastExecuted implements the §4.3 variant that seeds each
+//    epoch's queues with the iterations each processor executed in the
+//    previous epoch (fewer re-steals under persistent imbalance, at the
+//    cost of queue fragmentation).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "util/align.hpp"
+#include "util/rng.hpp"
+
+namespace afs {
+
+struct AffinityOptions {
+  /// Owner grab fraction: take ceil(size/k) from the local queue.
+  /// 0 means "use k = P", the paper's default.
+  int k = 0;
+
+  /// Steal fraction: take ceil(size/steal_denom) from the victim.
+  /// 0 means "use P", the paper's choice.
+  int steal_denom = 0;
+
+  enum class Seeding {
+    kDeterministic,  ///< chunk i -> processor i, every epoch (paper default)
+    kLastExecuted,   ///< seed with what each processor ran last epoch (§4.3)
+  };
+  Seeding seeding = Seeding::kDeterministic;
+
+  /// How an idle processor picks its steal victim. The paper scans every
+  /// queue for the most loaded one and notes (§2.2) that "on a large-scale
+  /// machine a scalable or randomized policy would be more appropriate":
+  /// kRandomProbe samples `probe_count` random queues and steals from the
+  /// most loaded of the sample.
+  enum class Victim {
+    kMostLoaded,   ///< full scan (paper default)
+    kRandomProbe,  ///< sample probe_count queues, pick the fullest
+  };
+  Victim victim = Victim::kMostLoaded;
+  int probe_count = 2;            ///< for kRandomProbe
+  std::uint64_t probe_seed = 17;  ///< deterministic probing
+};
+
+class AffinityScheduler final : public Scheduler {
+ public:
+  explicit AffinityScheduler(AffinityOptions options = {});
+
+  const std::string& name() const override;
+  void start_loop(std::int64_t n, int p) override;
+  Grab next(int worker) override;
+  void end_loop() override;
+  SyncStats stats() const override;
+  void reset_stats() override;
+  std::unique_ptr<Scheduler> clone() const override;
+  int victim_probe_count(int p) const override {
+    return options_.victim == AffinityOptions::Victim::kRandomProbe
+               ? options_.probe_count
+               : p;
+  }
+
+  const AffinityOptions& options() const { return options_; }
+
+ private:
+  struct LocalQueue {
+    std::mutex mutex;
+    std::deque<IterRange> ranges;     // owner takes from front, thieves from back
+    std::atomic<std::int64_t> size{0};  // lock-free load estimate (paper fn. 4)
+    QueueStats stats;                 // guarded by mutex
+  };
+
+  Grab local_grab(int worker);
+  int find_victim(int thief);
+  Grab steal(int thief, int victim);
+
+  AffinityOptions options_;
+  std::string name_;
+  int p_ = 0;
+  std::int64_t n_ = 0;
+  int k_ = 1;            // effective owner divisor for this loop
+  int steal_denom_ = 1;  // effective steal divisor for this loop
+  std::vector<std::unique_ptr<CacheAligned<LocalQueue>>> queues_;
+  // Execution log for last-executed seeding: per worker, ranges executed
+  // during the current loop. Guarded by the worker's queue mutex is wrong
+  // (steals execute on the thief), so each worker logs its own grabs — a
+  // worker only appends to its own log, no lock needed.
+  std::vector<std::unique_ptr<CacheAligned<std::vector<IterRange>>>> exec_log_;
+  // Per-worker RNG streams for random-probe victim selection: each worker
+  // only touches its own stream, so no locking is needed.
+  std::vector<std::unique_ptr<CacheAligned<Xoshiro256>>> probe_rng_;
+  std::vector<std::vector<IterRange>> next_seed_;  // built by end_loop()
+  bool have_seed_ = false;
+  std::int64_t seed_n_ = -1;
+  int seed_p_ = -1;
+  std::int64_t loops_ = 0;
+};
+
+/// The deterministic initial partition of the paper's loop_initialization():
+/// processor i gets [ceil(i*N/P), min(N, ceil((i+1)*N/P))).
+IterRange affinity_initial_chunk(std::int64_t n, int p, int i);
+
+}  // namespace afs

@@ -1,0 +1,76 @@
+#include "sched/bounds.hpp"
+
+#include <cmath>
+
+#include "sched/chunk_policy.hpp"
+#include "sched/range.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+
+std::int64_t drain_count(std::int64_t n, std::int64_t k) {
+  AFS_CHECK(n >= 0 && k >= 1);
+  std::int64_t count = 0;
+  while (n > 0) {
+    n -= ceil_div(n, k);
+    ++count;
+  }
+  return count;
+}
+
+std::int64_t afs_queue_sync_bound(std::int64_t n, int p, int k) {
+  AFS_CHECK(n >= 0 && p >= 1 && k >= 1);
+  const std::int64_t per_queue = ceil_div(n, p);
+  return drain_count(per_queue, k) + drain_count(per_queue, p);
+}
+
+double afs_imbalance_bound(std::int64_t n, int p, int k) {
+  AFS_CHECK(n >= 0 && p >= 1 && k >= 1);
+  if (p == 1) return 1.0;  // Degenerate: a single processor cannot be skewed.
+  return static_cast<double>(n) * static_cast<double>(p - k) /
+             (static_cast<double>(p) * static_cast<double>(p - 1) *
+              static_cast<double>(k)) +
+         1.0;
+}
+
+std::int64_t theorem33_chunk(std::int64_t remaining, int p, int poly_degree) {
+  AFS_CHECK(remaining >= 0 && p >= 1 && poly_degree >= 0);
+  if (remaining == 0) return 0;
+  const std::int64_t c =
+      remaining / (static_cast<std::int64_t>(poly_degree + 1) * p);
+  return c > 1 ? c : 1;
+}
+
+double leading_work_fraction(std::int64_t remaining, std::int64_t chunk,
+                             int poly_degree) {
+  AFS_CHECK(remaining > 0 && chunk >= 0 && chunk <= remaining);
+  AFS_CHECK(poly_degree >= 0);
+  long double head = 0, total = 0;
+  for (std::int64_t x = 0; x < remaining; ++x) {
+    const long double w =
+        std::pow(static_cast<long double>(remaining - x), poly_degree);
+    total += w;
+    if (x < chunk) head += w;
+  }
+  return static_cast<double>(head / total);
+}
+
+std::int64_t gss_sync_count(std::int64_t n, int p) {
+  return drain_count(n, p);
+}
+
+std::int64_t trapezoid_chunk_count(std::int64_t n, int p) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  if (n == 0) return 0;
+  auto policy = make_trapezoid();
+  policy->reset(n, p);
+  std::int64_t remaining = n;
+  std::int64_t count = 0;
+  while (remaining > 0) {
+    remaining -= policy->next_chunk(remaining);
+    ++count;
+  }
+  return count;
+}
+
+}  // namespace afs

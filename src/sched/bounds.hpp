@@ -1,0 +1,51 @@
+// Analytic results from §3 of the paper, used as test oracles and by the
+// ablation bench.
+//
+// Theorem 3.1 bounds the sync ops per AFS work queue; Theorem 3.2 bounds
+// finish-time imbalance under delayed processor arrival; Theorem 3.3 gives
+// the chunk fraction that caps a grab at 1/P of the remaining *work* for
+// polynomially decreasing workloads. Alongside the O()-form bounds we
+// provide exact recurrence counts, which make much sharper test oracles.
+#pragma once
+
+#include <cstdint>
+
+namespace afs {
+
+/// Exact number of removals needed to drain a queue of n iterations when
+/// each removal takes ceil(remaining/k): the recurrence behind Lemma 3.1.
+/// (Lemma 3.1 states this is O(k log(n/k)).)
+std::int64_t drain_count(std::int64_t n, std::int64_t k);
+
+/// Theorem 3.1: worst-case sync operations on one AFS work queue,
+/// O(k log(N/(Pk)) + P log(N/P^2)) — returned in its exact recurrence form
+/// drain_count(N/P, k) + drain_count(N/P, P), an upper bound on any real
+/// execution because owner grabs and steals both shrink the queue at least
+/// as fast as either alone.
+std::int64_t afs_queue_sync_bound(std::int64_t n, int p, int k);
+
+/// Theorem 3.2: with uniform iteration costs and non-uniform processor
+/// start times, all processors finish within N(P-k)/(P(P-1)k) + 1
+/// iterations of each other.
+double afs_imbalance_bound(std::int64_t n, int p, int k);
+
+/// Theorem 3.3: for a loop whose i-th iteration costs ~ (N-i)^k, a chunk of
+/// R/((k+1)P) iterations holds at most 1/P of the remaining work. Returns
+/// the chunk size for `remaining` iterations.
+std::int64_t theorem33_chunk(std::int64_t remaining, int p, int poly_degree);
+
+/// Fraction of the remaining *work* contained in the first `chunk`
+/// iterations of a decreasing-polynomial workload with `remaining`
+/// iterations: sum_{x<chunk} (R-x)^k / sum_{x<R} (R-x)^k. Used by tests to
+/// verify Theorem 3.3 numerically.
+double leading_work_fraction(std::int64_t remaining, std::int64_t chunk,
+                             int poly_degree);
+
+/// Worst-case central-queue sync-op counts quoted in §3 for comparison:
+/// GSS: O(P log(N/P)); exact recurrence: drain_count(N, P).
+std::int64_t gss_sync_count(std::int64_t n, int p);
+
+/// Trapezoid: exactly the number of chunks, ~ 4P for the default config.
+std::int64_t trapezoid_chunk_count(std::int64_t n, int p);
+
+}  // namespace afs

@@ -1,0 +1,51 @@
+#include "sched/central_scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace afs {
+
+CentralScheduler::CentralScheduler(std::unique_ptr<ChunkPolicy> policy)
+    : policy_(std::move(policy)) {
+  AFS_CHECK(policy_ != nullptr);
+}
+
+const std::string& CentralScheduler::name() const { return policy_->name(); }
+
+void CentralScheduler::start_loop(std::int64_t n, int p) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  next_ = 0;
+  end_ = n;
+  policy_->reset(n, p);
+  ++loops_;
+}
+
+Grab CentralScheduler::next(int worker) {
+  (void)worker;  // A central queue serves all workers identically.
+  std::scoped_lock lock(mutex_);
+  const std::int64_t remaining = end_ - next_;
+  if (remaining <= 0) return {};
+  const std::int64_t c = policy_->next_chunk(remaining);
+  AFS_DCHECK(c >= 1 && c <= remaining);
+  Grab g{{next_, next_ + c}, GrabKind::kCentral, 0};
+  next_ += c;
+  ++queue_stats_.local_grabs;
+  queue_stats_.iters_local += c;
+  return g;
+}
+
+SyncStats CentralScheduler::stats() const {
+  std::scoped_lock lock(mutex_);
+  return SyncStats{{queue_stats_}, loops_};
+}
+
+void CentralScheduler::reset_stats() {
+  std::scoped_lock lock(mutex_);
+  queue_stats_ = {};
+  loops_ = 0;
+}
+
+std::unique_ptr<Scheduler> CentralScheduler::clone() const {
+  return std::make_unique<CentralScheduler>(policy_->clone());
+}
+
+}  // namespace afs

@@ -1,0 +1,33 @@
+// Central-work-queue scheduler: one shared queue, chunk sizes from a
+// pluggable ChunkPolicy. Covers SS, CHUNK(K), GSS(k), FACTORING,
+// TRAPEZOID and TAPER — all of the paper's "traditional" dynamic methods.
+#pragma once
+
+#include <mutex>
+
+#include "sched/chunk_policy.hpp"
+#include "sched/scheduler.hpp"
+
+namespace afs {
+
+class CentralScheduler final : public Scheduler {
+ public:
+  explicit CentralScheduler(std::unique_ptr<ChunkPolicy> policy);
+
+  const std::string& name() const override;
+  void start_loop(std::int64_t n, int p) override;
+  Grab next(int worker) override;
+  SyncStats stats() const override;
+  void reset_stats() override;
+  std::unique_ptr<Scheduler> clone() const override;
+
+ private:
+  std::unique_ptr<ChunkPolicy> policy_;
+  mutable std::mutex mutex_;  // The central queue *is* a serialization point.
+  std::int64_t next_ = 0;
+  std::int64_t end_ = 0;
+  QueueStats queue_stats_;
+  std::int64_t loops_ = 0;
+};
+
+}  // namespace afs

@@ -1,0 +1,216 @@
+#include "sched/chunk_policy.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/range.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+
+namespace {
+
+class SelfSchedPolicy final : public ChunkPolicy {
+ public:
+  void reset(std::int64_t n, int p) override {
+    AFS_CHECK(n >= 0 && p >= 1);
+  }
+  std::int64_t next_chunk(std::int64_t remaining) override {
+    AFS_CHECK(remaining > 0);
+    return 1;
+  }
+  const std::string& name() const override {
+    static const std::string kName = "SS";
+    return kName;
+  }
+  std::unique_ptr<ChunkPolicy> clone() const override {
+    return std::make_unique<SelfSchedPolicy>();
+  }
+};
+
+class FixedChunkPolicy final : public ChunkPolicy {
+ public:
+  explicit FixedChunkPolicy(std::int64_t k)
+      : k_(k), name_("CHUNK(" + std::to_string(k) + ")") {
+    AFS_CHECK(k >= 1);
+  }
+  void reset(std::int64_t n, int p) override {
+    AFS_CHECK(n >= 0 && p >= 1);
+  }
+  std::int64_t next_chunk(std::int64_t remaining) override {
+    AFS_CHECK(remaining > 0);
+    return std::min(k_, remaining);
+  }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<ChunkPolicy> clone() const override {
+    return std::make_unique<FixedChunkPolicy>(k_);
+  }
+
+ private:
+  std::int64_t k_;
+  std::string name_;
+};
+
+class GssPolicy final : public ChunkPolicy {
+ public:
+  explicit GssPolicy(int k)
+      : k_(k), name_(k == 1 ? "GSS" : "GSS(" + std::to_string(k) + ")") {
+    AFS_CHECK(k >= 1);
+  }
+  void reset(std::int64_t n, int p) override {
+    AFS_CHECK(n >= 0 && p >= 1);
+    p_ = p;
+  }
+  std::int64_t next_chunk(std::int64_t remaining) override {
+    AFS_CHECK(remaining > 0);
+    return std::min(remaining,
+                    std::max<std::int64_t>(1, ceil_div(remaining, static_cast<std::int64_t>(k_) * p_)));
+  }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<ChunkPolicy> clone() const override {
+    return std::make_unique<GssPolicy>(k_);
+  }
+
+ private:
+  int k_;
+  int p_ = 1;
+  std::string name_;
+};
+
+class FactoringPolicy final : public ChunkPolicy {
+ public:
+  explicit FactoringPolicy(double alpha)
+      : alpha_(alpha),
+        name_(alpha == 0.5 ? "FACTORING"
+                           : "FACTORING(" + std::to_string(alpha) + ")") {
+    AFS_CHECK(alpha > 0.0 && alpha <= 1.0);
+  }
+  void reset(std::int64_t n, int p) override {
+    AFS_CHECK(n >= 0 && p >= 1);
+    p_ = p;
+    slots_left_ = 0;
+    chunk_ = 0;
+  }
+  std::int64_t next_chunk(std::int64_t remaining) override {
+    AFS_CHECK(remaining > 0);
+    if (slots_left_ == 0) {
+      // New phase: P chunks of ceil(alpha * R / P) each.
+      chunk_ = std::max<std::int64_t>(
+          1, static_cast<std::int64_t>(
+                 std::ceil(alpha_ * static_cast<double>(remaining) / p_)));
+      slots_left_ = p_;
+    }
+    --slots_left_;
+    return std::min(chunk_, remaining);
+  }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<ChunkPolicy> clone() const override {
+    return std::make_unique<FactoringPolicy>(alpha_);
+  }
+
+ private:
+  double alpha_;
+  int p_ = 1;
+  int slots_left_ = 0;
+  std::int64_t chunk_ = 0;
+  std::string name_;
+};
+
+class TrapezoidPolicy final : public ChunkPolicy {
+ public:
+  // first/last == 0 means "derive from N and P at reset time"
+  // (first = ceil(N/(2P)), last = 1), which is the configuration the paper
+  // benchmarks.
+  TrapezoidPolicy(std::int64_t first, std::int64_t last)
+      : conf_first_(first), conf_last_(last) {
+    AFS_CHECK(first >= 0 && last >= 0 && last <= std::max<std::int64_t>(first, 1));
+    name_ = (first == 0) ? "TRAPEZOID"
+                         : "TRAPEZOID(" + std::to_string(first) + "," +
+                               std::to_string(last) + ")";
+  }
+  void reset(std::int64_t n, int p) override {
+    AFS_CHECK(n >= 0 && p >= 1);
+    first_ = conf_first_ > 0 ? conf_first_
+                             : std::max<std::int64_t>(1, ceil_div(n, 2 * p));
+    last_ = conf_last_ > 0 ? std::min(conf_last_, first_) : 1;
+    // Tzen & Ni: number of chunks n_c = ceil(2N / (f + l)); consecutive
+    // chunks shrink by the constant delta = (f - l) / (n_c - 1).
+    const std::int64_t nc = std::max<std::int64_t>(1, ceil_div(2 * n, first_ + last_));
+    delta_ = nc > 1 ? static_cast<double>(first_ - last_) /
+                          static_cast<double>(nc - 1)
+                    : 0.0;
+    step_ = 0;
+  }
+  std::int64_t next_chunk(std::int64_t remaining) override {
+    AFS_CHECK(remaining > 0);
+    const auto c = static_cast<std::int64_t>(
+        std::llround(static_cast<double>(first_) - delta_ * static_cast<double>(step_)));
+    ++step_;
+    return std::clamp<std::int64_t>(c, 1, remaining);
+  }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<ChunkPolicy> clone() const override {
+    return std::make_unique<TrapezoidPolicy>(conf_first_, conf_last_);
+  }
+
+ private:
+  std::int64_t conf_first_, conf_last_;
+  std::int64_t first_ = 1, last_ = 1;
+  double delta_ = 0.0;
+  std::int64_t step_ = 0;
+  std::string name_;
+};
+
+class TaperPolicy final : public ChunkPolicy {
+ public:
+  explicit TaperPolicy(double cv) : cv_(cv) {
+    AFS_CHECK(cv >= 0.0);
+    name_ = "TAPER(" + std::to_string(cv) + ")";
+  }
+  void reset(std::int64_t n, int p) override {
+    AFS_CHECK(n >= 0 && p >= 1);
+    p_ = p;
+  }
+  std::int64_t next_chunk(std::int64_t remaining) override {
+    AFS_CHECK(remaining > 0);
+    const double denom = (1.0 + cv_) * static_cast<double>(p_);
+    const auto c = static_cast<std::int64_t>(
+        std::ceil(static_cast<double>(remaining) / denom));
+    return std::clamp<std::int64_t>(c, 1, remaining);
+  }
+  const std::string& name() const override { return name_; }
+  std::unique_ptr<ChunkPolicy> clone() const override {
+    return std::make_unique<TaperPolicy>(cv_);
+  }
+
+ private:
+  double cv_;
+  int p_ = 1;
+  std::string name_;
+};
+
+}  // namespace
+
+std::unique_ptr<ChunkPolicy> make_self_sched() {
+  return std::make_unique<SelfSchedPolicy>();
+}
+std::unique_ptr<ChunkPolicy> make_fixed_chunk(std::int64_t k) {
+  return std::make_unique<FixedChunkPolicy>(k);
+}
+std::unique_ptr<ChunkPolicy> make_gss(int k) {
+  return std::make_unique<GssPolicy>(k);
+}
+std::unique_ptr<ChunkPolicy> make_factoring(double alpha) {
+  return std::make_unique<FactoringPolicy>(alpha);
+}
+std::unique_ptr<ChunkPolicy> make_trapezoid() {
+  return std::make_unique<TrapezoidPolicy>(0, 0);
+}
+std::unique_ptr<ChunkPolicy> make_trapezoid(std::int64_t first, std::int64_t last) {
+  return std::make_unique<TrapezoidPolicy>(first, last);
+}
+std::unique_ptr<ChunkPolicy> make_taper(double cv) {
+  return std::make_unique<TaperPolicy>(cv);
+}
+
+}  // namespace afs

@@ -1,0 +1,68 @@
+// Chunk-size policies for central-work-queue loop schedulers.
+//
+// Each policy answers one question: given R remaining iterations, how many
+// should the next idle processor remove? The policies implemented here are
+// the ones the paper compares (§1, §4.1):
+//
+//   SelfSchedPolicy   — SS: one iteration per removal [Smith 81, Tang/Yew 86]
+//   FixedChunkPolicy  — uniform-sized chunking, K per removal [Kruskal/Weiss 85]
+//   GssPolicy         — guided self-scheduling, ceil(R/(kP)) [Polychronopoulos/Kuck 87]
+//   FactoringPolicy   — phase-based, P chunks of ceil(alpha*R/P) [Hummel et al 92]
+//   TrapezoidPolicy   — linear decrease from N/(2P) to 1 [Tzen/Ni 93]
+//   TaperPolicy       — variance-aware chunk shrink (simplified Lucco 92;
+//                       included as an extension, not evaluated in the paper)
+//
+// Policies are stateful per loop instance and NOT thread-safe: the owning
+// scheduler serializes calls (which is faithful — a central queue is a
+// serialization point by construction).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace afs {
+
+class ChunkPolicy {
+ public:
+  virtual ~ChunkPolicy() = default;
+
+  /// Begins a new loop instance of `n` iterations on `p` processors.
+  virtual void reset(std::int64_t n, int p) = 0;
+
+  /// Size of the next chunk given `remaining` > 0 iterations.
+  /// Returns a value in [1, remaining].
+  virtual std::int64_t next_chunk(std::int64_t remaining) = 0;
+
+  virtual const std::string& name() const = 0;
+
+  /// Fresh policy with the same configuration (for per-run isolation).
+  virtual std::unique_ptr<ChunkPolicy> clone() const = 0;
+};
+
+/// SS: chunk size 1.
+std::unique_ptr<ChunkPolicy> make_self_sched();
+
+/// Uniform chunking: fixed chunk size k >= 1.
+std::unique_ptr<ChunkPolicy> make_fixed_chunk(std::int64_t k);
+
+/// GSS(k): chunk = ceil(R / (k*P)). k = 1 is classic GSS; the paper (§4.3)
+/// discusses k > 1 as the "trivial change" that improves GSS load balance.
+std::unique_ptr<ChunkPolicy> make_gss(int k = 1);
+
+/// Factoring with batch fraction `alpha` (default 1/2): each phase carves
+/// P chunks of ceil(alpha * R / P).
+std::unique_ptr<ChunkPolicy> make_factoring(double alpha = 0.5);
+
+/// Trapezoid self-scheduling with first chunk ceil(N/(2P)) and last chunk 1.
+std::unique_ptr<ChunkPolicy> make_trapezoid();
+
+/// Trapezoid with explicit first/last chunk sizes.
+std::unique_ptr<ChunkPolicy> make_trapezoid(std::int64_t first, std::int64_t last);
+
+/// Simplified tapering: chunk = ceil(R / ((1 + cv) * P)) where cv is the
+/// (profiled) coefficient of variation of iteration times. With cv = 0 this
+/// degenerates to GSS. Extension beyond the paper's evaluated set.
+std::unique_ptr<ChunkPolicy> make_taper(double cv);
+
+}  // namespace afs

@@ -1,0 +1,40 @@
+// The result of one scheduling decision, annotated with enough detail for
+// both the sync-operation accounting of Tables 3-5 and the simulator's
+// cost model (which queue was locked, local vs remote).
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "sched/range.hpp"
+
+namespace afs {
+
+enum class GrabKind : std::uint8_t {
+  kNone,     ///< No iterations left anywhere: the worker is done.
+  kCentral,  ///< Removed a chunk from the (single) central work queue.
+  kLocal,    ///< Removed a chunk from the worker's own local queue (AFS).
+  kRemote,   ///< Stole a chunk from another processor's queue (AFS).
+  kStatic,   ///< Statically pre-assigned chunk; no queue access at run time.
+};
+
+constexpr std::string_view to_string(GrabKind k) {
+  switch (k) {
+    case GrabKind::kNone: return "none";
+    case GrabKind::kCentral: return "central";
+    case GrabKind::kLocal: return "local";
+    case GrabKind::kRemote: return "remote";
+    case GrabKind::kStatic: return "static";
+  }
+  return "?";
+}
+
+struct Grab {
+  IterRange range{};                 ///< Iterations to execute (may be empty).
+  GrabKind kind = GrabKind::kNone;   ///< How they were obtained.
+  int queue = -1;                    ///< Queue index touched (0 for central).
+
+  bool done() const { return kind == GrabKind::kNone; }
+};
+
+}  // namespace afs

@@ -1,0 +1,97 @@
+#include "sched/mod_factoring_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/range.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+
+ModFactoringScheduler::ModFactoringScheduler(double alpha) : alpha_(alpha) {
+  AFS_CHECK(alpha > 0.0 && alpha <= 1.0);
+}
+
+const std::string& ModFactoringScheduler::name() const { return name_; }
+
+void ModFactoringScheduler::start_loop(std::int64_t n, int p) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  std::scoped_lock lock(mutex_);
+  p_ = p;
+  next_ = 0;
+  remaining_ = n;
+  slots_.assign(static_cast<std::size_t>(p), IterRange{});
+  if (remaining_ > 0) new_phase();
+  ++loops_;
+}
+
+void ModFactoringScheduler::new_phase() {
+  const auto chunk = std::max<std::int64_t>(
+      1, static_cast<std::int64_t>(
+             std::ceil(alpha_ * static_cast<double>(remaining_) / p_)));
+  for (int i = 0; i < p_; ++i) {
+    const std::int64_t c = std::min(chunk, remaining_);
+    slots_[static_cast<std::size_t>(i)] = {next_, next_ + c};
+    next_ += c;
+    remaining_ -= c;
+  }
+}
+
+Grab ModFactoringScheduler::next(int worker) {
+  AFS_CHECK(worker >= 0 && worker < p_);
+  std::scoped_lock lock(mutex_);
+  for (;;) {
+    // Preferred: this processor's reserved chunk for the current phase.
+    IterRange& own = slots_[static_cast<std::size_t>(worker)];
+    if (!own.empty()) {
+      const IterRange r = own;
+      own = {};
+      ++queue_stats_.local_grabs;
+      queue_stats_.iters_local += r.size();
+      ++affine_;
+      return {r, GrabKind::kCentral, 0};
+    }
+    // Fallback: the first unclaimed chunk in the queue.
+    for (auto& slot : slots_) {
+      if (!slot.empty()) {
+        const IterRange r = slot;
+        slot = {};
+        ++queue_stats_.local_grabs;
+        queue_stats_.iters_local += r.size();
+        ++fallback_;
+        return {r, GrabKind::kCentral, 0};
+      }
+    }
+    if (remaining_ <= 0) return {};
+    new_phase();
+  }
+}
+
+SyncStats ModFactoringScheduler::stats() const {
+  std::scoped_lock lock(mutex_);
+  return SyncStats{{queue_stats_}, loops_};
+}
+
+void ModFactoringScheduler::reset_stats() {
+  std::scoped_lock lock(mutex_);
+  queue_stats_ = {};
+  affine_ = 0;
+  fallback_ = 0;
+  loops_ = 0;
+}
+
+std::int64_t ModFactoringScheduler::affine_grabs() const {
+  std::scoped_lock lock(mutex_);
+  return affine_;
+}
+
+std::int64_t ModFactoringScheduler::fallback_grabs() const {
+  std::scoped_lock lock(mutex_);
+  return fallback_;
+}
+
+std::unique_ptr<Scheduler> ModFactoringScheduler::clone() const {
+  return std::make_unique<ModFactoringScheduler>(alpha_);
+}
+
+}  // namespace afs

@@ -1,0 +1,53 @@
+// Modified factoring (paper §2.3): factoring's phase structure, but during
+// each phase the i-th chunk is *reserved* for processor i. A processor
+// whose reserved chunk is gone (it arrived late, or load imbalance let
+// someone else take it) removes the first unclaimed chunk instead. The
+// deterministic chunk-to-processor mapping preserves affinity across
+// epochs; the cost is that every access to the central queue is more
+// expensive than plain factoring's (the queue must be searched for the
+// processor's chunk), which the simulator charges via a cost multiplier.
+#pragma once
+
+#include <mutex>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace afs {
+
+class ModFactoringScheduler final : public Scheduler {
+ public:
+  /// `alpha` is the factoring batch fraction (1/2 in the paper).
+  explicit ModFactoringScheduler(double alpha = 0.5);
+
+  const std::string& name() const override;
+  void start_loop(std::int64_t n, int p) override;
+  Grab next(int worker) override;
+  SyncStats stats() const override;
+  void reset_stats() override;
+  std::unique_ptr<Scheduler> clone() const override;
+  bool central_queue_is_indexed() const override { return true; }
+
+  /// Grabs that went to the grabber's own reserved chunk (affinity hits)
+  /// vs. fallback grabs — a diagnostic for the §5.2 discussion of why
+  /// MOD-FACTORING degrades with many processors.
+  std::int64_t affine_grabs() const;
+  std::int64_t fallback_grabs() const;
+
+ private:
+  void new_phase();  // requires lock held, remaining_ > 0
+
+  double alpha_;
+  std::string name_ = "MOD-FACTORING";
+  mutable std::mutex mutex_;
+  int p_ = 0;
+  std::int64_t next_ = 0;
+  std::int64_t remaining_ = 0;
+  std::vector<IterRange> slots_;  // one reserved chunk per processor
+  QueueStats queue_stats_;
+  std::int64_t affine_ = 0;
+  std::int64_t fallback_ = 0;
+  std::int64_t loops_ = 0;
+};
+
+}  // namespace afs

@@ -1,0 +1,45 @@
+// Half-open iteration ranges — the currency of every scheduler.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+
+namespace afs {
+
+/// A half-open range [begin, end) of loop-iteration indices.
+struct IterRange {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+
+  constexpr std::int64_t size() const { return end - begin; }
+  constexpr bool empty() const { return end <= begin; }
+
+  /// Splits off the first `n` iterations (clipped to size()).
+  constexpr IterRange take_front(std::int64_t n) {
+    const std::int64_t m = n < size() ? n : size();
+    IterRange r{begin, begin + m};
+    begin += m;
+    return r;
+  }
+
+  /// Splits off the last `n` iterations (clipped to size()).
+  constexpr IterRange take_back(std::int64_t n) {
+    const std::int64_t m = n < size() ? n : size();
+    IterRange r{end - m, end};
+    end -= m;
+    return r;
+  }
+
+  friend constexpr bool operator==(const IterRange&, const IterRange&) = default;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const IterRange& r) {
+  return os << '[' << r.begin << ',' << r.end << ')';
+}
+
+/// Ceiling division for non-negative operands.
+constexpr std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+}  // namespace afs

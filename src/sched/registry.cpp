@@ -1,0 +1,143 @@
+#include "sched/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+#include "sched/affinity_scheduler.hpp"
+#include "sched/central_scheduler.hpp"
+#include "sched/mod_factoring_scheduler.hpp"
+#include "sched/reverse_scheduler.hpp"
+#include "sched/static_scheduler.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+
+namespace {
+
+std::string upper(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::toupper(c)); });
+  return s;
+}
+
+// Parses "NAME(<arg>)" -> arg string; empty if no parenthesis.
+bool split_arg(const std::string& spec, const std::string& prefix,
+               std::string* arg) {
+  if (spec.rfind(prefix + "(", 0) != 0 || spec.back() != ')') return false;
+  *arg = spec.substr(prefix.size() + 1,
+                     spec.size() - prefix.size() - 2);
+  return true;
+}
+
+// Numeric parsers that turn malformed specs into CheckFailure with the
+// offending text instead of leaking std::invalid_argument from stoi.
+std::int64_t parse_int(const std::string& arg, const std::string& spec) {
+  try {
+    std::size_t used = 0;
+    const std::int64_t v = std::stoll(arg, &used);
+    AFS_CHECK_MSG(used == arg.size(), "trailing junk in " << spec);
+    return v;
+  } catch (const CheckFailure&) {
+    throw;
+  } catch (const std::exception&) {
+    AFS_CHECK_MSG(false, "bad integer argument in scheduler spec " << spec);
+  }
+  return 0;  // unreachable
+}
+
+double parse_double(const std::string& arg, const std::string& spec) {
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(arg, &used);
+    AFS_CHECK_MSG(used == arg.size(), "trailing junk in " << spec);
+    return v;
+  } catch (const CheckFailure&) {
+    throw;
+  } catch (const std::exception&) {
+    AFS_CHECK_MSG(false, "bad numeric argument in scheduler spec " << spec);
+  }
+  return 0;  // unreachable
+}
+
+}  // namespace
+
+std::unique_ptr<Scheduler> make_scheduler(const std::string& raw_spec) {
+  const std::string spec = upper(raw_spec);
+  std::string arg;
+
+  if (spec.rfind("REV:", 0) == 0)
+    return std::make_unique<ReverseScheduler>(
+        make_scheduler(raw_spec.substr(4)));
+
+  if (spec == "SS") return std::make_unique<CentralScheduler>(make_self_sched());
+  if (split_arg(spec, "CHUNK", &arg))
+    return std::make_unique<CentralScheduler>(
+        make_fixed_chunk(parse_int(arg, raw_spec)));
+  if (spec == "GSS") return std::make_unique<CentralScheduler>(make_gss());
+  if (split_arg(spec, "GSS", &arg))
+    return std::make_unique<CentralScheduler>(
+        make_gss(static_cast<int>(parse_int(arg, raw_spec))));
+  if (spec == "FACTORING" || spec == "FACT")
+    return std::make_unique<CentralScheduler>(make_factoring());
+  if (spec == "TRAPEZOID" || spec == "TSS")
+    return std::make_unique<CentralScheduler>(make_trapezoid());
+  if (split_arg(spec, "TAPER", &arg))
+    return std::make_unique<CentralScheduler>(
+        make_taper(parse_double(arg, raw_spec)));
+  if (spec == "STATIC") return std::make_unique<StaticScheduler>();
+  if (spec == "BEST-STATIC" || spec == "BEST")
+    return std::make_unique<BestStaticScheduler>(IterationCostFn{});
+  if (spec == "MOD-FACTORING" || spec == "MODFACT")
+    return std::make_unique<ModFactoringScheduler>();
+  if (spec == "AFS") return std::make_unique<AffinityScheduler>();
+  if (spec == "AFS-LE") {
+    AffinityOptions o;
+    o.seeding = AffinityOptions::Seeding::kLastExecuted;
+    return std::make_unique<AffinityScheduler>(o);
+  }
+  if (spec == "AFS-RAND") {
+    AffinityOptions o;
+    o.victim = AffinityOptions::Victim::kRandomProbe;
+    return std::make_unique<AffinityScheduler>(o);
+  }
+  if (split_arg(spec, "AFS-RAND", &arg)) {
+    AffinityOptions o;
+    o.victim = AffinityOptions::Victim::kRandomProbe;
+    o.probe_count = static_cast<int>(parse_int(arg, raw_spec));
+    return std::make_unique<AffinityScheduler>(o);
+  }
+  if (spec == "WS") {
+    // Randomized work stealing as a modern baseline: owners take half of
+    // their queue per grab, thieves probe random victims and steal half.
+    AffinityOptions o;
+    o.k = 2;
+    o.steal_denom = 2;
+    o.victim = AffinityOptions::Victim::kRandomProbe;
+    return std::make_unique<AffinityScheduler>(o);
+  }
+  if (split_arg(spec, "AFS", &arg)) {
+    AffinityOptions o;
+    if (arg.rfind("K=", 0) == 0) {
+      o.k = static_cast<int>(parse_int(arg.substr(2), raw_spec));
+    } else if (arg.rfind("STEAL=", 0) == 0) {
+      o.steal_denom = static_cast<int>(parse_int(arg.substr(6), raw_spec));
+    } else {
+      o.k = static_cast<int>(parse_int(arg, raw_spec));
+    }
+    return std::make_unique<AffinityScheduler>(o);
+  }
+
+  AFS_CHECK_MSG(false, "unknown scheduler spec: " << raw_spec);
+  return nullptr;  // unreachable
+}
+
+std::vector<std::string> paper_scheduler_specs() {
+  return {"STATIC",    "SS",         "GSS", "FACTORING", "TRAPEZOID",
+          "MOD-FACTORING", "AFS", "BEST-STATIC"};
+}
+
+std::vector<std::string> butterfly_scheduler_specs() {
+  return {"GSS", "TRAPEZOID", "AFS"};
+}
+
+}  // namespace afs

@@ -1,0 +1,34 @@
+// String-spec scheduler factory, used by benches, examples and tests so an
+// algorithm can be selected from the command line.
+//
+// Grammar (case-insensitive):
+//   "SS" | "CHUNK(<K>)" | "GSS" | "GSS(<k>)" | "FACTORING" | "FACT"
+//   | "TRAPEZOID" | "TSS" | "TAPER(<cv>)" | "STATIC" | "BEST-STATIC"
+//   | "MOD-FACTORING" | "MODFACT" | "AFS" | "AFS(k=<k>)" | "AFS-LE"
+//   | "REV:<spec>"
+//
+// BEST-STATIC built through the registry has a uniform cost oracle; use
+// BestStaticScheduler directly (or set_cost_model) when the oracle must
+// know the input.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace afs {
+
+/// Creates a scheduler from a spec string. Throws CheckFailure on an
+/// unknown spec.
+std::unique_ptr<Scheduler> make_scheduler(const std::string& spec);
+
+/// The eight algorithms the paper evaluates head-to-head on the Iris
+/// (§4.1), in the paper's order.
+std::vector<std::string> paper_scheduler_specs();
+
+/// The dynamic subset used for the Butterfly / Symmetry experiments.
+std::vector<std::string> butterfly_scheduler_specs();
+
+}  // namespace afs

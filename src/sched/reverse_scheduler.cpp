@@ -1,0 +1,36 @@
+#include "sched/reverse_scheduler.hpp"
+
+#include "util/check.hpp"
+
+namespace afs {
+
+ReverseScheduler::ReverseScheduler(std::unique_ptr<Scheduler> inner)
+    : inner_(std::move(inner)) {
+  AFS_CHECK(inner_ != nullptr);
+  name_ = "REV:" + inner_->name();
+}
+
+const std::string& ReverseScheduler::name() const { return name_; }
+
+void ReverseScheduler::start_loop(std::int64_t n, int p) {
+  n_ = n;
+  inner_->start_loop(n, p);
+}
+
+Grab ReverseScheduler::next(int worker) {
+  Grab g = inner_->next(worker);
+  if (!g.done()) g.range = {n_ - g.range.end, n_ - g.range.begin};
+  return g;
+}
+
+void ReverseScheduler::end_loop() { inner_->end_loop(); }
+
+SyncStats ReverseScheduler::stats() const { return inner_->stats(); }
+
+void ReverseScheduler::reset_stats() { inner_->reset_stats(); }
+
+std::unique_ptr<Scheduler> ReverseScheduler::clone() const {
+  return std::make_unique<ReverseScheduler>(inner_->clone());
+}
+
+}  // namespace afs

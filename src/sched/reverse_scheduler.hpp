@@ -1,0 +1,38 @@
+// Reverse-index adapter (paper §4.3, Figure 8): schedules the loop
+// backwards, so the cheap tail iterations of a decreasing workload are
+// executed first and the expensive head iterations last, where their
+// absolute imbalance is negligible relative to total completion time.
+//
+// Wraps any scheduler: the inner scheduler works in a virtual index space
+// v in [0, n); the adapter maps a granted virtual range [b, e) to the real
+// range [n-e, n-b).
+#pragma once
+
+#include <memory>
+
+#include "sched/scheduler.hpp"
+
+namespace afs {
+
+class ReverseScheduler final : public Scheduler {
+ public:
+  explicit ReverseScheduler(std::unique_ptr<Scheduler> inner);
+
+  const std::string& name() const override;
+  void start_loop(std::int64_t n, int p) override;
+  Grab next(int worker) override;
+  void end_loop() override;
+  SyncStats stats() const override;
+  void reset_stats() override;
+  std::unique_ptr<Scheduler> clone() const override;
+  bool central_queue_is_indexed() const override {
+    return inner_->central_queue_is_indexed();
+  }
+
+ private:
+  std::unique_ptr<Scheduler> inner_;
+  std::string name_;
+  std::int64_t n_ = 0;
+};
+
+}  // namespace afs

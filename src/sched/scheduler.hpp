@@ -1,0 +1,70 @@
+// The scheduler interface shared by both execution substrates.
+//
+// A Scheduler hands out chunks of loop iterations to workers. The same
+// object drives the real std::thread runtime (src/runtime) and the
+// discrete-event machine simulator (src/sim): `next()` is thread-safe, and
+// every Grab it returns is annotated with the queue touched and whether the
+// access was central / local / remote so the substrates can charge the
+// right synchronization and communication costs.
+//
+// Protocol per parallel loop instance:
+//   start_loop(n, p);            // single-threaded
+//   ... workers call next(w) until it returns done() ...
+//   end_loop();                  // single-threaded
+//
+// start_loop/end_loop may be called repeatedly — this is how the enclosing
+// sequential loop of SOR/Gauss/transitive-closure is expressed, and it is
+// what gives affinity scheduling its deterministic chunk-to-processor
+// re-assignment across epochs.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "sched/grab.hpp"
+#include "sched/stats.hpp"
+
+namespace afs {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Human-readable algorithm name ("AFS", "GSS", ...).
+  virtual const std::string& name() const = 0;
+
+  /// Begins a parallel loop of n iterations on p workers (0..p-1).
+  /// Not thread-safe. n >= 0, p >= 1.
+  virtual void start_loop(std::int64_t n, int p) = 0;
+
+  /// Removes the next chunk for `worker`. Thread-safe. Returns a Grab with
+  /// kind kNone once no iterations remain anywhere.
+  virtual Grab next(int worker) = 0;
+
+  /// Ends the current loop instance. Not thread-safe.
+  virtual void end_loop() {}
+
+  /// Sync-op statistics accumulated over all loops since construction (or
+  /// reset_stats()). Call only between loops.
+  virtual SyncStats stats() const = 0;
+
+  /// Clears accumulated statistics. Call only between loops.
+  virtual void reset_stats() = 0;
+
+  /// A fresh scheduler with identical configuration and empty statistics.
+  virtual std::unique_ptr<Scheduler> clone() const = 0;
+
+  /// True when central-queue accesses must search the queue for the
+  /// caller's reserved chunk instead of popping the head (MOD-FACTORING,
+  /// §2.3). The simulator charges such accesses
+  /// MachineConfig::modfact_sync_multiplier times the normal cost.
+  virtual bool central_queue_is_indexed() const { return false; }
+
+  /// Number of queue-load probes a remote grab performs during victim
+  /// selection, for the simulator's cost model. The paper's AFS scans all
+  /// P queues; its randomized variant samples a constant number.
+  virtual int victim_probe_count(int p) const { return p; }
+};
+
+}  // namespace afs

@@ -1,0 +1,162 @@
+#include "sched/static_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sched/affinity_scheduler.hpp"  // affinity_initial_chunk
+#include "util/check.hpp"
+
+namespace afs {
+
+// ---------------------------------------------------------------- STATIC --
+
+StaticScheduler::StaticScheduler() = default;
+
+const std::string& StaticScheduler::name() const { return name_; }
+
+void StaticScheduler::start_loop(std::int64_t n, int p) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  n_ = n;
+  if (p != p_) {
+    taken_.clear();
+    for (int i = 0; i < p; ++i)
+      taken_.push_back(std::make_unique<CacheAligned<std::atomic<bool>>>());
+    p_ = p;
+  }
+  for (auto& t : taken_) t->value.store(false, std::memory_order_relaxed);
+  ++loops_;
+}
+
+Grab StaticScheduler::next(int worker) {
+  AFS_CHECK(worker >= 0 && worker < p_);
+  if (taken_[worker]->value.exchange(true, std::memory_order_relaxed))
+    return {};
+  const IterRange r = affinity_initial_chunk(n_, p_, worker);
+  if (r.empty()) return {};
+  return {r, GrabKind::kStatic, worker};
+}
+
+SyncStats StaticScheduler::stats() const {
+  // Static scheduling performs no run-time queue operations.
+  SyncStats s;
+  s.loops = loops_;
+  s.queues.assign(static_cast<std::size_t>(std::max(p_, 1)), QueueStats{});
+  return s;
+}
+
+void StaticScheduler::reset_stats() { loops_ = 0; }
+
+std::unique_ptr<Scheduler> StaticScheduler::clone() const {
+  return std::make_unique<StaticScheduler>();
+}
+
+// ----------------------------------------------------------- BEST-STATIC --
+
+std::vector<IterRange> balanced_contiguous_partition(
+    std::int64_t n, int p, const IterationCostFn& costs) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  std::vector<IterRange> blocks;
+  if (n == 0) {
+    blocks.assign(static_cast<std::size_t>(p), IterRange{});
+    return blocks;
+  }
+
+  std::vector<double> cost(static_cast<std::size_t>(n));
+  double total = 0.0, maxc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double c = costs ? std::max(0.0, costs(i)) : 1.0;
+    cost[static_cast<std::size_t>(i)] = c;
+    total += c;
+    maxc = std::max(maxc, c);
+  }
+
+  // Greedy feasibility test: can [0,n) be covered by <= p contiguous blocks
+  // each of cost <= t?
+  auto fits = [&](double t) {
+    int blocks_used = 1;
+    double acc = 0.0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const double c = cost[static_cast<std::size_t>(i)];
+      if (acc + c > t) {
+        if (++blocks_used > p) return false;
+        acc = c;
+      } else {
+        acc += c;
+      }
+    }
+    return true;
+  };
+
+  double lo = std::max(maxc, total / p);
+  double hi = total;
+  for (int it = 0; it < 64 && hi - lo > 1e-9 * std::max(1.0, total); ++it) {
+    const double mid = 0.5 * (lo + hi);
+    (fits(mid) ? hi : lo) = mid;
+  }
+
+  // Materialize the partition at the feasible bottleneck `hi`.
+  blocks.reserve(static_cast<std::size_t>(p));
+  std::int64_t begin = 0;
+  double acc = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double c = cost[static_cast<std::size_t>(i)];
+    if (acc + c > hi && static_cast<int>(blocks.size()) < p - 1 && i > begin) {
+      blocks.push_back({begin, i});
+      begin = i;
+      acc = c;
+    } else {
+      acc += c;
+    }
+  }
+  blocks.push_back({begin, n});
+  while (static_cast<int>(blocks.size()) < p) blocks.push_back({n, n});
+  return blocks;
+}
+
+BestStaticScheduler::BestStaticScheduler(IterationCostFn costs)
+    : costs_(std::move(costs)) {}
+
+BestStaticScheduler::BestStaticScheduler(EpochCostProvider provider)
+    : provider_(std::move(provider)) {}
+
+const std::string& BestStaticScheduler::name() const { return name_; }
+
+void BestStaticScheduler::start_loop(std::int64_t n, int p) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  if (provider_) costs_ = provider_(loop_ordinal_);
+  ++loop_ordinal_;
+  if (p != p_) {
+    taken_.clear();
+    for (int i = 0; i < p; ++i)
+      taken_.push_back(std::make_unique<CacheAligned<std::atomic<bool>>>());
+    p_ = p;
+  }
+  blocks_ = balanced_contiguous_partition(n, p, costs_);
+  for (auto& t : taken_) t->value.store(false, std::memory_order_relaxed);
+  ++loops_;
+}
+
+Grab BestStaticScheduler::next(int worker) {
+  AFS_CHECK(worker >= 0 && worker < p_);
+  if (taken_[worker]->value.exchange(true, std::memory_order_relaxed))
+    return {};
+  const IterRange r = blocks_[static_cast<std::size_t>(worker)];
+  if (r.empty()) return {};
+  return {r, GrabKind::kStatic, worker};
+}
+
+SyncStats BestStaticScheduler::stats() const {
+  SyncStats s;
+  s.loops = loops_;
+  s.queues.assign(static_cast<std::size_t>(std::max(p_, 1)), QueueStats{});
+  return s;
+}
+
+void BestStaticScheduler::reset_stats() { loops_ = 0; }
+
+std::unique_ptr<Scheduler> BestStaticScheduler::clone() const {
+  if (provider_) return std::make_unique<BestStaticScheduler>(provider_);
+  return std::make_unique<BestStaticScheduler>(costs_);
+}
+
+}  // namespace afs

@@ -1,0 +1,85 @@
+// Static scheduling: iterations are split into P contiguous blocks before
+// the loop starts; no run-time queue access at all. Also BEST-STATIC, the
+// paper's hand-optimized oracle baseline (§4.1): a cost-balanced contiguous
+// partition computed from *known* per-iteration costs, which maximizes
+// locality while minimizing load imbalance — realizable only with full
+// knowledge of the application and its input, exactly as in the paper.
+#pragma once
+
+#include <atomic>
+#include <functional>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+#include "util/align.hpp"
+
+namespace afs {
+
+class StaticScheduler final : public Scheduler {
+ public:
+  StaticScheduler();
+
+  const std::string& name() const override;
+  void start_loop(std::int64_t n, int p) override;
+  Grab next(int worker) override;
+  SyncStats stats() const override;
+  void reset_stats() override;
+  std::unique_ptr<Scheduler> clone() const override;
+
+ private:
+  std::string name_ = "STATIC";
+  int p_ = 0;
+  std::int64_t n_ = 0;
+  std::vector<std::unique_ptr<CacheAligned<std::atomic<bool>>>> taken_;
+  std::int64_t loops_ = 0;
+};
+
+/// Per-iteration cost model: cost(i) >= 0 in arbitrary consistent units.
+using IterationCostFn = std::function<double(std::int64_t)>;
+
+/// Supplies the oracle cost model for the loop_ordinal-th parallel loop
+/// executed (0-based count of start_loop calls). Lets BEST-STATIC follow
+/// workloads whose shape changes across epochs (Gauss, transitive closure).
+using EpochCostProvider = std::function<IterationCostFn(int loop_ordinal)>;
+
+class BestStaticScheduler final : public Scheduler {
+ public:
+  /// `costs` is the oracle's knowledge of the workload. A null function
+  /// means uniform costs (degenerates to plain static scheduling).
+  explicit BestStaticScheduler(IterationCostFn costs);
+
+  /// Epoch-aware oracle: re-queries the provider at every start_loop.
+  explicit BestStaticScheduler(EpochCostProvider provider);
+
+  const std::string& name() const override;
+  void start_loop(std::int64_t n, int p) override;
+  Grab next(int worker) override;
+  SyncStats stats() const override;
+  void reset_stats() override;
+  std::unique_ptr<Scheduler> clone() const override;
+
+  /// Replaces the oracle cost model (e.g. when the parallel loop's shape
+  /// changes between epochs, as in Gaussian elimination). Call between loops.
+  void set_cost_model(IterationCostFn costs) { costs_ = std::move(costs); }
+
+  /// The partition computed for the current loop (exposed for tests).
+  const std::vector<IterRange>& partition() const { return blocks_; }
+
+ private:
+  IterationCostFn costs_;
+  EpochCostProvider provider_;
+  int loop_ordinal_ = 0;
+  std::string name_ = "BEST-STATIC";
+  int p_ = 0;
+  std::vector<IterRange> blocks_;
+  std::vector<std::unique_ptr<CacheAligned<std::atomic<bool>>>> taken_;
+  std::int64_t loops_ = 0;
+};
+
+/// Contiguous partition of [0,n) into at most p blocks minimizing the
+/// maximum block cost (binary search over the bottleneck value). Exposed
+/// for direct testing. Blocks are padded with empty ranges up to size p.
+std::vector<IterRange> balanced_contiguous_partition(
+    std::int64_t n, int p, const IterationCostFn& costs);
+
+}  // namespace afs

@@ -1,0 +1,64 @@
+// Synchronization-operation accounting (paper §4.6, Tables 3-5).
+//
+// The paper's metric is "the number of times a processor removes iterations
+// from a work queue". Counts are kept per queue so affinity scheduling can
+// report local and remote operations separately, exactly as Tables 3-5 do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace afs {
+
+struct QueueStats {
+  std::int64_t local_grabs = 0;   ///< Owner removals (central queue: all grabs).
+  std::int64_t remote_grabs = 0;  ///< Removals by a non-owner (AFS steals).
+  std::int64_t iters_local = 0;   ///< Iterations taken by the owner.
+  std::int64_t iters_remote = 0;  ///< Iterations migrated away by steals.
+
+  std::int64_t total_grabs() const { return local_grabs + remote_grabs; }
+
+  QueueStats& operator+=(const QueueStats& o) {
+    local_grabs += o.local_grabs;
+    remote_grabs += o.remote_grabs;
+    iters_local += o.iters_local;
+    iters_remote += o.iters_remote;
+    return *this;
+  }
+};
+
+struct SyncStats {
+  std::vector<QueueStats> queues;  ///< One entry per work queue (1 if central).
+  std::int64_t loops = 0;          ///< Parallel-loop instances accumulated.
+
+  QueueStats total() const {
+    QueueStats t;
+    for (const auto& q : queues) t += q;
+    return t;
+  }
+
+  /// Average local (owner) removals per queue per loop — the "local" column
+  /// of Tables 3-5.
+  double local_per_queue_per_loop() const {
+    if (queues.empty() || loops == 0) return 0.0;
+    return static_cast<double>(total().local_grabs) /
+           static_cast<double>(queues.size()) / static_cast<double>(loops);
+  }
+
+  /// Average remote removals per queue per loop — the "remote" column.
+  double remote_per_queue_per_loop() const {
+    if (queues.empty() || loops == 0) return 0.0;
+    return static_cast<double>(total().remote_grabs) /
+           static_cast<double>(queues.size()) / static_cast<double>(loops);
+  }
+
+  /// Total removals per loop — the single number reported for the
+  /// central-queue algorithms.
+  double grabs_per_loop() const {
+    if (loops == 0) return 0.0;
+    return static_cast<double>(total().total_grabs()) /
+           static_cast<double>(loops);
+  }
+};
+
+}  // namespace afs

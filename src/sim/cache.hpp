@@ -1,0 +1,128 @@
+// Simulated per-processor caches with a global coherence directory.
+//
+// Residency is tracked at block granularity (a matrix row, a vector
+// slice). The protocol is a simplified write-invalidate MSI: a read miss
+// fetches a copy; a write invalidates all other copies. This is exactly
+// enough mechanism to produce the paper's affinity phenomena: rows stay
+// resident where they were last used, neighbor reads miss only at chunk
+// boundaries, and migrated iterations drag their rows across the
+// interconnect.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <unordered_map>
+
+#include "util/check.hpp"
+
+namespace afs {
+
+/// Global sharer directory: which processors hold a valid copy of each
+/// block, as a 64-bit mask (the paper's largest machine has 64 processors).
+class Directory {
+ public:
+  std::uint64_t sharers(std::int64_t block) const {
+    const auto it = map_.find(block);
+    return it == map_.end() ? 0 : it->second;
+  }
+  void add_sharer(std::int64_t block, int proc) {
+    map_[block] |= bit(proc);
+  }
+  void remove_sharer(std::int64_t block, int proc) {
+    const auto it = map_.find(block);
+    if (it == map_.end()) return;
+    it->second &= ~bit(proc);
+    if (it->second == 0) map_.erase(it);
+  }
+  /// Makes `proc` the sole owner; returns the mask of *other* processors
+  /// whose copies were invalidated.
+  std::uint64_t make_exclusive(std::int64_t block, int proc) {
+    std::uint64_t& m = map_[block];
+    const std::uint64_t others = m & ~bit(proc);
+    m = bit(proc);
+    return others;
+  }
+  void clear() { map_.clear(); }
+
+  static std::uint64_t bit(int proc) {
+    AFS_DCHECK(proc >= 0 && proc < 64);
+    return 1ULL << proc;
+  }
+
+ private:
+  std::unordered_map<std::int64_t, std::uint64_t> map_;
+};
+
+/// One processor's cache: LRU over variable-size blocks, capacity in
+/// transfer units. capacity <= 0 disables caching (every access misses) —
+/// used for the cache-less Butterfly.
+class ProcCache {
+ public:
+  ProcCache() = default;
+  explicit ProcCache(double capacity) : capacity_(capacity) {}
+
+  bool enabled() const { return capacity_ > 0.0; }
+
+  bool contains(std::int64_t block) const {
+    return index_.find(block) != index_.end();
+  }
+
+  /// Marks the block most-recently used. Precondition: contains(block).
+  void touch(std::int64_t block) {
+    const auto it = index_.find(block);
+    AFS_DCHECK(it != index_.end());
+    lru_.splice(lru_.begin(), lru_, it->second);
+  }
+
+  /// Inserts a block, evicting LRU blocks as needed; each eviction is
+  /// reported so the caller can update the directory. A block larger than
+  /// the whole cache is "streamed": it evicts everything and is not kept.
+  void insert(std::int64_t block, double size,
+              const std::function<void(std::int64_t)>& on_evict) {
+    if (!enabled()) return;
+    AFS_DCHECK(!contains(block));
+    while (used_ + size > capacity_ && !lru_.empty()) {
+      const auto& victim = lru_.back();
+      used_ -= victim.size;
+      on_evict(victim.block);
+      index_.erase(victim.block);
+      lru_.pop_back();
+    }
+    if (size > capacity_) return;  // streamed, never resident
+    lru_.push_front(Line{block, size});
+    index_[block] = lru_.begin();
+    used_ += size;
+  }
+
+  /// Drops the block if present (coherence invalidation).
+  void invalidate(std::int64_t block) {
+    const auto it = index_.find(block);
+    if (it == index_.end()) return;
+    used_ -= it->second->size;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+
+  void clear() {
+    lru_.clear();
+    index_.clear();
+    used_ = 0.0;
+  }
+
+  double used() const { return used_; }
+  double capacity() const { return capacity_; }
+  std::size_t resident_blocks() const { return index_.size(); }
+
+ private:
+  struct Line {
+    std::int64_t block;
+    double size;
+  };
+  double capacity_ = 0.0;
+  double used_ = 0.0;
+  std::list<Line> lru_;  // front = most recently used
+  std::unordered_map<std::int64_t, std::list<Line>::iterator> index_;
+};
+
+}  // namespace afs

@@ -1,0 +1,32 @@
+// Shared-resource timeline for bus/ring interconnects and work-queue locks.
+//
+// A transfer (or lock-held critical section) occupies the resource for a
+// duration; requests arriving while it is busy queue up. Because the
+// simulation engine processes processors in global time order, updating a
+// single "free at" timestamp yields a correct FCFS serialization — this is
+// what produces the Fig. 4 bus-saturation plateau and central-queue
+// convoying without any explicit queueing structures.
+#pragma once
+
+#include <algorithm>
+
+namespace afs {
+
+class ResourceTimeline {
+ public:
+  /// Occupies the resource for `duration` starting no earlier than `t`.
+  /// Returns the completion time (>= t + duration).
+  double acquire(double t, double duration) {
+    const double start = std::max(t, free_at_);
+    free_at_ = start + duration;
+    return free_at_;
+  }
+
+  double free_at() const { return free_at_; }
+  void reset(double t = 0.0) { free_at_ = t; }
+
+ private:
+  double free_at_ = 0.0;
+};
+
+}  // namespace afs

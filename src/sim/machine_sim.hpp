@@ -1,0 +1,74 @@
+// The discrete-event multiprocessor simulator.
+//
+// MachineSim executes a LoopProgram under any Scheduler on a simulated
+// machine with P processors, producing the completion times that the
+// paper's figures plot. One run is one fork/join execution: per epoch,
+// every processor repeatedly asks the scheduler for a chunk, pays the
+// modeled synchronization cost for the queue it touched, executes the
+// chunk's iterations (compute time + cache misses + interconnect
+// serialization), and loops until the scheduler reports the loop drained;
+// epochs are separated by a barrier.
+//
+// Determinism: processors are advanced in global simulated-time order with
+// processor-id tie-breaking, and all jitter comes from a seeded RNG, so a
+// given (machine, program, scheduler, P, seed) always yields bit-identical
+// results. Tests rely on this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "machines/machine_config.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/cache.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/sim_result.hpp"
+#include "workload/loop_spec.hpp"
+
+namespace afs {
+
+struct SimOptions {
+  /// Seed for per-epoch processor start jitter (amplitude comes from
+  /// MachineConfig::epoch_jitter).
+  std::uint64_t jitter_seed = 42;
+
+  /// Extra per-processor start delays in time units, applied to the first
+  /// loop of the first epoch only (the Table 2 arrival-time experiment).
+  std::vector<double> start_delays;
+};
+
+class MachineSim {
+ public:
+  explicit MachineSim(MachineConfig config, SimOptions options = {});
+
+  /// Runs the program to completion on `p` processors. The scheduler's
+  /// stats are reset at the start and captured into the result. Caches
+  /// start cold and persist across epochs (this is where affinity pays).
+  SimResult run(const LoopProgram& program, Scheduler& sched, int p);
+
+  /// Serial-baseline time: the program's total work executed on one
+  /// processor with no scheduling or communication overhead. Used to
+  /// report speedups.
+  double ideal_serial_time(const LoopProgram& program) const;
+
+  const MachineConfig& config() const { return config_; }
+
+ private:
+  /// Executes one parallel loop starting at per-processor times `start`;
+  /// returns per-processor completion times.
+  std::vector<double> run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
+                               int p, const std::vector<double>& start,
+                               SimResult& result);
+
+  /// Charges one data access; returns the processor's new time.
+  double access(int proc, const BlockAccess& a, double t, SimResult& result);
+
+  MachineConfig config_;
+  SimOptions options_;
+  Directory directory_;
+  std::vector<ProcCache> caches_;
+  ResourceTimeline shared_link_;           // bus or ring; unused for switch
+  std::vector<ResourceTimeline> queue_locks_;  // [0..p-1] local, [p] central
+};
+
+}  // namespace afs

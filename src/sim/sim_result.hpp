@@ -1,0 +1,40 @@
+// Aggregate metrics produced by one simulator run.
+#pragma once
+
+#include <cstdint>
+
+#include "sched/stats.hpp"
+
+namespace afs {
+
+struct SimResult {
+  /// Total simulated time across all epochs and barriers (time units).
+  double makespan = 0.0;
+
+  // Time decomposition, summed over processors (so busy/P ~ useful time
+  // per processor). busy + sync + comm + idle + barrier ~ P * makespan.
+  double busy = 0.0;     ///< executing iterations
+  double sync = 0.0;     ///< waiting for + operating on work-queue locks
+  double comm = 0.0;     ///< waiting for the interconnect + miss latency
+  double idle = 0.0;     ///< finished early, waiting at the epoch join
+  double barrier = 0.0;  ///< fork/join overhead itself
+
+  std::int64_t hits = 0;
+  std::int64_t misses = 0;
+  std::int64_t invalidations = 0;
+  double units_transferred = 0.0;  ///< transfer units moved over the interconnect
+
+  std::int64_t local_grabs = 0;
+  std::int64_t remote_grabs = 0;   ///< AFS steals
+  std::int64_t central_grabs = 0;
+  std::int64_t iterations = 0;
+
+  SyncStats sched_stats;  ///< the scheduler's own accounting (Tables 3-5)
+
+  /// Parallel speedup helper: serial_time / makespan.
+  double speedup_vs(double serial_time) const {
+    return makespan > 0.0 ? serial_time / makespan : 0.0;
+  }
+};
+
+}  // namespace afs

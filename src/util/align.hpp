@@ -1,0 +1,28 @@
+// Cache-line alignment helpers for contended per-processor state.
+#pragma once
+
+#include <cstddef>
+#include <new>
+
+namespace afs {
+
+// A fixed 64 bytes rather than std::hardware_destructive_interference_size:
+// the constant is part of the ABI (GCC warns when it leaks into headers),
+// and 64 is correct for every x86-64 and most AArch64 parts.
+inline constexpr std::size_t kCacheLineSize = 64;
+
+/// Pads T to its own cache line so per-worker counters and queue heads do
+/// not false-share. Use in arrays indexed by worker id.
+template <typename T>
+struct alignas(kCacheLineSize) CacheAligned {
+  T value{};
+
+  CacheAligned() = default;
+  explicit CacheAligned(const T& v) : value(v) {}
+  T& operator*() { return value; }
+  const T& operator*() const { return value; }
+  T* operator->() { return &value; }
+  const T* operator->() const { return &value; }
+};
+
+}  // namespace afs

@@ -1,0 +1,58 @@
+// Row-major dense 2-D array.
+//
+// Rows are the unit of processor affinity throughout this repository
+// (the paper's kernels all touch "the i-th row" in iteration i), so the
+// interface is deliberately row-centric.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace afs {
+
+template <typename T>
+class Array2D {
+ public:
+  Array2D() = default;
+
+  Array2D(std::int64_t rows, std::int64_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows * cols), fill) {
+    AFS_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  std::int64_t rows() const { return rows_; }
+  std::int64_t cols() const { return cols_; }
+
+  T& operator()(std::int64_t r, std::int64_t c) {
+    AFS_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+  const T& operator()(std::int64_t r, std::int64_t c) const {
+    AFS_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r * cols_ + c)];
+  }
+
+  std::span<T> row(std::int64_t r) {
+    AFS_DCHECK(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+  std::span<const T> row(std::int64_t r) const {
+    AFS_DCHECK(r >= 0 && r < rows_);
+    return {data_.data() + r * cols_, static_cast<std::size_t>(cols_)};
+  }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  bool operator==(const Array2D&) const = default;
+
+ private:
+  std::int64_t rows_ = 0;
+  std::int64_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace afs

@@ -1,0 +1,21 @@
+#include "util/barrier.hpp"
+
+#include "util/check.hpp"
+
+namespace afs {
+
+Barrier::Barrier(int count) : count_(count) { AFS_CHECK(count >= 1); }
+
+void Barrier::arrive_and_wait() {
+  std::unique_lock lock(mutex_);
+  const std::uint64_t gen = generation_;
+  if (++waiting_ == count_) {
+    waiting_ = 0;
+    ++generation_;
+    cv_.notify_all();
+    return;
+  }
+  cv_.wait(lock, [&] { return generation_ != gen; });
+}
+
+}  // namespace afs

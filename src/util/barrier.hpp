@@ -1,0 +1,39 @@
+// Reusable thread barrier.
+//
+// The real-thread substrate uses this between the epochs of a sequential
+// outer loop (every worker must finish parallel-loop epoch e before any
+// worker starts epoch e+1). A condition-variable implementation is chosen
+// over a spin barrier because the library must behave well even when the
+// number of workers exceeds the number of hardware threads (the paper's
+// machines had up to 64 processors; CI hosts may have one core).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+namespace afs {
+
+class Barrier {
+ public:
+  /// Creates a barrier for `count` participating threads. count >= 1.
+  explicit Barrier(int count);
+
+  Barrier(const Barrier&) = delete;
+  Barrier& operator=(const Barrier&) = delete;
+
+  /// Blocks until all `count` threads have called arrive_and_wait().
+  /// Reusable: generation counting makes back-to-back phases safe.
+  void arrive_and_wait();
+
+  int participant_count() const { return count_; }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  const int count_;
+  int waiting_ = 0;
+  std::uint64_t generation_ = 0;
+};
+
+}  // namespace afs

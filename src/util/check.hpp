@@ -1,0 +1,55 @@
+// Lightweight precondition / invariant checking.
+//
+// AFS_CHECK is always on (it guards API misuse: schedulers driven with an
+// invalid processor count, simulator configured with negative costs, ...).
+// AFS_DCHECK compiles away in release builds and guards internal invariants
+// on hot paths (queue bookkeeping, cache residency counts).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace afs {
+
+/// Thrown by AFS_CHECK on contract violation. Deriving from logic_error
+/// signals a programming error rather than an environmental failure.
+class CheckFailure : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ':' << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw CheckFailure(os.str());
+}
+}  // namespace detail
+
+}  // namespace afs
+
+#define AFS_CHECK(expr)                                                \
+  do {                                                                 \
+    if (!(expr)) ::afs::detail::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define AFS_CHECK_MSG(expr, msg)                                       \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream afs_check_os_;                                \
+      afs_check_os_ << msg;                                            \
+      ::afs::detail::check_failed(#expr, __FILE__, __LINE__,           \
+                                  afs_check_os_.str());                \
+    }                                                                  \
+  } while (0)
+
+#ifdef NDEBUG
+#define AFS_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define AFS_DCHECK(expr) AFS_CHECK(expr)
+#endif

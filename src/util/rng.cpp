@@ -1,0 +1,47 @@
+#include "util/rng.hpp"
+
+#include "util/check.hpp"
+
+namespace afs {
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& s : s_) s = sm.next();
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Xoshiro256::next_double() {
+  // 53 high bits -> [0,1) with full double precision.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+std::int64_t Xoshiro256::next_in(std::int64_t lo, std::int64_t hi) {
+  AFS_CHECK(lo <= hi);
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  // Rejection-free modulo is fine here: span is tiny vs 2^64 in all uses.
+  return lo + static_cast<std::int64_t>(next() % span);
+}
+
+bool Xoshiro256::next_bool(double p) {
+  AFS_CHECK(p >= 0.0 && p <= 1.0);
+  return next_double() < p;
+}
+
+}  // namespace afs

@@ -1,0 +1,55 @@
+// Small deterministic RNGs.
+//
+// Every stochastic input in this repository (random graphs, L4's coin
+// flips, workload jitter) is driven by these generators with explicit
+// seeds, so all experiments and tests are exactly reproducible.
+#pragma once
+
+#include <cstdint>
+
+namespace afs {
+
+/// SplitMix64: tiny, fast, passes BigCrush for seeding purposes.
+/// Used both directly and to seed Xoshiro256**.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// Xoshiro256**: the workhorse generator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed);
+
+  std::uint64_t next();
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t next_in(std::int64_t lo, std::int64_t hi);
+
+  /// Bernoulli trial with success probability p.
+  bool next_bool(double p);
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace afs

@@ -1,0 +1,69 @@
+#include "workload/cost_models.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace afs {
+
+CostFn uniform_cost(double c) {
+  AFS_CHECK(c >= 0.0);
+  return [c](std::int64_t) { return c; };
+}
+
+CostFn triangular_cost(std::int64_t n) {
+  return [n](std::int64_t i) { return static_cast<double>(n - i); };
+}
+
+CostFn parabolic_cost(std::int64_t n) {
+  return [n](std::int64_t i) {
+    const double d = static_cast<double>(n - i);
+    return d * d;
+  };
+}
+
+CostFn decreasing_poly_cost(std::int64_t n, int degree) {
+  AFS_CHECK(degree >= 0);
+  return [n, degree](std::int64_t i) {
+    return std::pow(static_cast<double>(n - i), degree);
+  };
+}
+
+CostFn head_heavy_cost(std::int64_t n, double fraction, double heavy,
+                       double light) {
+  AFS_CHECK(fraction >= 0.0 && fraction <= 1.0);
+  const auto cutoff = static_cast<std::int64_t>(
+      fraction * static_cast<double>(n));
+  return [cutoff, heavy, light](std::int64_t i) {
+    return i < cutoff ? heavy : light;
+  };
+}
+
+double total_cost(const CostFn& f, std::int64_t n) {
+  double t = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) t += f(i);
+  return t;
+}
+
+double max_cost(const CostFn& f, std::int64_t n) {
+  double m = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) m = std::max(m, f(i));
+  return m;
+}
+
+double cost_cv(const CostFn& f, std::int64_t n) {
+  if (n <= 0) return 0.0;
+  double sum = 0.0, sum2 = 0.0;
+  for (std::int64_t i = 0; i < n; ++i) {
+    const double c = f(i);
+    sum += c;
+    sum2 += c * c;
+  }
+  const double mean = sum / static_cast<double>(n);
+  if (mean <= 0.0) return 0.0;
+  const double var =
+      std::max(0.0, sum2 / static_cast<double>(n) - mean * mean);
+  return std::sqrt(var) / mean;
+}
+
+}  // namespace afs

@@ -1,0 +1,44 @@
+// Per-iteration cost models for the synthetic workloads of §4.4 and the
+// oracle knowledge handed to BEST-STATIC.
+//
+// Costs are in abstract "work units"; the simulator converts units to time
+// via MachineConfig::cycle_time and the real-thread kernels convert them to
+// actual floating-point busy work.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace afs {
+
+using CostFn = std::function<double(std::int64_t)>;
+
+/// cost(i) = c for all i (the "simple balanced loop" of §4.5/§4.6).
+CostFn uniform_cost(double c = 1.0);
+
+/// cost(i) = n - i (Fig. 10's triangular workload; adjoint convolution's
+/// shape).
+CostFn triangular_cost(std::int64_t n);
+
+/// cost(i) = (n - i)^2 (Fig. 11's decreasing parabolic workload).
+CostFn parabolic_cost(std::int64_t n);
+
+/// cost(i) = (n - i)^degree — general decreasing polynomial (Theorem 3.3).
+CostFn decreasing_poly_cost(std::int64_t n, int degree);
+
+/// First `fraction` of iterations cost `heavy`, the rest cost `light`
+/// (Fig. 12: fraction = 0.1, heavy = 100, light = 1).
+CostFn head_heavy_cost(std::int64_t n, double fraction, double heavy,
+                       double light);
+
+/// Total work of a model over [0, n).
+double total_cost(const CostFn& f, std::int64_t n);
+
+/// Maximum single-iteration cost over [0, n).
+double max_cost(const CostFn& f, std::int64_t n);
+
+/// Coefficient of variation (stddev/mean) of iteration costs over [0, n);
+/// feeds the TAPER policy.
+double cost_cv(const CostFn& f, std::int64_t n);
+
+}  // namespace afs

@@ -1,0 +1,35 @@
+#include "workload/graphs.hpp"
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace afs {
+
+BoolMatrix random_graph(std::int64_t n, double edge_prob, std::uint64_t seed) {
+  AFS_CHECK(n >= 0 && edge_prob >= 0.0 && edge_prob <= 1.0);
+  BoolMatrix g(n, n, 0);
+  Xoshiro256 rng(seed);
+  for (std::int64_t i = 0; i < n; ++i)
+    for (std::int64_t j = 0; j < n; ++j)
+      if (i != j && rng.next_bool(edge_prob)) g(i, j) = 1;
+  return g;
+}
+
+BoolMatrix clique_graph(std::int64_t n, std::int64_t clique) {
+  AFS_CHECK(n >= 0 && clique >= 0 && clique <= n);
+  BoolMatrix g(n, n, 0);
+  for (std::int64_t i = 0; i < clique; ++i)
+    for (std::int64_t j = 0; j < clique; ++j)
+      if (i != j) g(i, j) = 1;
+  return g;
+}
+
+std::int64_t edge_count(const BoolMatrix& g) {
+  std::int64_t c = 0;
+  for (std::int64_t i = 0; i < g.rows(); ++i)
+    for (std::int64_t j = 0; j < g.cols(); ++j)
+      if (g(i, j)) ++c;
+  return c;
+}
+
+}  // namespace afs

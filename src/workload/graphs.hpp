@@ -1,0 +1,24 @@
+// Boolean adjacency-matrix graphs for the transitive-closure kernel.
+#pragma once
+
+#include <cstdint>
+
+#include "util/array2d.hpp"
+
+namespace afs {
+
+using BoolMatrix = Array2D<std::uint8_t>;
+
+/// Erdos–Renyi digraph on n nodes with independent edge probability p
+/// (Fig. 5 uses n = 512, p ≈ 0.08). Deterministic in `seed`. Self-loops
+/// are not generated.
+BoolMatrix random_graph(std::int64_t n, double edge_prob, std::uint64_t seed);
+
+/// The paper's skewed input (Fig. 6): a clique on the first `clique` nodes
+/// and no other edges. Fig. 16 uses n = 1024, clique = 0.4n.
+BoolMatrix clique_graph(std::int64_t n, std::int64_t clique);
+
+/// Number of edges (true entries).
+std::int64_t edge_count(const BoolMatrix& g);
+
+}  // namespace afs

@@ -1,0 +1,18 @@
+#include "workload/loop_spec.hpp"
+
+#include <utility>
+
+namespace afs {
+
+LoopProgram single_loop_program(std::string name, int epochs,
+                                std::function<ParallelLoopSpec(int)> loop) {
+  LoopProgram p;
+  p.name = std::move(name);
+  p.epochs = epochs;
+  p.epoch_loops = [loop = std::move(loop)](int e) {
+    return std::vector<ParallelLoopSpec>{loop(e)};
+  };
+  return p;
+}
+
+}  // namespace afs

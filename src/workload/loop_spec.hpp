@@ -1,0 +1,56 @@
+// The substrate-independent description of a parallel-loop program that
+// the simulator executes: per-iteration abstract work plus the data
+// footprint (which blocks an iteration reads and writes).
+//
+// Blocks are the unit of residency in the simulated caches. They are
+// coarse on purpose — a matrix row, a vector slice — because that is the
+// granularity at which the paper's kernels exhibit affinity (iteration i
+// touches row i). `size` is in transfer units (one unit ~ one bus/packet
+// transaction in MachineConfig terms).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "workload/cost_models.hpp"
+
+namespace afs {
+
+struct BlockAccess {
+  std::int64_t block = 0;  ///< Globally unique block id.
+  double size = 1.0;       ///< Transfer units moved on a miss.
+  bool write = false;      ///< Writes invalidate other processors' copies.
+};
+
+/// Fills `out` with the blocks iteration `i` touches. Cleared by the caller.
+using FootprintFn =
+    std::function<void(std::int64_t i, std::vector<BlockAccess>& out)>;
+
+/// One parallel loop instance (one epoch of the enclosing sequential loop).
+struct ParallelLoopSpec {
+  std::int64_t n = 0;   ///< Iteration count.
+  CostFn work;          ///< Abstract compute units per iteration (never null).
+  FootprintFn footprint;  ///< Null for memory-less loops (L4, synthetics).
+
+  /// Optional analytic sum of work over [b, e). When present and the loop
+  /// has no footprint, the simulator charges whole chunks in O(1), which
+  /// makes the 200-million-iteration loop of Table 2 simulable.
+  std::function<double(std::int64_t b, std::int64_t e)> work_sum;
+};
+
+/// A whole program: a sequential outer loop whose body is one or more
+/// parallel loops. `epoch_loops(e)` returns the parallel loops of epoch e
+/// in execution order (L4 has three per epoch; the kernels have one).
+struct LoopProgram {
+  std::string name;
+  int epochs = 1;
+  std::function<std::vector<ParallelLoopSpec>(int epoch)> epoch_loops;
+};
+
+/// Convenience: a single-loop-per-epoch program.
+LoopProgram single_loop_program(std::string name, int epochs,
+                                std::function<ParallelLoopSpec(int)> loop);
+
+}  // namespace afs

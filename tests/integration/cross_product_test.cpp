@@ -1,0 +1,101 @@
+// Whole-matrix sweep: every kernel program x every scheduler x every
+// machine model must satisfy the simulator's basic sanity invariants.
+// This is the broad safety net under the per-figure experiments.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <tuple>
+
+#include "kernels/adjoint_convolution.hpp"
+#include "kernels/gauss.hpp"
+#include "kernels/sor.hpp"
+#include "kernels/synthetic.hpp"
+#include "kernels/transitive_closure.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+#include "workload/graphs.hpp"
+
+namespace afs {
+namespace {
+
+LoopProgram program_by_name(const std::string& kernel) {
+  if (kernel == "sor") return SorKernel::program(48, 3);
+  if (kernel == "gauss") return GaussKernel::program(40);
+  if (kernel == "tc")
+    return TransitiveClosureKernel::program(clique_graph(40, 16));
+  if (kernel == "adjoint") return AdjointConvolutionKernel::program(8);
+  if (kernel == "triangular") return triangular_program(200);
+  return balanced_program(333);
+}
+
+MachineConfig machine_by_name(const std::string& machine) {
+  if (machine == "iris") return iris();
+  if (machine == "symmetry") return symmetry();
+  if (machine == "butterfly") return butterfly1();
+  return ksr1();
+}
+
+using Case = std::tuple<std::string, std::string, std::string>;
+
+class SimMatrix : public ::testing::TestWithParam<Case> {};
+
+TEST_P(SimMatrix, InvariantsHold) {
+  const auto& [kernel, spec, machine_name] = GetParam();
+  const LoopProgram prog = program_by_name(kernel);
+  const MachineConfig machine = machine_by_name(machine_name);
+  MachineSim sim(machine);
+  const double serial = sim.ideal_serial_time(prog);
+
+  const int p = std::min(8, machine.max_processors);
+  auto sched = make_scheduler(spec);
+  const SimResult r = sim.run(prog, *sched, p);
+
+  // 1. Time is positive and not faster than perfect speedup.
+  EXPECT_GT(r.makespan, 0.0);
+  EXPECT_GE(r.makespan, serial / p - 1e-6);
+
+  // 2. Every iteration of every epoch was executed exactly once.
+  std::int64_t expected_iters = 0;
+  for (int e = 0; e < prog.epochs; ++e)
+    for (const auto& loop : prog.epoch_loops(e)) expected_iters += loop.n;
+  EXPECT_EQ(r.iterations, expected_iters);
+
+  // 3. The scheduler accounted for exactly the same iterations.
+  const QueueStats total = r.sched_stats.total();
+  if (total.total_grabs() > 0) {  // static schedulers do no queue ops
+    EXPECT_EQ(total.iters_local + total.iters_remote, expected_iters);
+  }
+
+  // 4. Identical reruns are bit-identical (determinism).
+  auto sched2 = make_scheduler(spec);
+  const SimResult r2 = sim.run(prog, *sched2, p);
+  EXPECT_DOUBLE_EQ(r.makespan, r2.makespan);
+  EXPECT_EQ(r.misses, r2.misses);
+}
+
+std::vector<Case> matrix() {
+  std::vector<Case> cases;
+  for (const char* kernel :
+       {"sor", "gauss", "tc", "adjoint", "triangular", "balanced"})
+    for (const char* spec : {"SS", "GSS", "FACTORING", "TRAPEZOID", "STATIC",
+                             "MOD-FACTORING", "AFS", "AFS-LE", "WS"})
+      for (const char* machine : {"iris", "symmetry", "butterfly", "ksr1"})
+        cases.emplace_back(kernel, spec, machine);
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<Case>& info) {
+  const auto& [kernel, spec, machine] = info.param;
+  std::string s = kernel + "_" + spec + "_" + machine;
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllCombinations, SimMatrix,
+                         ::testing::ValuesIn(matrix()), case_name);
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,77 @@
+// Cross-substrate consistency: the same scheduler object model drives the
+// real-thread runtime and the simulator; quantities that do not depend on
+// timing (grab counts of central schedulers, iteration totals) must agree
+// between the two.
+#include <gtest/gtest.h>
+
+#include "kernels/synthetic.hpp"
+#include "machines/machines.hpp"
+#include "runtime/parallel_for.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace afs {
+namespace {
+
+TEST(CrossSubstrate, CentralGrabCountsAgree) {
+  // A central queue's chunk sizes depend only on the remaining count, so
+  // the number of grabs per loop is identical however requests interleave
+  // — threads, simulator, or serial.
+  const std::int64_t n = 777;
+  const int p = 4;
+  for (const char* spec : {"SS", "GSS", "FACTORING", "TRAPEZOID", "CHUNK(13)",
+                           "TAPER(0.7)", "MOD-FACTORING"}) {
+    // Real threads.
+    ThreadPool pool(p);
+    auto threaded = make_scheduler(spec);
+    parallel_for(pool, *threaded, n, [](IterRange, int) {});
+    const std::int64_t thread_grabs =
+        threaded->stats().total().total_grabs();
+
+    // Simulator.
+    MachineSim sim(iris());
+    auto simulated = make_scheduler(spec);
+    const SimResult r = sim.run(balanced_program(n), *simulated, p);
+    EXPECT_EQ(thread_grabs, r.sched_stats.total().total_grabs()) << spec;
+  }
+}
+
+TEST(CrossSubstrate, IterationTotalsAgreeForEverything) {
+  const std::int64_t n = 500;
+  const int p = 6;
+  for (const char* spec : {"AFS", "AFS-LE", "WS", "STATIC", "BEST-STATIC"}) {
+    ThreadPool pool(p);
+    auto threaded = make_scheduler(spec);
+    std::atomic<std::int64_t> executed{0};
+    parallel_for(pool, *threaded, n, [&executed](IterRange r, int) {
+      executed.fetch_add(r.size(), std::memory_order_relaxed);
+    });
+    EXPECT_EQ(executed.load(), n) << spec << " (threads)";
+
+    MachineSim sim(iris());
+    auto simulated = make_scheduler(spec);
+    const SimResult r = sim.run(balanced_program(n), *simulated, p);
+    EXPECT_EQ(r.iterations, n) << spec << " (sim)";
+  }
+}
+
+TEST(CrossSubstrate, AfsLocalPlusRemoteIterationsAgree) {
+  // Split between local and steal traffic differs (timing-dependent) but
+  // the sum is the loop size on both substrates.
+  const std::int64_t n = 640;
+  const int p = 8;
+  ThreadPool pool(p);
+  auto threaded = make_scheduler("AFS");
+  parallel_for(pool, *threaded, n, [](IterRange, int) {});
+  const QueueStats t = threaded->stats().total();
+  EXPECT_EQ(t.iters_local + t.iters_remote, n);
+
+  MachineSim sim(iris());
+  auto simulated = make_scheduler("AFS");
+  const SimResult r = sim.run(balanced_program(n), *simulated, p);
+  const QueueStats s = r.sched_stats.total();
+  EXPECT_EQ(s.iters_local + s.iters_remote, n);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,76 @@
+// End-to-end: every kernel must produce identical results under every
+// scheduler on the real-thread substrate — the schedulers may only change
+// *performance*, never *answers*.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "kernels/adjoint_convolution.hpp"
+#include "kernels/gauss.hpp"
+#include "kernels/sor.hpp"
+#include "kernels/transitive_closure.hpp"
+#include "sched/registry.hpp"
+#include "workload/graphs.hpp"
+
+namespace afs {
+namespace {
+
+class AllSchedulers : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(AllSchedulers, SorMatchesSerial) {
+  SorKernel serial(40), par(40);
+  serial.init(2);
+  par.init(2);
+  ThreadPool pool(4);
+  auto sched = make_scheduler(GetParam());
+  for (int e = 0; e < 4; ++e) {
+    serial.epoch_serial();
+    par.epoch_parallel(pool, *sched);
+  }
+  EXPECT_EQ(serial.grid(), par.grid());
+}
+
+TEST_P(AllSchedulers, GaussMatchesSerial) {
+  GaussKernel serial(40), par(40);
+  serial.init(4);
+  par.init(4);
+  serial.eliminate_serial();
+  ThreadPool pool(4);
+  auto sched = make_scheduler(GetParam());
+  par.eliminate_parallel(pool, *sched);
+  EXPECT_EQ(serial.matrix(), par.matrix());
+}
+
+TEST_P(AllSchedulers, TransitiveClosureMatchesSerial) {
+  const auto g = random_graph(40, 0.08, 6);
+  TransitiveClosureKernel serial(g), par(g);
+  serial.run_serial();
+  ThreadPool pool(4);
+  auto sched = make_scheduler(GetParam());
+  par.run_parallel(pool, *sched);
+  EXPECT_EQ(serial.matrix(), par.matrix());
+}
+
+TEST_P(AllSchedulers, AdjointMatchesSerial) {
+  AdjointConvolutionKernel serial(7, 5), par(7, 5);
+  serial.run_serial();
+  ThreadPool pool(4);
+  auto sched = make_scheduler(GetParam());
+  par.run_parallel(pool, *sched);
+  EXPECT_EQ(serial.checksum(), par.checksum());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperSet, AllSchedulers,
+    ::testing::Values("STATIC", "SS", "CHUNK(4)", "GSS", "GSS(2)", "FACTORING",
+                      "TRAPEZOID", "MOD-FACTORING", "AFS", "AFS(k=2)",
+                      "AFS-LE", "BEST-STATIC", "REV:FACTORING", "TAPER(0.5)"),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string s = param_info.param;
+      for (char& c : s)
+        if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+      return s;
+    });
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,72 @@
+#include "kernels/adjoint_convolution.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+
+namespace afs {
+namespace {
+
+TEST(Adjoint, SerialDeterministic) {
+  AdjointConvolutionKernel a(8, 3), b(8, 3);
+  a.run_serial();
+  b.run_serial();
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(Adjoint, ParallelMatchesSerialBitExact) {
+  AdjointConvolutionKernel serial(10, 7), par(10, 7);
+  serial.run_serial();
+  ThreadPool pool(4);
+  auto sched = make_scheduler("FACTORING");
+  par.run_parallel(pool, *sched);
+  EXPECT_EQ(serial.checksum(), par.checksum());
+}
+
+TEST(Adjoint, ReverseSchedulingSameResult) {
+  AdjointConvolutionKernel serial(10, 7), par(10, 7);
+  serial.run_serial();
+  ThreadPool pool(4);
+  auto sched = make_scheduler("REV:GSS");
+  par.run_parallel(pool, *sched);
+  EXPECT_EQ(serial.checksum(), par.checksum());
+}
+
+TEST(Adjoint, SizeIsNSquared) {
+  EXPECT_EQ(AdjointConvolutionKernel(75, 1).m(), 5625);
+}
+
+TEST(Adjoint, ProgramCostsDecreaseLinearly) {
+  const auto prog = AdjointConvolutionKernel::program(75);
+  EXPECT_EQ(prog.epochs, 1);
+  const auto spec = prog.epoch_loops(0)[0];
+  EXPECT_EQ(spec.n, 5625);
+  EXPECT_DOUBLE_EQ(spec.work(0), 5625.0);
+  EXPECT_DOUBLE_EQ(spec.work(5624), 1.0);
+  EXPECT_EQ(spec.footprint, nullptr);  // affinity-free kernel
+}
+
+TEST(Adjoint, WorkSumMatchesPointwiseSum) {
+  const auto prog = AdjointConvolutionKernel::program(12);
+  const auto spec = prog.epoch_loops(0)[0];
+  ASSERT_NE(spec.work_sum, nullptr);
+  for (auto [b, e] : {std::pair<std::int64_t, std::int64_t>{0, 144},
+                      {10, 20},
+                      {143, 144},
+                      {0, 1},
+                      {50, 50}}) {
+    double s = 0.0;
+    for (std::int64_t i = b; i < e; ++i) s += spec.work(i);
+    EXPECT_DOUBLE_EQ(spec.work_sum(b, e), s) << b << ".." << e;
+  }
+}
+
+TEST(Adjoint, OracleCostMatchesProgram) {
+  const auto cost = AdjointConvolutionKernel::cost(75);
+  const auto spec = AdjointConvolutionKernel::program(75).epoch_loops(0)[0];
+  for (std::int64_t i : {0, 100, 5624})
+    EXPECT_DOUBLE_EQ(cost(i), spec.work(i));
+}
+
+}  // namespace
+}  // namespace afs

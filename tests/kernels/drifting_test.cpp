@@ -1,0 +1,83 @@
+#include <gtest/gtest.h>
+
+#include "kernels/synthetic.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace afs {
+namespace {
+
+TEST(DriftingHotspot, BandCostsAndDrift) {
+  const auto prog = drifting_hotspot_program(100, 10, 10, 3.0, 50.0, 1.0);
+  const auto e0 = prog.epoch_loops(0)[0];
+  EXPECT_DOUBLE_EQ(e0.work(0), 50.0);
+  EXPECT_DOUBLE_EQ(e0.work(9), 50.0);
+  EXPECT_DOUBLE_EQ(e0.work(10), 1.0);
+  const auto e2 = prog.epoch_loops(2)[0];  // band starts at 6
+  EXPECT_DOUBLE_EQ(e2.work(5), 1.0);
+  EXPECT_DOUBLE_EQ(e2.work(6), 50.0);
+  EXPECT_DOUBLE_EQ(e2.work(15), 50.0);
+  EXPECT_DOUBLE_EQ(e2.work(16), 1.0);
+}
+
+TEST(DriftingHotspot, BandWrapsAround) {
+  // Epoch where the band crosses the end of the index space.
+  const auto prog = drifting_hotspot_program(100, 40, 10, 2.5, 50.0, 1.0);
+  const auto e38 = prog.epoch_loops(38)[0];  // start = 95
+  EXPECT_DOUBLE_EQ(e38.work(95), 50.0);
+  EXPECT_DOUBLE_EQ(e38.work(99), 50.0);
+  EXPECT_DOUBLE_EQ(e38.work(0), 50.0);  // wrapped
+  EXPECT_DOUBLE_EQ(e38.work(4), 50.0);
+  EXPECT_DOUBLE_EQ(e38.work(5), 1.0);
+}
+
+TEST(DriftingHotspot, TotalWorkConstantPerEpoch) {
+  const auto prog = drifting_hotspot_program(200, 8, 20, 7.0, 10.0, 1.0);
+  double first = 0.0;
+  for (int e = 0; e < 8; ++e) {
+    const auto spec = prog.epoch_loops(e)[0];
+    double total = 0.0;
+    for (std::int64_t i = 0; i < spec.n; ++i) total += spec.work(i);
+    if (e == 0)
+      first = total;
+    else
+      EXPECT_DOUBLE_EQ(total, first);
+  }
+}
+
+TEST(DriftingHotspot, FootprintOnlyWhenRequested) {
+  const auto no_rows = drifting_hotspot_program(50, 2, 5, 1.0);
+  EXPECT_EQ(no_rows.epoch_loops(0)[0].footprint, nullptr);
+  const auto rows = drifting_hotspot_program(50, 2, 5, 1.0, 50.0, 1.0, 8.0);
+  const auto spec = rows.epoch_loops(0)[0];
+  ASSERT_NE(spec.footprint, nullptr);
+  std::vector<BlockAccess> acc;
+  spec.footprint(7, acc);
+  ASSERT_EQ(acc.size(), 1u);
+  EXPECT_EQ(acc[0].block, 7);
+  EXPECT_TRUE(acc[0].write);
+  EXPECT_DOUBLE_EQ(acc[0].size, 8.0);
+}
+
+TEST(DriftingHotspot, LastExecutedSeedingStealsLessThanDeterministic) {
+  // §4.3's prediction: when imbalance drifts slowly, seeding each epoch
+  // with last epoch's execution avoids re-stealing the same iterations.
+  const auto prog =
+      drifting_hotspot_program(1024, 32, 128, 4.0, 50.0, 1.0, 32.0);
+  MachineSim sim(iris());
+  auto afs = make_scheduler("AFS");
+  auto le = make_scheduler("AFS-LE");
+  const SimResult r_afs = sim.run(prog, *afs, 8);
+  const SimResult r_le = sim.run(prog, *le, 8);
+  EXPECT_LT(r_le.remote_grabs, r_afs.remote_grabs);
+  EXPECT_LT(r_le.makespan, r_afs.makespan);
+}
+
+TEST(DriftingHotspot, RejectsBadParameters) {
+  EXPECT_THROW(drifting_hotspot_program(10, 0, 5, 1.0), CheckFailure);
+  EXPECT_THROW(drifting_hotspot_program(10, 1, 11, 1.0), CheckFailure);
+}
+
+}  // namespace
+}  // namespace afs

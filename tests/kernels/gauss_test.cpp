@@ -1,0 +1,77 @@
+#include "kernels/gauss.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+
+namespace afs {
+namespace {
+
+TEST(Gauss, ParallelMatchesSerialBitExact) {
+  GaussKernel serial(64), par(64);
+  serial.init(11);
+  par.init(11);
+  serial.eliminate_serial();
+  ThreadPool pool(4);
+  auto sched = make_scheduler("GSS");
+  par.eliminate_parallel(pool, *sched);
+  EXPECT_EQ(serial.matrix(), par.matrix());
+}
+
+TEST(Gauss, EliminationZeroesBelowDiagonal) {
+  GaussKernel k(32);
+  k.init(3);
+  k.eliminate_serial();
+  for (std::int64_t i = 1; i < 32; ++i)
+    for (std::int64_t j = 0; j < i; ++j)
+      EXPECT_NEAR(k.matrix()(i, j), 0.0, 1e-9) << i << "," << j;
+}
+
+TEST(Gauss, DiagonalStaysNonZero) {
+  // Diagonal dominance guarantees pivots never vanish.
+  GaussKernel k(48);
+  k.init(21);
+  k.eliminate_serial();
+  for (std::int64_t i = 0; i < 48; ++i)
+    EXPECT_GT(std::abs(k.matrix()(i, i)), 1e-6);
+}
+
+TEST(Gauss, ProgramEpochShapes) {
+  const auto prog = GaussKernel::program(100);
+  EXPECT_EQ(prog.epochs, 99);
+  const auto first = prog.epoch_loops(0)[0];
+  EXPECT_EQ(first.n, 99);
+  EXPECT_DOUBLE_EQ(first.work(0), 100.0 * 2.0);
+  const auto last = prog.epoch_loops(98)[0];
+  EXPECT_EQ(last.n, 1);
+  EXPECT_DOUBLE_EQ(last.work(0), 2.0 * 2.0);
+}
+
+TEST(Gauss, ProgramFootprintPivotAndOwnRow) {
+  const auto prog = GaussKernel::program(100);
+  const auto spec = prog.epoch_loops(10)[0];
+  std::vector<BlockAccess> acc;
+  spec.footprint(5, acc);  // epoch 10, iteration 5 -> row 16
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0].block, 10);   // pivot row
+  EXPECT_FALSE(acc[0].write);
+  EXPECT_EQ(acc[1].block, 16);   // own row
+  EXPECT_TRUE(acc[1].write);
+  EXPECT_DOUBLE_EQ(acc[1].size, 90.0);  // active width n - e
+}
+
+TEST(Gauss, EpochCostUniformWithinEpoch) {
+  const auto cost = GaussKernel::epoch_cost(100, 10);
+  EXPECT_DOUBLE_EQ(cost(0), 90.0);
+  EXPECT_DOUBLE_EQ(cost(50), 90.0);
+}
+
+TEST(Gauss, OneByOneMatrixIsTrivial) {
+  GaussKernel k(1);
+  k.init(1);
+  k.eliminate_serial();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,92 @@
+#include "kernels/l4.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+
+namespace afs {
+namespace {
+
+L4Config small_config() {
+  L4Config c;
+  c.outer = 3;  // keep real-thread tests quick
+  return c;
+}
+
+TEST(L4, CostTablesMatchFigure2Structure) {
+  L4Kernel k(small_config());
+  EXPECT_EQ(k.costs(0, 0).size(), 1000u);  // 10*10*10
+  EXPECT_EQ(k.costs(0, 1).size(), 100u);
+  EXPECT_EQ(k.costs(0, 2).size(), 80u);  // 20*4
+  for (double c : k.costs(0, 0)) EXPECT_TRUE(c == 10.0 || c == 60.0);
+  for (double c : k.costs(0, 1)) {
+    EXPECT_GE(c, 550.0);   // 50 + 5*100
+    EXPECT_LE(c, 700.0);   // + 5*30
+  }
+  for (double c : k.costs(0, 2)) EXPECT_EQ(c, 30.0);
+}
+
+TEST(L4, DeterministicInSeed) {
+  L4Kernel a(small_config()), b(small_config());
+  EXPECT_EQ(a.total_units(), b.total_units());
+  EXPECT_EQ(a.costs(1, 0), b.costs(1, 0));
+}
+
+TEST(L4, CoinFlipFrequencyNearHalf) {
+  L4Config c;
+  c.outer = 20;
+  L4Kernel k(c);
+  int heavy = 0, total = 0;
+  for (int e = 0; e < 20; ++e)
+    for (double cost : k.costs(e, 0)) {
+      if (cost == 60.0) ++heavy;
+      ++total;
+    }
+  EXPECT_NEAR(static_cast<double>(heavy) / total, 0.5, 0.03);
+}
+
+TEST(L4, SerialExecutesExactlyTotalUnits) {
+  L4Kernel k(small_config());
+  EXPECT_EQ(k.run_serial(), k.total_units());
+}
+
+TEST(L4, ParallelExecutesExactlyTotalUnits) {
+  L4Kernel k(small_config());
+  ThreadPool pool(4);
+  for (const char* spec : {"AFS", "GSS", "TRAPEZOID", "STATIC"}) {
+    auto sched = make_scheduler(spec);
+    EXPECT_EQ(k.run_parallel(pool, *sched), k.total_units()) << spec;
+  }
+}
+
+TEST(L4, ProgramHasThreeLoopsPerEpoch) {
+  L4Kernel k(small_config());
+  const auto prog = k.program();
+  EXPECT_EQ(prog.epochs, 3);
+  const auto loops = prog.epoch_loops(1);
+  ASSERT_EQ(loops.size(), 3u);
+  EXPECT_EQ(loops[0].n, 1000);
+  EXPECT_EQ(loops[1].n, 100);
+  EXPECT_EQ(loops[2].n, 80);
+  EXPECT_EQ(loops[0].footprint, nullptr);  // no memory accesses in L4
+}
+
+TEST(L4, ProgramCostsMatchTables) {
+  L4Kernel k(small_config());
+  const auto prog = k.program();
+  const auto loops = prog.epoch_loops(2);
+  for (std::int64_t i = 0; i < 10; ++i)
+    EXPECT_DOUBLE_EQ(loops[0].work(i), k.costs(2, 0)[static_cast<std::size_t>(i)]);
+}
+
+TEST(L4, ZeroIfProbRemovesConditionals) {
+  L4Config c;
+  c.outer = 1;
+  c.if_prob = 0.0;
+  L4Kernel k(c);
+  for (double cost : k.costs(0, 0)) EXPECT_EQ(cost, 10.0);
+  for (double cost : k.costs(0, 1)) EXPECT_EQ(cost, 550.0);
+}
+
+}  // namespace
+}  // namespace afs

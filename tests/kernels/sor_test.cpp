@@ -1,0 +1,96 @@
+#include "kernels/sor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sched/registry.hpp"
+
+namespace afs {
+namespace {
+
+TEST(Sor, SerialSweepIsDeterministic) {
+  SorKernel a(32), b(32);
+  a.init(1);
+  b.init(1);
+  for (int e = 0; e < 4; ++e) {
+    a.epoch_serial();
+    b.epoch_serial();
+  }
+  EXPECT_EQ(a.checksum(), b.checksum());
+}
+
+TEST(Sor, ParallelMatchesSerialBitExact) {
+  SorKernel serial(48), par(48);
+  serial.init(9);
+  par.init(9);
+  ThreadPool pool(4);
+  auto sched = make_scheduler("AFS");
+  for (int e = 0; e < 5; ++e) {
+    serial.epoch_serial();
+    par.epoch_parallel(pool, *sched);
+  }
+  EXPECT_EQ(serial.grid(), par.grid());
+}
+
+TEST(Sor, BoundaryRowsFixed) {
+  SorKernel k(16);
+  k.init(3);
+  const auto before_top = std::vector<double>(k.grid().row(0).begin(),
+                                              k.grid().row(0).end());
+  k.epoch_serial();
+  k.epoch_serial();
+  for (std::int64_t c = 0; c < 16; ++c)
+    EXPECT_EQ(k.grid()(0, c), before_top[static_cast<std::size_t>(c)]);
+}
+
+TEST(Sor, SweepSmoothsTheGrid) {
+  // Relaxation reduces the interior's deviation from the local mean;
+  // check total variation decreases over sweeps.
+  SorKernel k(32);
+  k.init(5);
+  auto variation = [&] {
+    double v = 0.0;
+    for (std::int64_t j = 1; j < 31; ++j)
+      for (std::int64_t c = 1; c < 31; ++c)
+        v += std::abs(k.grid()(j, c) - k.grid()(j, c - 1));
+    return v;
+  };
+  const double before = variation();
+  for (int e = 0; e < 10; ++e) k.epoch_serial();
+  EXPECT_LT(variation(), before);
+}
+
+TEST(Sor, ProgramShape) {
+  const auto prog = SorKernel::program(512, 16);
+  EXPECT_EQ(prog.epochs, 16);
+  const auto loops = prog.epoch_loops(0);
+  ASSERT_EQ(loops.size(), 1u);
+  EXPECT_EQ(loops[0].n, 512);
+  EXPECT_DOUBLE_EQ(loops[0].work(7), 512.0 * 5.0);
+}
+
+TEST(Sor, ProgramFootprintIsRowNeighborhood) {
+  const auto prog = SorKernel::program(100, 1);
+  const auto spec = prog.epoch_loops(0)[0];
+  std::vector<BlockAccess> acc;
+  spec.footprint(50, acc);
+  ASSERT_EQ(acc.size(), 3u);
+  EXPECT_EQ(acc[0].block, 49);
+  EXPECT_FALSE(acc[0].write);
+  EXPECT_EQ(acc[1].block, 51);
+  EXPECT_EQ(acc[2].block, 50);
+  EXPECT_TRUE(acc[2].write);
+
+  acc.clear();
+  spec.footprint(0, acc);  // edge row: no row -1
+  ASSERT_EQ(acc.size(), 2u);
+  EXPECT_EQ(acc[0].block, 1);
+  EXPECT_EQ(acc[1].block, 0);
+}
+
+TEST(Sor, RejectsBadParameters) {
+  EXPECT_THROW(SorKernel(0), CheckFailure);
+  EXPECT_THROW(SorKernel(8, 2.5), CheckFailure);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,75 @@
+#include "kernels/synthetic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace afs {
+namespace {
+
+void expect_work_sum_consistent(const ParallelLoopSpec& spec) {
+  ASSERT_NE(spec.work_sum, nullptr);
+  const std::int64_t n = spec.n;
+  for (auto [b, e] : {std::pair<std::int64_t, std::int64_t>{0, n},
+                      {0, 1},
+                      {n - 1, n},
+                      {n / 3, 2 * n / 3},
+                      {5, 5}}) {
+    double s = 0.0;
+    for (std::int64_t i = b; i < e; ++i) s += spec.work(i);
+    EXPECT_NEAR(spec.work_sum(b, e), s, 1e-6 * std::max(1.0, s))
+        << "[" << b << "," << e << ")";
+  }
+}
+
+TEST(Synthetic, TriangularCostsAndSum) {
+  const auto spec = triangular_program(100).epoch_loops(0)[0];
+  EXPECT_DOUBLE_EQ(spec.work(0), 100.0);
+  EXPECT_DOUBLE_EQ(spec.work(99), 1.0);
+  expect_work_sum_consistent(spec);
+  EXPECT_DOUBLE_EQ(spec.work_sum(0, 100), 5050.0);
+}
+
+TEST(Synthetic, ParabolicCostsAndSum) {
+  const auto spec = parabolic_program(50).epoch_loops(0)[0];
+  EXPECT_DOUBLE_EQ(spec.work(0), 2500.0);
+  expect_work_sum_consistent(spec);
+}
+
+TEST(Synthetic, HeadHeavyCostsAndSum) {
+  const auto spec = head_heavy_program(1000).epoch_loops(0)[0];
+  EXPECT_DOUBLE_EQ(spec.work(0), 100.0);
+  EXPECT_DOUBLE_EQ(spec.work(100), 1.0);
+  expect_work_sum_consistent(spec);
+  EXPECT_DOUBLE_EQ(spec.work_sum(0, 1000), 100.0 * 100 + 900.0);
+}
+
+TEST(Synthetic, BalancedCostsAndSum) {
+  const auto spec = balanced_program(1000, 2.0).epoch_loops(0)[0];
+  EXPECT_DOUBLE_EQ(spec.work(123), 2.0);
+  expect_work_sum_consistent(spec);
+}
+
+TEST(Synthetic, HugeBalancedLoopSumIsO1) {
+  // Table 2's 200-million-iteration loop must be representable.
+  const auto spec = balanced_program(200'000'000).epoch_loops(0)[0];
+  EXPECT_DOUBLE_EQ(spec.work_sum(0, 200'000'000), 2e8);
+}
+
+TEST(Synthetic, AllAreSingleEpochNoFootprint) {
+  for (const auto& prog :
+       {triangular_program(10), parabolic_program(10), head_heavy_program(10),
+        balanced_program(10)}) {
+    EXPECT_EQ(prog.epochs, 1);
+    EXPECT_EQ(prog.epoch_loops(0)[0].footprint, nullptr);
+  }
+}
+
+TEST(Synthetic, HeadHeavyCustomParameters) {
+  const auto spec =
+      head_heavy_program(100, 0.5, 10.0, 2.0).epoch_loops(0)[0];
+  EXPECT_DOUBLE_EQ(spec.work(49), 10.0);
+  EXPECT_DOUBLE_EQ(spec.work(50), 2.0);
+  EXPECT_DOUBLE_EQ(spec.work_sum(0, 100), 50 * 10.0 + 50 * 2.0);
+}
+
+}  // namespace
+}  // namespace afs

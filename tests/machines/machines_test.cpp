@@ -1,0 +1,68 @@
+#include "machines/machines.hpp"
+
+#include <gtest/gtest.h>
+
+namespace afs {
+namespace {
+
+TEST(Machines, IrisShape) {
+  const auto m = iris();
+  EXPECT_EQ(m.name, "iris");
+  EXPECT_EQ(m.max_processors, 8);
+  EXPECT_EQ(m.interconnect, Interconnect::kBus);
+  EXPECT_GT(m.cache_capacity, 0.0);
+}
+
+TEST(Machines, ButterflyHasNoCaches) {
+  const auto m = butterfly1();
+  EXPECT_EQ(m.interconnect, Interconnect::kSwitch);
+  EXPECT_DOUBLE_EQ(m.cache_capacity, 0.0);
+  EXPECT_GE(m.max_processors, 56);
+}
+
+TEST(Machines, SymmetryIsComputeBound) {
+  // The defining ratio of §5.1: Symmetry compute is ~30x slower than Iris
+  // while its bus is comparable, so comm/compute is tiny.
+  const auto s = symmetry();
+  const auto i = iris();
+  EXPECT_NEAR(s.work_unit_time / i.work_unit_time, 30.0, 1.0);
+  EXPECT_LT(s.transfer_unit_time, i.transfer_unit_time);
+  EXPECT_LT(s.cache_capacity, i.cache_capacity);  // 64 KB vs 1 MB
+}
+
+TEST(Machines, Ksr1IsCommBoundWithExpensiveSync) {
+  const auto k = ksr1();
+  EXPECT_EQ(k.interconnect, Interconnect::kRing);
+  EXPECT_EQ(k.max_processors, 64);
+  EXPECT_GT(k.remote_sync_time, iris().remote_sync_time);
+  EXPECT_GT(k.miss_latency, iris().miss_latency);
+  EXPECT_GT(k.cache_capacity, iris().cache_capacity);  // 32 MB all-cache
+}
+
+TEST(Machines, Tc2000TrendRatios) {
+  // §5.1: TC2000 compute improved ~60x over Butterfly I, communication
+  // only ~2.5-3.6x, so the comm/compute ratio grew by more than 15x.
+  const auto b = butterfly1();
+  const auto t = tc2000();
+  const double compute_speedup = b.work_unit_time / t.work_unit_time;
+  const double latency_speedup = b.miss_latency / t.miss_latency;
+  EXPECT_NEAR(compute_speedup, 60.0, 1.0);
+  EXPECT_LT(latency_speedup, 4.0);
+  const double ratio_before = b.miss_latency / b.work_unit_time;
+  const double ratio_after = t.miss_latency / t.work_unit_time;
+  EXPECT_GT(ratio_after / ratio_before, 15.0);
+}
+
+TEST(Machines, AllConfigsInternallyConsistent) {
+  for (const auto& m : {iris(), butterfly1(), symmetry(), ksr1(), tc2000()}) {
+    EXPECT_GT(m.work_unit_time, 0.0) << m.name;
+    EXPECT_GE(m.cache_capacity, 0.0) << m.name;
+    EXPECT_GE(m.local_sync_time, 0.0) << m.name;
+    EXPECT_GE(m.remote_sync_time, m.local_sync_time) << m.name;
+    EXPECT_GE(m.max_processors, 8) << m.name;
+    EXPECT_LE(m.max_processors, 64) << m.name;
+  }
+}
+
+}  // namespace
+}  // namespace afs

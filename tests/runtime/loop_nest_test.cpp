@@ -1,0 +1,75 @@
+#include "runtime/loop_nest.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "sched/registry.hpp"
+
+namespace afs {
+namespace {
+
+TEST(Index2D, RoundTripsFlatAndPair) {
+  const Index2D space{7, 11};
+  EXPECT_EQ(space.size(), 77);
+  for (std::int64_t r = 0; r < 7; ++r)
+    for (std::int64_t c = 0; c < 11; ++c) {
+      const std::int64_t k = space.flat(r, c);
+      EXPECT_EQ(space.row(k), r);
+      EXPECT_EQ(space.col(k), c);
+    }
+}
+
+TEST(Index2D, RowMajorAdjacency) {
+  const Index2D space{4, 5};
+  EXPECT_EQ(space.flat(0, 4) + 1, space.flat(1, 0));
+}
+
+TEST(ParallelFor2D, VisitsEveryCellOnce) {
+  ThreadPool pool(4);
+  auto sched = make_scheduler("AFS");
+  std::vector<std::atomic<int>> hits(12 * 9);
+  for (auto& h : hits) h.store(0);
+  parallel_for_2d(pool, *sched, 12, 9,
+                  [&hits](std::int64_t r, std::int64_t c, int) {
+                    hits[static_cast<std::size_t>(r * 9 + c)].fetch_add(1);
+                  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ParallelFor2D, ZeroDimensions) {
+  ThreadPool pool(2);
+  auto sched = make_scheduler("GSS");
+  std::atomic<int> calls{0};
+  parallel_for_2d(pool, *sched, 0, 9,
+                  [&calls](std::int64_t, std::int64_t, int) { calls.fetch_add(1); });
+  parallel_for_2d(pool, *sched, 9, 0,
+                  [&calls](std::int64_t, std::int64_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+TEST(RunEpochs, BodySeesEveryEpochIterationPair) {
+  ThreadPool pool(3);
+  auto sched = make_scheduler("AFS");
+  std::vector<std::atomic<int>> hits(5 * 40);
+  for (auto& h : hits) h.store(0);
+  run_epochs(pool, *sched, 5, 40,
+             [&hits](int e, std::int64_t i, int) {
+               hits[static_cast<std::size_t>(e * 40 + i)].fetch_add(1);
+             });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  EXPECT_EQ(sched->stats().loops, 5);
+}
+
+TEST(RunEpochs, ZeroEpochsRunsNothing) {
+  ThreadPool pool(2);
+  auto sched = make_scheduler("GSS");
+  std::atomic<int> calls{0};
+  run_epochs(pool, *sched, 0, 100,
+             [&calls](int, std::int64_t, int) { calls.fetch_add(1); });
+  EXPECT_EQ(calls.load(), 0);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,73 @@
+#include "runtime/worker_stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "sched/registry.hpp"
+
+namespace afs {
+namespace {
+
+TEST(WorkerStats, CountsEveryIterationOnce) {
+  ThreadPool pool(4);
+  auto sched = make_scheduler("AFS");
+  const RunStats stats =
+      parallel_for_timed(pool, *sched, 1000, [](IterRange, int) {});
+  EXPECT_EQ(stats.total_iterations(), 1000);
+  EXPECT_EQ(stats.workers.size(), 4u);
+}
+
+TEST(WorkerStats, ChunkCountsMatchSchedulerGrabs) {
+  ThreadPool pool(3);
+  auto sched = make_scheduler("GSS");
+  const RunStats stats =
+      parallel_for_timed(pool, *sched, 500, [](IterRange, int) {});
+  std::int64_t chunks = 0;
+  for (const auto& w : stats.workers) chunks += w.chunks;
+  EXPECT_EQ(chunks, sched->stats().total().total_grabs());
+}
+
+TEST(WorkerStats, StaticIterationSplitIsEven) {
+  ThreadPool pool(4);
+  auto sched = make_scheduler("STATIC");
+  const RunStats stats =
+      parallel_for_timed(pool, *sched, 400, [](IterRange, int) {});
+  for (const auto& w : stats.workers) EXPECT_EQ(w.iterations, 100);
+  EXPECT_DOUBLE_EQ(stats.iteration_imbalance(), 1.0);
+}
+
+TEST(WorkerStats, BusyTimeAccumulates) {
+  ThreadPool pool(2);
+  auto sched = make_scheduler("CHUNK(10)");
+  const RunStats stats =
+      parallel_for_timed(pool, *sched, 20, [](IterRange, int) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      });
+  double busy = 0.0;
+  for (const auto& w : stats.workers) busy += w.busy_seconds;
+  EXPECT_GE(busy, 0.003);  // two chunks x 2ms, conservatively
+  EXPECT_GE(stats.elapsed_seconds, 0.0);
+}
+
+TEST(WorkerStats, ImbalanceDetectsSkew) {
+  // One iteration is 50x the others; with CHUNK(1000) (a single worker
+  // takes everything) imbalance is the worker count.
+  ThreadPool pool(4);
+  auto sched = make_scheduler("CHUNK(1000)");
+  const RunStats stats =
+      parallel_for_timed(pool, *sched, 1000, [](IterRange, int) {});
+  EXPECT_DOUBLE_EQ(stats.iteration_imbalance(), 4.0);
+}
+
+TEST(WorkerStats, EmptyLoop) {
+  ThreadPool pool(4);
+  auto sched = make_scheduler("GSS");
+  const RunStats stats =
+      parallel_for_timed(pool, *sched, 0, [](IterRange, int) {});
+  EXPECT_EQ(stats.total_iterations(), 0);
+  EXPECT_DOUBLE_EQ(stats.iteration_imbalance(), 1.0);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,244 @@
+#include "sched/affinity_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sched/bounds.hpp"
+#include "sched/range.hpp"
+
+namespace afs {
+namespace {
+
+// ------------------------------------------------- initial partition ----
+
+TEST(AffinityInitialChunk, PaperPartitionFormula) {
+  // Processor i gets [ceil(i*N/P), min(N, ceil((i+1)*N/P))).
+  EXPECT_EQ(affinity_initial_chunk(100, 4, 0), (IterRange{0, 25}));
+  EXPECT_EQ(affinity_initial_chunk(100, 4, 3), (IterRange{75, 100}));
+  EXPECT_EQ(affinity_initial_chunk(10, 3, 0), (IterRange{0, 4}));
+  EXPECT_EQ(affinity_initial_chunk(10, 3, 1), (IterRange{4, 7}));
+  EXPECT_EQ(affinity_initial_chunk(10, 3, 2), (IterRange{7, 10}));
+}
+
+TEST(AffinityInitialChunk, PartitionCoversAndIsDisjoint) {
+  for (std::int64_t n : {0, 1, 7, 100, 513}) {
+    for (int p : {1, 2, 3, 8, 17}) {
+      std::int64_t prev_end = 0;
+      for (int i = 0; i < p; ++i) {
+        const IterRange r = affinity_initial_chunk(n, p, i);
+        EXPECT_EQ(r.begin, prev_end) << n << "/" << p << "/" << i;
+        prev_end = r.end;
+      }
+      EXPECT_EQ(prev_end, n);
+    }
+  }
+}
+
+TEST(AffinityInitialChunk, FewerIterationsThanProcessors) {
+  // n=2, p=4: two processors get one iteration, two get none.
+  int nonempty = 0;
+  for (int i = 0; i < 4; ++i)
+    if (!affinity_initial_chunk(2, 4, i).empty()) ++nonempty;
+  EXPECT_EQ(nonempty, 2);
+}
+
+// -------------------------------------------------------- owner grabs ----
+
+TEST(AffinityScheduler, OwnerTakesOneOverKOfLocalQueue) {
+  // N=64, P=8 => 8 iterations per queue; k=P=8: grabs of 1/8 of remaining.
+  AffinityScheduler s;
+  s.start_loop(64, 8);
+  const Grab g1 = s.next(0);
+  EXPECT_EQ(g1.kind, GrabKind::kLocal);
+  EXPECT_EQ(g1.queue, 0);
+  EXPECT_EQ(g1.range, (IterRange{0, 1}));  // ceil(8/8) = 1
+}
+
+TEST(AffinityScheduler, ExplicitKTwoTakesHalf) {
+  AffinityOptions o;
+  o.k = 2;
+  AffinityScheduler s(o);
+  s.start_loop(64, 8);
+  EXPECT_EQ(s.next(0).range, (IterRange{0, 4}));  // ceil(8/2)
+  EXPECT_EQ(s.next(0).range, (IterRange{4, 6}));  // ceil(4/2)
+  EXPECT_EQ(s.next(0).range, (IterRange{6, 7}));
+  EXPECT_EQ(s.next(0).range, (IterRange{7, 8}));
+}
+
+TEST(AffinityScheduler, OwnerDrainSequenceMatchesDrainCount) {
+  AffinityOptions o;
+  o.k = 4;
+  AffinityScheduler s(o);
+  s.start_loop(400, 4);  // 100 per queue
+  int grabs = 0;
+  for (;;) {
+    const Grab g = s.next(2);
+    if (g.done() || g.kind != GrabKind::kLocal) break;
+    ++grabs;
+    if (g.queue != 2) break;
+    if (s.stats().queues[2].iters_local == 100) break;
+  }
+  EXPECT_EQ(grabs, drain_count(100, 4));
+}
+
+// ------------------------------------------------------------- steals ----
+
+TEST(AffinityScheduler, IdleProcessorStealsFromMostLoaded) {
+  AffinityScheduler s;
+  s.start_loop(40, 4);  // queues of 10 each
+  // Drain queue 0 completely via worker 0's local grabs.
+  Grab g = s.next(0);
+  while (!g.done() && g.kind == GrabKind::kLocal && g.queue == 0) g = s.next(0);
+  // That last grab is a steal from some other queue (all equally loaded:
+  // lowest id wins the tie -> queue 1), taking ceil(size/P) from the back.
+  EXPECT_EQ(g.kind, GrabKind::kRemote);
+  EXPECT_EQ(g.queue, 1);
+  EXPECT_EQ(g.range.size(), ceil_div(10, 4));
+  EXPECT_EQ(g.range.end, 20);  // stolen from the back of queue 1's [10,20)
+}
+
+TEST(AffinityScheduler, StealTakesFractionOfVictim) {
+  AffinityOptions o;
+  o.steal_denom = 2;  // steal half
+  AffinityScheduler s(o);
+  s.start_loop(40, 4);
+  Grab g = s.next(0);
+  while (!g.done() && g.kind == GrabKind::kLocal) g = s.next(0);
+  EXPECT_EQ(g.kind, GrabKind::kRemote);
+  EXPECT_EQ(g.range.size(), 5);  // half of victim's 10
+}
+
+TEST(AffinityScheduler, SingleWorkerDrainsEverything) {
+  AffinityScheduler s;
+  s.start_loop(100, 4);
+  std::int64_t seen = 0;
+  for (;;) {
+    const Grab g = s.next(1);
+    if (g.done()) break;
+    seen += g.range.size();
+  }
+  EXPECT_EQ(seen, 100);
+  EXPECT_TRUE(s.next(1).done());  // stays done
+}
+
+TEST(AffinityScheduler, StatsSeparateLocalAndRemote) {
+  AffinityScheduler s;
+  s.start_loop(100, 4);
+  while (!s.next(0).done()) {
+  }
+  const SyncStats stats = s.stats();
+  std::int64_t local = 0, remote = 0, il = 0, ir = 0;
+  for (const auto& q : stats.queues) {
+    local += q.local_grabs;
+    remote += q.remote_grabs;
+    il += q.iters_local;
+    ir += q.iters_remote;
+  }
+  EXPECT_GT(local, 0);
+  EXPECT_GT(remote, 0);       // worker 0 stole from queues 1..3
+  EXPECT_EQ(il + ir, 100);    // every iteration taken exactly once
+  EXPECT_EQ(stats.queues.size(), 4u);
+}
+
+// -------------------------------------------------------- determinism ----
+
+TEST(AffinityScheduler, DeterministicSeedingEveryEpoch) {
+  AffinityScheduler s;
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    s.start_loop(64, 8);
+    const Grab g = s.next(5);
+    EXPECT_EQ(g.range.begin, affinity_initial_chunk(64, 8, 5).begin);
+    // Drain to finish the epoch cleanly.
+    while (!s.next(5).done()) {
+    }
+    s.end_loop();
+  }
+}
+
+TEST(AffinityScheduler, NameEncodesOptions) {
+  EXPECT_EQ(AffinityScheduler().name(), "AFS");
+  AffinityOptions o;
+  o.k = 2;
+  EXPECT_EQ(AffinityScheduler(o).name(), "AFS(k=2)");
+  AffinityOptions le;
+  le.seeding = AffinityOptions::Seeding::kLastExecuted;
+  EXPECT_EQ(AffinityScheduler(le).name(), "AFS-LE");
+}
+
+// ---------------------------------------------------- last-executed ------
+
+TEST(AffinityScheduler, LastExecutedSeedsNextEpochWithExecutedSet) {
+  AffinityOptions o;
+  o.seeding = AffinityOptions::Seeding::kLastExecuted;
+  AffinityScheduler s(o);
+
+  // Epoch 1: worker 3 executes everything (workers 0-2 never ask).
+  s.start_loop(40, 4);
+  std::int64_t total = 0;
+  for (;;) {
+    const Grab g = s.next(3);
+    if (g.done()) break;
+    total += g.range.size();
+  }
+  EXPECT_EQ(total, 40);
+  s.end_loop();
+
+  // Epoch 2: queue 3 should hold all 40 iterations.
+  s.start_loop(40, 4);
+  std::int64_t q3 = 0;
+  for (;;) {
+    const Grab g = s.next(3);
+    if (g.done() || g.kind != GrabKind::kLocal) break;
+    q3 += g.range.size();
+  }
+  EXPECT_EQ(q3, 40);
+  s.end_loop();
+}
+
+TEST(AffinityScheduler, LastExecutedFallsBackOnShapeChange) {
+  AffinityOptions o;
+  o.seeding = AffinityOptions::Seeding::kLastExecuted;
+  AffinityScheduler s(o);
+  s.start_loop(40, 4);
+  while (!s.next(0).done()) {
+  }
+  s.end_loop();
+  // Different n: deterministic seeding must be used.
+  s.start_loop(32, 4);
+  const Grab g = s.next(2);
+  EXPECT_EQ(g.range.begin, affinity_initial_chunk(32, 4, 2).begin);
+}
+
+// -------------------------------------------------------- edge cases -----
+
+TEST(AffinityScheduler, EmptyLoop) {
+  AffinityScheduler s;
+  s.start_loop(0, 4);
+  for (int w = 0; w < 4; ++w) EXPECT_TRUE(s.next(w).done());
+}
+
+TEST(AffinityScheduler, NEqualsOne) {
+  AffinityScheduler s;
+  s.start_loop(1, 8);
+  std::int64_t got = 0;
+  for (int w = 0; w < 8; ++w) {
+    const Grab g = s.next(w);
+    if (!g.done()) got += g.range.size();
+  }
+  EXPECT_EQ(got, 1);
+}
+
+TEST(AffinityScheduler, ChangingPRebuildsQueues) {
+  AffinityScheduler s;
+  s.start_loop(100, 4);
+  while (!s.next(0).done()) {
+  }
+  s.start_loop(100, 8);
+  const Grab g = s.next(7);
+  EXPECT_EQ(g.range.begin, affinity_initial_chunk(100, 8, 7).begin);
+}
+
+}  // namespace
+}  // namespace afs

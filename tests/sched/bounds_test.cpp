@@ -1,0 +1,136 @@
+#include "sched/bounds.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace afs {
+namespace {
+
+// ---------------------------------------------------------- drain_count --
+
+TEST(DrainCount, KnownSmallValues) {
+  EXPECT_EQ(drain_count(0, 4), 0);
+  EXPECT_EQ(drain_count(1, 4), 1);
+  // 100 with k=4: 100->75->56->42->31->23->17->12->9->6->4->3->2->1->0.
+  EXPECT_EQ(drain_count(100, 4), 14);
+}
+
+TEST(DrainCount, KEqualsOneDrainsInOneGrab) {
+  for (std::int64_t n : {1, 10, 1000000}) EXPECT_EQ(drain_count(n, 1), 1);
+}
+
+TEST(DrainCount, MatchesLemma31Order) {
+  // Lemma 3.1: O(k log(N/k)). Verify the growth is within a constant of
+  // k*ln(N/k) + k for a range of N, k.
+  for (std::int64_t k : {2, 4, 8, 16}) {
+    for (std::int64_t n : {100, 1000, 10000, 100000}) {
+      const double bound =
+          static_cast<double>(k) *
+              std::log(static_cast<double>(n) / static_cast<double>(k)) +
+          2.0 * static_cast<double>(k);
+      EXPECT_LE(static_cast<double>(drain_count(n, k)), bound + 1.0)
+          << "n=" << n << " k=" << k;
+    }
+  }
+}
+
+TEST(DrainCount, MonotoneInN) {
+  for (std::int64_t n = 1; n < 500; ++n)
+    EXPECT_LE(drain_count(n, 4), drain_count(n + 1, 4));
+}
+
+// -------------------------------------------------- Theorem 3.1 (sync) --
+
+TEST(AfsSyncBound, ComposesOwnerAndThiefDrains) {
+  EXPECT_EQ(afs_queue_sync_bound(800, 8, 8),
+            drain_count(100, 8) + drain_count(100, 8));
+  EXPECT_EQ(afs_queue_sync_bound(800, 8, 2),
+            drain_count(100, 2) + drain_count(100, 8));
+}
+
+TEST(AfsSyncBound, SmallerKMeansFewerLocalOps) {
+  EXPECT_LT(afs_queue_sync_bound(10000, 8, 2),
+            afs_queue_sync_bound(10000, 8, 8));
+}
+
+// ---------------------------------------------- Theorem 3.2 (imbalance) --
+
+TEST(ImbalanceBound, KEqualsPGivesOneIteration) {
+  // The paper: with k = P all processors finish within one iteration.
+  EXPECT_DOUBLE_EQ(afs_imbalance_bound(100000, 8, 8), 1.0);
+  EXPECT_DOUBLE_EQ(afs_imbalance_bound(12345, 16, 16), 1.0);
+}
+
+TEST(ImbalanceBound, SmallKGrowsWithN) {
+  const double b1 = afs_imbalance_bound(1000, 8, 2);
+  const double b2 = afs_imbalance_bound(2000, 8, 2);
+  EXPECT_NEAR(b2 - 1.0, 2.0 * (b1 - 1.0), 1e-9);
+}
+
+TEST(ImbalanceBound, FormulaMatchesPaper) {
+  // N(P-k)/(P(P-1)k) + 1 at N=1000, P=8, k=2: 1000*6/(8*7*2)+1.
+  EXPECT_NEAR(afs_imbalance_bound(1000, 8, 2), 1000.0 * 6 / 112 + 1, 1e-12);
+}
+
+TEST(ImbalanceBound, SingleProcessorDegenerate) {
+  EXPECT_DOUBLE_EQ(afs_imbalance_bound(1000, 1, 1), 1.0);
+}
+
+// -------------------------------------------------- Theorem 3.3 (chunk) --
+
+TEST(Theorem33Chunk, UniformWorkloadGivesNOverP) {
+  EXPECT_EQ(theorem33_chunk(1000, 4, 0), 250);
+}
+
+TEST(Theorem33Chunk, TriangularGivesNOver2P) {
+  EXPECT_EQ(theorem33_chunk(1000, 4, 1), 125);
+}
+
+TEST(Theorem33Chunk, ParabolicGivesNOver3P) {
+  EXPECT_EQ(theorem33_chunk(1200, 4, 2), 100);
+}
+
+TEST(Theorem33Chunk, WorkFractionStaysBelowOneOverP) {
+  // The theorem's claim, verified numerically over a sweep.
+  for (int degree : {0, 1, 2, 3}) {
+    for (int p : {2, 4, 8, 16}) {
+      for (std::int64_t r : {100, 500, 2000}) {
+        const std::int64_t chunk = theorem33_chunk(r, p, degree);
+        const double frac = leading_work_fraction(r, chunk, degree);
+        // Allow the +1-iteration discretization slack the proof carries.
+        const double slack =
+            leading_work_fraction(r, 1, degree);  // one iteration's share
+        EXPECT_LE(frac, 1.0 / p + slack)
+            << "deg=" << degree << " p=" << p << " r=" << r;
+      }
+    }
+  }
+}
+
+TEST(LeadingWorkFraction, FullChunkIsEverything) {
+  EXPECT_DOUBLE_EQ(leading_work_fraction(100, 100, 2), 1.0);
+}
+
+TEST(LeadingWorkFraction, DecreasingWorkloadFrontLoadsWork) {
+  // First 10% of a parabolic loop holds well over 10% of the work.
+  EXPECT_GT(leading_work_fraction(1000, 100, 2), 0.25);
+}
+
+// ---------------------------------------------------------- comparisons --
+
+TEST(SyncComparisons, PaperSection3Ordering) {
+  // §3: GSS induces O(P log(N/P)) ops; trapezoid ~4P; for big N:
+  // trapezoid < GSS < factoring in totals (Tables 3-5 ordering).
+  const std::int64_t n = 5625;
+  const int p = 8;
+  EXPECT_LT(trapezoid_chunk_count(n, p), gss_sync_count(n, p));
+}
+
+TEST(SyncComparisons, TrapezoidNear4P) {
+  EXPECT_NEAR(static_cast<double>(trapezoid_chunk_count(100000, 16)), 64.0,
+              8.0);
+}
+
+}  // namespace
+}  // namespace afs

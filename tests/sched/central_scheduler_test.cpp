@@ -1,0 +1,100 @@
+#include "sched/central_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/chunk_policy.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+namespace {
+
+TEST(CentralScheduler, GrabsAreContiguousAscending) {
+  CentralScheduler s(make_gss());
+  s.start_loop(100, 4);
+  std::int64_t expect_begin = 0;
+  for (;;) {
+    const Grab g = s.next(0);
+    if (g.done()) break;
+    EXPECT_EQ(g.range.begin, expect_begin);
+    EXPECT_EQ(g.kind, GrabKind::kCentral);
+    EXPECT_EQ(g.queue, 0);
+    expect_begin = g.range.end;
+  }
+  EXPECT_EQ(expect_begin, 100);
+}
+
+TEST(CentralScheduler, EmptyLoopImmediatelyDone) {
+  CentralScheduler s(make_self_sched());
+  s.start_loop(0, 4);
+  EXPECT_TRUE(s.next(0).done());
+}
+
+TEST(CentralScheduler, SelfSchedCountsOneSyncPerIteration) {
+  CentralScheduler s(make_self_sched());
+  s.start_loop(512, 8);
+  while (!s.next(3).done()) {
+  }
+  const SyncStats stats = s.stats();
+  EXPECT_EQ(stats.total().total_grabs(), 512);  // Table 3's SS row
+  EXPECT_EQ(stats.queues.size(), 1u);
+}
+
+TEST(CentralScheduler, StatsAccumulateAcrossLoops) {
+  CentralScheduler s(make_self_sched());
+  for (int e = 0; e < 3; ++e) {
+    s.start_loop(10, 2);
+    while (!s.next(0).done()) {
+    }
+    s.end_loop();
+  }
+  const SyncStats stats = s.stats();
+  EXPECT_EQ(stats.loops, 3);
+  EXPECT_EQ(stats.total().total_grabs(), 30);
+  EXPECT_DOUBLE_EQ(stats.grabs_per_loop(), 10.0);
+}
+
+TEST(CentralScheduler, ResetStatsClears) {
+  CentralScheduler s(make_gss());
+  s.start_loop(100, 4);
+  while (!s.next(0).done()) {
+  }
+  s.reset_stats();
+  EXPECT_EQ(s.stats().total().total_grabs(), 0);
+  EXPECT_EQ(s.stats().loops, 0);
+}
+
+TEST(CentralScheduler, CloneStartsFresh) {
+  CentralScheduler s(make_gss());
+  s.start_loop(100, 4);
+  (void)s.next(0);
+  auto c = s.clone();
+  EXPECT_EQ(c->stats().total().total_grabs(), 0);
+  c->start_loop(100, 4);
+  EXPECT_EQ(c->next(0).range.size(), 25);  // fresh GSS state
+}
+
+TEST(CentralScheduler, NameComesFromPolicy) {
+  EXPECT_EQ(CentralScheduler(make_gss()).name(), "GSS");
+  EXPECT_EQ(CentralScheduler(make_trapezoid()).name(), "TRAPEZOID");
+}
+
+TEST(CentralScheduler, NotIndexedCentralQueue) {
+  EXPECT_FALSE(CentralScheduler(make_gss()).central_queue_is_indexed());
+}
+
+TEST(CentralScheduler, RejectsNullPolicy) {
+  EXPECT_THROW(CentralScheduler(nullptr), CheckFailure);
+}
+
+TEST(CentralScheduler, IterationTotalsTracked) {
+  CentralScheduler s(make_factoring());
+  s.start_loop(1000, 4);
+  while (!s.next(0).done()) {
+  }
+  EXPECT_EQ(s.stats().total().iters_local, 1000);
+}
+
+}  // namespace
+}  // namespace afs

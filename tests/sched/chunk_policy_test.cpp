@@ -1,0 +1,242 @@
+#include "sched/chunk_policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "sched/range.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+namespace {
+
+// Drains a policy, returning the full chunk sequence.
+std::vector<std::int64_t> sequence(ChunkPolicy& policy, std::int64_t n, int p) {
+  policy.reset(n, p);
+  std::vector<std::int64_t> out;
+  std::int64_t remaining = n;
+  while (remaining > 0) {
+    const std::int64_t c = policy.next_chunk(remaining);
+    out.push_back(c);
+    remaining -= c;
+  }
+  return out;
+}
+
+std::int64_t total(const std::vector<std::int64_t>& seq) {
+  std::int64_t t = 0;
+  for (auto c : seq) t += c;
+  return t;
+}
+
+// ------------------------------------------------------------------- SS --
+
+TEST(SelfSched, AlwaysOne) {
+  auto p = make_self_sched();
+  const auto seq = sequence(*p, 17, 4);
+  EXPECT_EQ(seq.size(), 17u);
+  for (auto c : seq) EXPECT_EQ(c, 1);
+}
+
+// ---------------------------------------------------------------- CHUNK --
+
+TEST(FixedChunk, ExactDivision) {
+  auto p = make_fixed_chunk(5);
+  const auto seq = sequence(*p, 20, 3);
+  EXPECT_EQ(seq, (std::vector<std::int64_t>{5, 5, 5, 5}));
+}
+
+TEST(FixedChunk, LastChunkClipped) {
+  auto p = make_fixed_chunk(8);
+  const auto seq = sequence(*p, 20, 3);
+  EXPECT_EQ(seq, (std::vector<std::int64_t>{8, 8, 4}));
+}
+
+TEST(FixedChunk, RejectsNonPositiveK) {
+  EXPECT_THROW(make_fixed_chunk(0), CheckFailure);
+}
+
+// ------------------------------------------------------------------ GSS --
+
+TEST(Gss, ClassicSequenceN100P4) {
+  // ceil(R/4): 25,19,14,11,8,6,5,3,3,2,1,1,1,1 — hand-computed.
+  auto p = make_gss();
+  const auto seq = sequence(*p, 100, 4);
+  EXPECT_EQ(seq, (std::vector<std::int64_t>{25, 19, 14, 11, 8, 6, 5, 3, 3, 2,
+                                            1, 1, 1, 1}));
+}
+
+TEST(Gss, FirstChunkIsNOverP) {
+  auto p = make_gss();
+  p->reset(1000, 8);
+  EXPECT_EQ(p->next_chunk(1000), 125);
+}
+
+TEST(Gss, KFactorShrinksChunks) {
+  auto p = make_gss(2);
+  p->reset(1000, 8);
+  EXPECT_EQ(p->next_chunk(1000), 63);  // ceil(1000/16)
+}
+
+TEST(Gss, SingleProcessorTakesEverythingFirst) {
+  auto p = make_gss();
+  p->reset(50, 1);
+  EXPECT_EQ(p->next_chunk(50), 50);
+}
+
+TEST(Gss, CoversExactlyN) {
+  auto p = make_gss();
+  for (std::int64_t n : {1, 2, 7, 100, 12345}) {
+    for (int procs : {1, 2, 5, 16}) {
+      EXPECT_EQ(total(sequence(*p, n, procs)), n) << n << "/" << procs;
+    }
+  }
+}
+
+// ------------------------------------------------------------ FACTORING --
+
+TEST(Factoring, ClassicSequenceN1000P4) {
+  // Phases of 4 chunks: ceil(alpha*R/P) with alpha=1/2:
+  // 125x4 (R 1000->500), 63x4 (->248), 31x4 (->124), 16x4 (->60),
+  // 8x4 (->28), 4x4 (->12), 2x4 (->4), 1x4 (->0).
+  auto p = make_factoring();
+  const auto seq = sequence(*p, 1000, 4);
+  const std::vector<std::int64_t> expect{125, 125, 125, 125, 63, 63, 63, 63,
+                                         31,  31,  31,  31,  16, 16, 16, 16,
+                                         8,   8,   8,   8,   4,  4,  4,  4,
+                                         2,   2,   2,   2,   1,  1,  1,  1};
+  EXPECT_EQ(seq, expect);
+}
+
+TEST(Factoring, FirstChunkIsHalfOfGss) {
+  auto f = make_factoring();
+  auto g = make_gss();
+  f->reset(1000, 8);
+  g->reset(1000, 8);
+  EXPECT_EQ(f->next_chunk(1000), (g->next_chunk(1000) + 1) / 2);
+}
+
+TEST(Factoring, AlphaOneBehavesLikeGssPhases) {
+  auto p = make_factoring(1.0);
+  p->reset(100, 4);
+  EXPECT_EQ(p->next_chunk(100), 25);
+}
+
+TEST(Factoring, RejectsBadAlpha) {
+  EXPECT_THROW(make_factoring(0.0), CheckFailure);
+  EXPECT_THROW(make_factoring(1.5), CheckFailure);
+}
+
+TEST(Factoring, CoversExactlyN) {
+  auto p = make_factoring();
+  for (std::int64_t n : {1, 3, 100, 999, 5625}) {
+    for (int procs : {1, 4, 8, 60}) {
+      EXPECT_EQ(total(sequence(*p, n, procs)), n) << n << "/" << procs;
+    }
+  }
+}
+
+// ------------------------------------------------------------ TRAPEZOID --
+
+TEST(Trapezoid, FirstChunkIsNOver2P) {
+  auto p = make_trapezoid();
+  p->reset(1000, 4);
+  EXPECT_EQ(p->next_chunk(1000), 125);
+}
+
+TEST(Trapezoid, ChunksDecreaseLinearly) {
+  auto p = make_trapezoid();
+  const auto seq = sequence(*p, 1000, 4);
+  EXPECT_EQ(seq.front(), 125);
+  for (std::size_t i = 1; i < seq.size(); ++i)
+    EXPECT_LE(seq[i], seq[i - 1]) << "at " << i;
+  // Consecutive differences are near-constant (rounding allows +-1).
+  const auto delta0 = seq[0] - seq[1];
+  for (std::size_t i = 1; i + 2 < seq.size(); ++i) {
+    EXPECT_NEAR(static_cast<double>(seq[i] - seq[i + 1]),
+                static_cast<double>(delta0), 1.0);
+  }
+}
+
+TEST(Trapezoid, ChunkCountNear4P) {
+  // Tzen & Ni: n_c = ceil(2N/(f+l)) ~ 4P for f = N/2P, l = 1.
+  auto p = make_trapezoid();
+  const auto seq = sequence(*p, 10000, 8);
+  EXPECT_NEAR(static_cast<double>(seq.size()), 4.0 * 8, 4.0);
+}
+
+TEST(Trapezoid, ExplicitFirstLast) {
+  auto p = make_trapezoid(10, 2);
+  p->reset(100, 4);
+  EXPECT_EQ(p->next_chunk(100), 10);
+}
+
+TEST(Trapezoid, CoversExactlyN) {
+  auto p = make_trapezoid();
+  for (std::int64_t n : {1, 5, 512, 5000, 50000}) {
+    for (int procs : {1, 2, 8, 56}) {
+      EXPECT_EQ(total(sequence(*p, n, procs)), n) << n << "/" << procs;
+    }
+  }
+}
+
+// ---------------------------------------------------------------- TAPER --
+
+TEST(Taper, ZeroCvIsGss) {
+  auto t = make_taper(0.0);
+  auto g = make_gss();
+  t->reset(1000, 4);
+  g->reset(1000, 4);
+  std::int64_t r = 1000;
+  while (r > 0) {
+    const auto ct = t->next_chunk(r);
+    EXPECT_EQ(ct, g->next_chunk(r));
+    r -= ct;
+  }
+}
+
+TEST(Taper, HighVarianceShrinksChunks) {
+  auto t = make_taper(2.0);
+  t->reset(1000, 4);
+  EXPECT_EQ(t->next_chunk(1000), 84);  // ceil(1000/(3*4))
+}
+
+// ------------------------------------------------------------ universal --
+
+TEST(AllPolicies, CloneIsIndependent) {
+  // A clone must behave exactly like a fresh policy with the same
+  // configuration, regardless of the original's state.
+  for (auto make : {+[] { return make_gss(); }, +[] { return make_factoring(); },
+                    +[] { return make_trapezoid(); }}) {
+    auto original = make();
+    original->reset(977, 3);
+    (void)original->next_chunk(977);  // disturb the original's state
+    auto clone = original->clone();
+    auto fresh = make();
+    const auto got = sequence(*clone, 200, 2);
+    const auto expect = sequence(*fresh, 200, 2);
+    EXPECT_EQ(got, expect) << original->name();
+    // And cloning did not disturb the original either.
+    EXPECT_EQ(sequence(*original, 977, 3), sequence(*fresh, 977, 3));
+  }
+}
+
+TEST(AllPolicies, ResetRestartsState) {
+  auto p = make_factoring();
+  sequence(*p, 1000, 4);
+  const auto again = sequence(*p, 1000, 4);
+  EXPECT_EQ(again.front(), 125);  // phase state was reset
+}
+
+TEST(AllPolicies, NamesAreStable) {
+  EXPECT_EQ(make_self_sched()->name(), "SS");
+  EXPECT_EQ(make_fixed_chunk(8)->name(), "CHUNK(8)");
+  EXPECT_EQ(make_gss()->name(), "GSS");
+  EXPECT_EQ(make_gss(2)->name(), "GSS(2)");
+  EXPECT_EQ(make_factoring()->name(), "FACTORING");
+  EXPECT_EQ(make_trapezoid()->name(), "TRAPEZOID");
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,103 @@
+// Property tests shared by ALL schedulers: driven both single-threaded
+// (with randomized worker interleavings) and multi-threaded, every
+// scheduler must hand out each iteration of [0, n) exactly once, never
+// return an empty non-done grab, and terminate.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+#include "runtime/thread_pool.hpp"
+#include "sched/registry.hpp"
+#include "util/rng.hpp"
+
+namespace afs {
+namespace {
+
+using Param = std::tuple<std::string, std::int64_t, int>;  // spec, n, p
+
+class SchedulerCoverage : public ::testing::TestWithParam<Param> {};
+
+TEST_P(SchedulerCoverage, RandomInterleavingCoversExactlyOnce) {
+  const auto& [spec, n, p] = GetParam();
+  auto sched = make_scheduler(spec);
+  Xoshiro256 rng(0x9e3779b9);
+
+  for (int epoch = 0; epoch < 3; ++epoch) {  // re-use across epochs too
+    sched->start_loop(n, p);
+    std::vector<int> owner(static_cast<std::size_t>(n), -1);
+    std::vector<bool> done(static_cast<std::size_t>(p), false);
+    int done_count = 0;
+    while (done_count < p) {
+      const int w = static_cast<int>(rng.next_in(0, p - 1));
+      if (done[static_cast<std::size_t>(w)]) continue;
+      const Grab g = sched->next(w);
+      if (g.done()) {
+        done[static_cast<std::size_t>(w)] = true;
+        ++done_count;
+        continue;
+      }
+      ASSERT_FALSE(g.range.empty()) << spec << " returned an empty grab";
+      ASSERT_GE(g.range.begin, 0);
+      ASSERT_LE(g.range.end, n);
+      for (std::int64_t i = g.range.begin; i < g.range.end; ++i) {
+        ASSERT_EQ(owner[static_cast<std::size_t>(i)], -1)
+            << spec << ": iteration " << i << " granted twice (epoch "
+            << epoch << ")";
+        owner[static_cast<std::size_t>(i)] = w;
+      }
+    }
+    for (std::int64_t i = 0; i < n; ++i)
+      ASSERT_NE(owner[static_cast<std::size_t>(i)], -1)
+          << spec << ": iteration " << i << " never granted";
+    sched->end_loop();
+  }
+}
+
+TEST_P(SchedulerCoverage, MultiThreadedCoversExactlyOnce) {
+  const auto& [spec, n, p] = GetParam();
+  auto sched = make_scheduler(spec);
+  ThreadPool pool(p);
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  for (auto& h : hits) h.store(0);
+
+  parallel_for(pool, *sched, n, [&hits](IterRange r, int) {
+    for (std::int64_t i = r.begin; i < r.end; ++i)
+      hits[static_cast<std::size_t>(i)].fetch_add(1, std::memory_order_relaxed);
+  });
+
+  for (std::int64_t i = 0; i < n; ++i)
+    ASSERT_EQ(hits[static_cast<std::size_t>(i)].load(), 1)
+        << spec << ": iteration " << i;
+}
+
+std::vector<Param> coverage_params() {
+  const std::vector<std::string> specs = {
+      "SS",      "CHUNK(7)",    "GSS",       "GSS(2)",        "FACTORING",
+      "TRAPEZOID", "TAPER(1.0)", "STATIC",    "BEST-STATIC",   "MOD-FACTORING",
+      "AFS",     "AFS(k=2)",    "AFS-LE",    "AFS(steal=2)",  "REV:GSS",
+      "REV:TRAPEZOID"};
+  const std::vector<std::pair<std::int64_t, int>> shapes = {
+      {0, 4}, {1, 4}, {3, 8}, {64, 8}, {100, 3}, {513, 7}};
+  std::vector<Param> params;
+  for (const auto& s : specs)
+    for (const auto& [n, p] : shapes) params.emplace_back(s, n, p);
+  return params;
+}
+
+std::string param_name(const ::testing::TestParamInfo<Param>& info) {
+  const auto& [spec, n, p] = info.param;
+  std::string s = spec + "_n" + std::to_string(n) + "_p" + std::to_string(p);
+  for (char& c : s)
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSchedulers, SchedulerCoverage,
+                         ::testing::ValuesIn(coverage_params()), param_name);
+
+}  // namespace
+}  // namespace afs

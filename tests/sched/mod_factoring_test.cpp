@@ -1,0 +1,121 @@
+#include "sched/mod_factoring_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/range.hpp"
+
+namespace afs {
+namespace {
+
+TEST(ModFactoring, ReservedChunkGoesToOwner) {
+  ModFactoringScheduler s;
+  s.start_loop(1000, 4);
+  // Phase chunks of ceil(1000/(2*4)) = 125: slot i = [125i, 125(i+1)).
+  for (int w = 3; w >= 0; --w) {  // order must not matter
+    const Grab g = s.next(w);
+    EXPECT_EQ(g.range, (IterRange{125 * w, 125 * (w + 1)})) << "worker " << w;
+    EXPECT_EQ(g.kind, GrabKind::kCentral);
+  }
+  EXPECT_EQ(s.affine_grabs(), 4);
+  EXPECT_EQ(s.fallback_grabs(), 0);
+}
+
+TEST(ModFactoring, FallbackWhenOwnSlotTaken) {
+  ModFactoringScheduler s;
+  s.start_loop(1000, 4);
+  (void)s.next(0);  // own slot 0
+  (void)s.next(0);  // 0's slot gone: takes first unclaimed = slot 1
+  const Grab g = s.next(1);  // 1's slot gone too: takes slot 2
+  EXPECT_EQ(g.range, (IterRange{250, 375}));
+  EXPECT_EQ(s.fallback_grabs(), 2);
+}
+
+TEST(ModFactoring, PhasesMatchFactoringSizes) {
+  ModFactoringScheduler s;
+  s.start_loop(1000, 4);
+  std::vector<std::int64_t> sizes;
+  while (true) {
+    const Grab g = s.next(0);
+    if (g.done()) break;
+    sizes.push_back(g.range.size());
+  }
+  // Same sizes as plain factoring (see chunk_policy_test).
+  const std::vector<std::int64_t> expect{125, 125, 125, 125, 63, 63, 63, 63,
+                                         31,  31,  31,  31,  16, 16, 16, 16,
+                                         8,   8,   8,   8,   4,  4,  4,  4,
+                                         2,   2,   2,   2,   1,  1,  1,  1};
+  EXPECT_EQ(sizes, expect);
+}
+
+TEST(ModFactoring, CoversEveryIteration) {
+  for (std::int64_t n : {1, 7, 100, 999}) {
+    for (int p : {1, 3, 8}) {
+      ModFactoringScheduler s;
+      s.start_loop(n, p);
+      std::vector<bool> seen(static_cast<std::size_t>(n), false);
+      for (int w = 0;; w = (w + 1) % p) {
+        const Grab g = s.next(w);
+        if (g.done()) break;
+        for (std::int64_t i = g.range.begin; i < g.range.end; ++i) {
+          EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+          seen[static_cast<std::size_t>(i)] = true;
+        }
+      }
+      for (bool b : seen) EXPECT_TRUE(b);
+    }
+  }
+}
+
+TEST(ModFactoring, IsIndexedCentralQueue) {
+  EXPECT_TRUE(ModFactoringScheduler().central_queue_is_indexed());
+}
+
+TEST(ModFactoring, EmptyLoop) {
+  ModFactoringScheduler s;
+  s.start_loop(0, 4);
+  EXPECT_TRUE(s.next(0).done());
+}
+
+TEST(ModFactoring, SmallLoopManyProcessors) {
+  // n < P: only some slots are non-empty in phase 1.
+  ModFactoringScheduler s;
+  s.start_loop(3, 8);
+  std::int64_t total = 0;
+  for (int w = 0; w < 8; ++w) {
+    const Grab g = s.next(w);
+    if (!g.done()) total += g.range.size();
+  }
+  EXPECT_EQ(total, 3);
+}
+
+TEST(ModFactoring, StatsCountCentralGrabs) {
+  ModFactoringScheduler s;
+  s.start_loop(1000, 4);
+  while (!s.next(0).done()) {
+  }
+  EXPECT_EQ(s.stats().total().total_grabs(), 32);  // factoring's grab count
+  EXPECT_EQ(s.stats().total().iters_local, 1000);
+}
+
+TEST(ModFactoring, AffinityRetainedAcrossEpochsForSameWorker) {
+  // Deterministic slot mapping: worker 2's first grab is identical every
+  // epoch, which is what preserves cache affinity.
+  ModFactoringScheduler s;
+  IterRange first_epoch{};
+  for (int e = 0; e < 3; ++e) {
+    s.start_loop(1000, 4);
+    const Grab g = s.next(2);
+    if (e == 0)
+      first_epoch = g.range;
+    else
+      EXPECT_EQ(g.range, first_epoch);
+    while (!s.next(2).done()) {
+    }
+    s.end_loop();
+  }
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,112 @@
+#include "sched/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/check.hpp"
+
+namespace afs {
+namespace {
+
+TEST(Registry, CanonicalSpecs) {
+  EXPECT_EQ(make_scheduler("SS")->name(), "SS");
+  EXPECT_EQ(make_scheduler("GSS")->name(), "GSS");
+  EXPECT_EQ(make_scheduler("GSS(2)")->name(), "GSS(2)");
+  EXPECT_EQ(make_scheduler("CHUNK(16)")->name(), "CHUNK(16)");
+  EXPECT_EQ(make_scheduler("FACTORING")->name(), "FACTORING");
+  EXPECT_EQ(make_scheduler("TRAPEZOID")->name(), "TRAPEZOID");
+  EXPECT_EQ(make_scheduler("STATIC")->name(), "STATIC");
+  EXPECT_EQ(make_scheduler("BEST-STATIC")->name(), "BEST-STATIC");
+  EXPECT_EQ(make_scheduler("MOD-FACTORING")->name(), "MOD-FACTORING");
+  EXPECT_EQ(make_scheduler("AFS")->name(), "AFS");
+  EXPECT_EQ(make_scheduler("AFS(k=2)")->name(), "AFS(k=2)");
+  EXPECT_EQ(make_scheduler("AFS-LE")->name(), "AFS-LE");
+}
+
+TEST(Registry, Aliases) {
+  EXPECT_EQ(make_scheduler("FACT")->name(), "FACTORING");
+  EXPECT_EQ(make_scheduler("TSS")->name(), "TRAPEZOID");
+  EXPECT_EQ(make_scheduler("MODFACT")->name(), "MOD-FACTORING");
+  EXPECT_EQ(make_scheduler("BEST")->name(), "BEST-STATIC");
+}
+
+TEST(Registry, CaseInsensitive) {
+  EXPECT_EQ(make_scheduler("gss")->name(), "GSS");
+  EXPECT_EQ(make_scheduler("afs")->name(), "AFS");
+  EXPECT_EQ(make_scheduler("Trapezoid")->name(), "TRAPEZOID");
+}
+
+TEST(Registry, ReverseWrapping) {
+  EXPECT_EQ(make_scheduler("REV:GSS")->name(), "REV:GSS");
+  EXPECT_EQ(make_scheduler("rev:factoring")->name(), "REV:FACTORING");
+}
+
+TEST(Registry, AfsStealDenomSpec) {
+  auto s = make_scheduler("AFS(steal=2)");
+  EXPECT_NE(s->name().find("steal=1/2"), std::string::npos);
+}
+
+TEST(Registry, UnknownSpecThrows) {
+  EXPECT_THROW(make_scheduler("NOPE"), CheckFailure);
+  EXPECT_THROW(make_scheduler(""), CheckFailure);
+}
+
+TEST(Registry, MalformedArgumentsThrowCheckFailure) {
+  // Garbage inside the parentheses must surface as a CheckFailure naming
+  // the spec, never as a bare std::invalid_argument from stoi.
+  EXPECT_THROW(make_scheduler("CHUNK(abc)"), CheckFailure);
+  EXPECT_THROW(make_scheduler("CHUNK()"), CheckFailure);
+  EXPECT_THROW(make_scheduler("GSS(2x)"), CheckFailure);
+  EXPECT_THROW(make_scheduler("TAPER(one)"), CheckFailure);
+  EXPECT_THROW(make_scheduler("AFS(k=)"), CheckFailure);
+  EXPECT_THROW(make_scheduler("AFS-RAND(?)"), CheckFailure);
+}
+
+TEST(Registry, MalformedArgumentMessageNamesTheSpec) {
+  try {
+    make_scheduler("CHUNK(abc)");
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("CHUNK(abc)"), std::string::npos);
+  }
+}
+
+TEST(Registry, ExtendedSpecsResolve) {
+  EXPECT_NO_THROW(make_scheduler("AFS-RAND"));
+  EXPECT_NO_THROW(make_scheduler("AFS-RAND(4)"));
+  EXPECT_NO_THROW(make_scheduler("WS"));
+  EXPECT_NO_THROW(make_scheduler("REV:REV:GSS"));  // adapters compose
+}
+
+TEST(Registry, PaperSetContainsEightAlgorithms) {
+  const auto specs = paper_scheduler_specs();
+  EXPECT_EQ(specs.size(), 8u);
+  for (const auto& spec : specs) EXPECT_NO_THROW(make_scheduler(spec));
+}
+
+TEST(Registry, ButterflySetIsDynamicTrio) {
+  const auto specs = butterfly_scheduler_specs();
+  EXPECT_EQ(specs.size(), 3u);
+}
+
+TEST(Registry, SchedulersAreFunctional) {
+  // Every registry spec must produce a scheduler that can drain a loop.
+  for (const auto& spec : paper_scheduler_specs()) {
+    auto s = make_scheduler(spec);
+    s->start_loop(50, 4);
+    std::int64_t total = 0;
+    int consecutive_done = 0;
+    for (int w = 0; consecutive_done < 4; w = (w + 1) % 4) {
+      const Grab g = s->next(w);
+      if (g.done()) {
+        ++consecutive_done;
+      } else {
+        consecutive_done = 0;
+        total += g.range.size();
+      }
+    }
+    EXPECT_EQ(total, 50) << spec;
+  }
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,90 @@
+#include "sched/reverse_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sched/central_scheduler.hpp"
+#include "sched/chunk_policy.hpp"
+#include "sched/mod_factoring_scheduler.hpp"
+#include "sched/registry.hpp"
+
+namespace afs {
+namespace {
+
+TEST(ReverseScheduler, FirstGrabCoversTheTail) {
+  ReverseScheduler s(std::make_unique<CentralScheduler>(make_gss()));
+  s.start_loop(100, 4);
+  const Grab g = s.next(0);
+  // GSS virtual chunk [0,25) maps to real [75,100).
+  EXPECT_EQ(g.range, (IterRange{75, 100}));
+}
+
+TEST(ReverseScheduler, CoversEveryIterationExactlyOnce) {
+  ReverseScheduler s(std::make_unique<CentralScheduler>(make_factoring()));
+  s.start_loop(321, 5);
+  std::vector<bool> seen(321, false);
+  for (;;) {
+    const Grab g = s.next(0);
+    if (g.done()) break;
+    for (std::int64_t i = g.range.begin; i < g.range.end; ++i) {
+      EXPECT_FALSE(seen[static_cast<std::size_t>(i)]);
+      seen[static_cast<std::size_t>(i)] = true;
+    }
+  }
+  for (bool b : seen) EXPECT_TRUE(b);
+}
+
+TEST(ReverseScheduler, RangesDescendOverTime) {
+  ReverseScheduler s(std::make_unique<CentralScheduler>(make_gss()));
+  s.start_loop(1000, 4);
+  std::int64_t prev_begin = 1000;
+  for (;;) {
+    const Grab g = s.next(0);
+    if (g.done()) break;
+    EXPECT_EQ(g.range.end, prev_begin);  // contiguous, descending
+    prev_begin = g.range.begin;
+  }
+  EXPECT_EQ(prev_begin, 0);
+}
+
+TEST(ReverseScheduler, NamePrefixed) {
+  ReverseScheduler s(std::make_unique<CentralScheduler>(make_gss()));
+  EXPECT_EQ(s.name(), "REV:GSS");
+}
+
+TEST(ReverseScheduler, ForwardsStats) {
+  ReverseScheduler s(std::make_unique<CentralScheduler>(make_self_sched()));
+  s.start_loop(10, 2);
+  while (!s.next(0).done()) {
+  }
+  EXPECT_EQ(s.stats().total().total_grabs(), 10);
+  s.reset_stats();
+  EXPECT_EQ(s.stats().total().total_grabs(), 0);
+}
+
+TEST(ReverseScheduler, ForwardsIndexedFlag) {
+  ReverseScheduler plain(std::make_unique<CentralScheduler>(make_gss()));
+  EXPECT_FALSE(plain.central_queue_is_indexed());
+  ReverseScheduler mf(std::make_unique<ModFactoringScheduler>());
+  EXPECT_TRUE(mf.central_queue_is_indexed());
+}
+
+TEST(ReverseScheduler, RegistrySpec) {
+  auto s = make_scheduler("REV:GSS");
+  EXPECT_EQ(s->name(), "REV:GSS");
+  s->start_loop(100, 4);
+  EXPECT_EQ(s->next(0).range, (IterRange{75, 100}));
+}
+
+TEST(ReverseScheduler, CloneIsDeep) {
+  ReverseScheduler s(std::make_unique<CentralScheduler>(make_gss()));
+  s.start_loop(100, 4);
+  (void)s.next(0);
+  auto c = s.clone();
+  c->start_loop(100, 4);
+  EXPECT_EQ(c->next(0).range, (IterRange{75, 100}));
+}
+
+}  // namespace
+}  // namespace afs

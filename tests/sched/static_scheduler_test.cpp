@@ -1,0 +1,175 @@
+#include "sched/static_scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "workload/cost_models.hpp"
+
+namespace afs {
+namespace {
+
+// ------------------------------------------------------------- STATIC ----
+
+TEST(StaticScheduler, EachWorkerGetsExactlyOneChunk) {
+  StaticScheduler s;
+  s.start_loop(100, 4);
+  for (int w = 0; w < 4; ++w) {
+    const Grab g = s.next(w);
+    EXPECT_EQ(g.kind, GrabKind::kStatic);
+    EXPECT_EQ(g.range.size(), 25);
+    EXPECT_TRUE(s.next(w).done()) << "second grab must be done";
+  }
+}
+
+TEST(StaticScheduler, ChunksPartitionTheLoop) {
+  StaticScheduler s;
+  s.start_loop(103, 8);
+  std::int64_t total = 0;
+  for (int w = 0; w < 8; ++w) {
+    const Grab g = s.next(w);
+    if (!g.done()) total += g.range.size();
+  }
+  EXPECT_EQ(total, 103);
+}
+
+TEST(StaticScheduler, NoSyncOperations) {
+  StaticScheduler s;
+  s.start_loop(100, 4);
+  for (int w = 0; w < 4; ++w) (void)s.next(w);
+  EXPECT_EQ(s.stats().total().total_grabs(), 0);
+}
+
+TEST(StaticScheduler, ReusableAcrossEpochs) {
+  StaticScheduler s;
+  for (int e = 0; e < 3; ++e) {
+    s.start_loop(40, 4);
+    const Grab g = s.next(2);
+    EXPECT_EQ(g.range, (IterRange{20, 30}));
+    s.end_loop();
+  }
+  EXPECT_EQ(s.stats().loops, 3);
+}
+
+TEST(StaticScheduler, EmptyLoop) {
+  StaticScheduler s;
+  s.start_loop(0, 4);
+  for (int w = 0; w < 4; ++w) EXPECT_TRUE(s.next(w).done());
+}
+
+// ------------------------------------------- balanced partition oracle ---
+
+TEST(BalancedPartition, UniformCostsSplitEvenly) {
+  const auto blocks = balanced_contiguous_partition(100, 4, uniform_cost(1.0));
+  ASSERT_EQ(blocks.size(), 4u);
+  for (const auto& b : blocks) EXPECT_EQ(b.size(), 25);
+}
+
+TEST(BalancedPartition, CoversContiguously) {
+  for (std::int64_t n : {1, 10, 97, 1000}) {
+    for (int p : {1, 3, 8}) {
+      const auto blocks =
+          balanced_contiguous_partition(n, p, triangular_cost(n));
+      std::int64_t prev = 0;
+      for (const auto& b : blocks) {
+        EXPECT_EQ(b.begin, prev);
+        prev = b.end;
+      }
+      EXPECT_EQ(prev, n);
+    }
+  }
+}
+
+TEST(BalancedPartition, TriangularCostsGiveUnevenSizes) {
+  // cost(i) = n - i: early blocks should be shorter than late blocks.
+  const auto blocks =
+      balanced_contiguous_partition(1000, 4, triangular_cost(1000));
+  EXPECT_LT(blocks.front().size(), blocks.back().size());
+}
+
+TEST(BalancedPartition, MakespanNearOptimal) {
+  const std::int64_t n = 1000;
+  const int p = 7;
+  const auto cost = parabolic_cost(n);
+  const auto blocks = balanced_contiguous_partition(n, p, cost);
+  double max_block = 0.0, total = 0.0;
+  for (const auto& b : blocks) {
+    double c = 0.0;
+    for (std::int64_t i = b.begin; i < b.end; ++i) c += cost(i);
+    max_block = std::max(max_block, c);
+    total += c;
+  }
+  // Within max single-iteration cost of the lower bound total/p.
+  EXPECT_LE(max_block, total / p + max_cost(cost, n) + 1e-6);
+}
+
+TEST(BalancedPartition, HeadHeavySplitsTheHeavyRegion) {
+  // All work in the first 10%: the first blocks must subdivide it.
+  const auto blocks = balanced_contiguous_partition(
+      1000, 4, head_heavy_cost(1000, 0.1, 100.0, 0.0));
+  EXPECT_LE(blocks[0].end, 100);
+  EXPECT_LE(blocks[1].end, 101);
+}
+
+TEST(BalancedPartition, ZeroIterations) {
+  const auto blocks = balanced_contiguous_partition(0, 3, uniform_cost());
+  ASSERT_EQ(blocks.size(), 3u);
+  for (const auto& b : blocks) EXPECT_TRUE(b.empty());
+}
+
+// -------------------------------------------------------- BEST-STATIC ----
+
+TEST(BestStatic, UniformOracleMatchesStatic) {
+  BestStaticScheduler s{IterationCostFn{}};
+  s.start_loop(100, 4);
+  const Grab g = s.next(1);
+  EXPECT_EQ(g.range.size(), 25);
+  EXPECT_EQ(g.kind, GrabKind::kStatic);
+}
+
+TEST(BestStatic, OracleBalancesTriangularLoad) {
+  BestStaticScheduler s{triangular_cost(1000)};
+  s.start_loop(1000, 4);
+  std::vector<double> load(4, 0.0);
+  const auto cost = triangular_cost(1000);
+  for (int w = 0; w < 4; ++w) {
+    const Grab g = s.next(w);
+    for (std::int64_t i = g.range.begin; i < g.range.end; ++i)
+      load[w] += cost(i);
+  }
+  const double avg = (load[0] + load[1] + load[2] + load[3]) / 4.0;
+  for (double l : load) EXPECT_NEAR(l, avg, 0.01 * avg + 1000.0);
+}
+
+TEST(BestStatic, EpochProviderFollowsShape) {
+  int calls = 0;
+  BestStaticScheduler s{EpochCostProvider([&calls](int ordinal) {
+    ++calls;
+    return uniform_cost(static_cast<double>(ordinal + 1));
+  })};
+  s.start_loop(10, 2);
+  s.end_loop();
+  s.start_loop(10, 2);
+  s.end_loop();
+  EXPECT_EQ(calls, 2);
+}
+
+TEST(BestStatic, PartitionExposedForInspection) {
+  BestStaticScheduler s{uniform_cost(1.0)};
+  s.start_loop(100, 4);
+  EXPECT_EQ(s.partition().size(), 4u);
+}
+
+TEST(BestStatic, CloneKeepsOracle) {
+  BestStaticScheduler s{triangular_cost(100)};
+  auto c = s.clone();
+  c->start_loop(100, 2);
+  const Grab g = c->next(0);
+  // Triangular: the first block carries the heavy head, so it is shorter
+  // than half the loop.
+  EXPECT_LT(g.range.size(), 50);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,112 @@
+// Integration tests of the simulator + schedulers: the paper's core
+// qualitative phenomena must emerge on small instances.
+#include <gtest/gtest.h>
+
+#include "kernels/gauss.hpp"
+#include "kernels/sor.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace afs {
+namespace {
+
+TEST(AffinityEffects, AfsReusesCacheAcrossEpochs) {
+  // SOR on the Iris: after the first sweep loads each row into its home
+  // processor's cache, later sweeps under AFS should hit almost always.
+  MachineSim sim(iris());
+  const auto prog = SorKernel::program(128, 8);
+  auto afs = make_scheduler("AFS");
+  const SimResult r = sim.run(prog, *afs, 4);
+  EXPECT_GT(r.hits, 6 * r.misses) << "AFS should mostly hit after warmup";
+}
+
+TEST(AffinityEffects, CentralQueueSchedulersMissConstantly) {
+  // GSS's chunk boundaries depend on grab order, so rows keep moving:
+  // far more misses than AFS on the same program.
+  MachineSim sim(iris());
+  const auto prog = SorKernel::program(128, 8);
+  auto afs = make_scheduler("AFS");
+  auto gss = make_scheduler("GSS");
+  const SimResult ra = sim.run(prog, *afs, 4);
+  const SimResult rg = sim.run(prog, *gss, 4);
+  EXPECT_GT(rg.misses, 2 * ra.misses);
+}
+
+TEST(AffinityEffects, AfsBeatsGssOnSorIris) {
+  MachineSim sim(iris());
+  const auto prog = SorKernel::program(128, 8);
+  auto afs = make_scheduler("AFS");
+  auto gss = make_scheduler("GSS");
+  const double ta = sim.run(prog, *afs, 8).makespan;
+  const double tg = sim.run(prog, *gss, 8).makespan;
+  EXPECT_LT(ta, tg);
+}
+
+TEST(AffinityEffects, AfsComparableToStaticOnBalancedAffinityLoop) {
+  // Fig. 3: AFS and STATIC are the two winners and close to each other.
+  MachineSim sim(iris());
+  const auto prog = SorKernel::program(128, 8);
+  auto afs = make_scheduler("AFS");
+  auto st = make_scheduler("STATIC");
+  const double ta = sim.run(prog, *afs, 8).makespan;
+  const double ts = sim.run(prog, *st, 8).makespan;
+  EXPECT_NEAR(ta, ts, 0.25 * ts);
+}
+
+TEST(AffinityEffects, GaussBusSaturationLimitsNonAffinity) {
+  // Fig. 4: on the Iris, schedulers that move every row saturate the bus —
+  // adding processors beyond ~2-3 stops helping GSS, while AFS keeps
+  // scaling.
+  MachineSim sim(iris());
+  const auto prog = GaussKernel::program(192);
+  auto gss2 = make_scheduler("GSS");
+  auto gss8 = make_scheduler("GSS");
+  const double tg2 = sim.run(prog, *gss2, 2).makespan;
+  const double tg8 = sim.run(prog, *gss8, 8).makespan;
+  EXPECT_GT(tg8, 0.6 * tg2) << "GSS should barely improve from 2 to 8 procs";
+
+  auto afs2 = make_scheduler("AFS");
+  auto afs8 = make_scheduler("AFS");
+  const double ta2 = sim.run(prog, *afs2, 2).makespan;
+  const double ta8 = sim.run(prog, *afs8, 8).makespan;
+  EXPECT_LT(ta8, 0.45 * ta2) << "AFS should keep scaling past 2 procs";
+}
+
+TEST(AffinityEffects, SymmetrySlowCpuEqualizesAfsAndGss) {
+  // Fig. 14: on the Symmetry (30x slower CPUs), communication is cheap
+  // relative to compute, so AFS's advantage over GSS mostly vanishes.
+  MachineSim sim(symmetry());
+  const auto prog = GaussKernel::program(128);
+  auto afs = make_scheduler("AFS");
+  auto gss = make_scheduler("GSS");
+  const double ta = sim.run(prog, *afs, 8).makespan;
+  const double tg = sim.run(prog, *gss, 8).makespan;
+  EXPECT_NEAR(tg / ta, 1.0, 0.35);
+}
+
+TEST(AffinityEffects, AfsStealsOnlyUnderImbalance) {
+  // Balanced SOR with mild jitter: essentially no steals.
+  MachineSim sim(iris());
+  const auto prog = SorKernel::program(128, 4);
+  auto afs = make_scheduler("AFS");
+  const SimResult r = sim.run(prog, *afs, 8);
+  EXPECT_LT(r.remote_grabs, r.local_grabs / 5);
+}
+
+TEST(AffinityEffects, NoCacheMachineSeesNoAffinityBenefit) {
+  // On a cache-less machine (Butterfly model) the same SOR program runs
+  // with zero hits/misses recorded and AFS ~ GSS up to sync costs.
+  MachineSim sim(butterfly1());
+  const auto prog = SorKernel::program(64, 4);
+  auto afs = make_scheduler("AFS");
+  auto gss = make_scheduler("GSS");
+  const SimResult ra = sim.run(prog, *afs, 8);
+  const SimResult rg = sim.run(prog, *gss, 8);
+  EXPECT_EQ(ra.misses, 0);
+  EXPECT_EQ(rg.misses, 0);
+  EXPECT_NEAR(ra.makespan, rg.makespan, 0.15 * rg.makespan);
+}
+
+}  // namespace
+}  // namespace afs

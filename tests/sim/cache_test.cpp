@@ -1,0 +1,132 @@
+#include "sim/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace afs {
+namespace {
+
+std::function<void(std::int64_t)> collect(std::vector<std::int64_t>& out) {
+  return [&out](std::int64_t b) { out.push_back(b); };
+}
+
+// ---------------------------------------------------------------- cache --
+
+TEST(ProcCache, DisabledWhenCapacityZero) {
+  ProcCache c(0.0);
+  EXPECT_FALSE(c.enabled());
+  std::vector<std::int64_t> evicted;
+  c.insert(1, 10.0, collect(evicted));
+  EXPECT_FALSE(c.contains(1));
+}
+
+TEST(ProcCache, InsertThenContains) {
+  ProcCache c(100.0);
+  std::vector<std::int64_t> evicted;
+  c.insert(7, 10.0, collect(evicted));
+  EXPECT_TRUE(c.contains(7));
+  EXPECT_FALSE(c.contains(8));
+  EXPECT_DOUBLE_EQ(c.used(), 10.0);
+}
+
+TEST(ProcCache, LruEvictionOrder) {
+  ProcCache c(30.0);
+  std::vector<std::int64_t> evicted;
+  c.insert(1, 10.0, collect(evicted));
+  c.insert(2, 10.0, collect(evicted));
+  c.insert(3, 10.0, collect(evicted));
+  c.insert(4, 10.0, collect(evicted));  // evicts 1 (least recent)
+  EXPECT_EQ(evicted, (std::vector<std::int64_t>{1}));
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_TRUE(c.contains(4));
+}
+
+TEST(ProcCache, TouchRefreshesRecency) {
+  ProcCache c(30.0);
+  std::vector<std::int64_t> evicted;
+  c.insert(1, 10.0, collect(evicted));
+  c.insert(2, 10.0, collect(evicted));
+  c.insert(3, 10.0, collect(evicted));
+  c.touch(1);                            // 2 becomes the LRU
+  c.insert(4, 10.0, collect(evicted));
+  EXPECT_EQ(evicted, (std::vector<std::int64_t>{2}));
+  EXPECT_TRUE(c.contains(1));
+}
+
+TEST(ProcCache, LargeBlockEvictsAllAndStreams) {
+  ProcCache c(20.0);
+  std::vector<std::int64_t> evicted;
+  c.insert(1, 10.0, collect(evicted));
+  c.insert(99, 50.0, collect(evicted));  // bigger than the cache
+  EXPECT_EQ(evicted, (std::vector<std::int64_t>{1}));
+  EXPECT_FALSE(c.contains(99));
+  EXPECT_DOUBLE_EQ(c.used(), 0.0);
+}
+
+TEST(ProcCache, InvalidateRemovesAndFreesSpace) {
+  ProcCache c(20.0);
+  std::vector<std::int64_t> evicted;
+  c.insert(1, 10.0, collect(evicted));
+  c.insert(2, 10.0, collect(evicted));
+  c.invalidate(1);
+  EXPECT_FALSE(c.contains(1));
+  EXPECT_DOUBLE_EQ(c.used(), 10.0);
+  c.insert(3, 10.0, collect(evicted));  // fits without eviction
+  EXPECT_TRUE(evicted.empty());
+}
+
+TEST(ProcCache, InvalidateAbsentIsNoop) {
+  ProcCache c(20.0);
+  c.invalidate(42);
+  SUCCEED();
+}
+
+TEST(ProcCache, ClearEmptiesEverything) {
+  ProcCache c(50.0);
+  std::vector<std::int64_t> evicted;
+  c.insert(1, 10.0, collect(evicted));
+  c.insert(2, 10.0, collect(evicted));
+  c.clear();
+  EXPECT_EQ(c.resident_blocks(), 0u);
+  EXPECT_DOUBLE_EQ(c.used(), 0.0);
+}
+
+// ------------------------------------------------------------ directory --
+
+TEST(Directory, AddRemoveSharers) {
+  Directory d;
+  d.add_sharer(5, 0);
+  d.add_sharer(5, 3);
+  EXPECT_EQ(d.sharers(5), Directory::bit(0) | Directory::bit(3));
+  d.remove_sharer(5, 0);
+  EXPECT_EQ(d.sharers(5), Directory::bit(3));
+}
+
+TEST(Directory, UnknownBlockHasNoSharers) {
+  Directory d;
+  EXPECT_EQ(d.sharers(123), 0u);
+}
+
+TEST(Directory, MakeExclusiveReturnsInvalidatedSet) {
+  Directory d;
+  d.add_sharer(9, 0);
+  d.add_sharer(9, 1);
+  d.add_sharer(9, 2);
+  const std::uint64_t others = d.make_exclusive(9, 1);
+  EXPECT_EQ(others, Directory::bit(0) | Directory::bit(2));
+  EXPECT_EQ(d.sharers(9), Directory::bit(1));
+}
+
+TEST(Directory, MakeExclusiveWhenSoleOwnerIsFree) {
+  Directory d;
+  d.add_sharer(9, 4);
+  EXPECT_EQ(d.make_exclusive(9, 4), 0u);
+}
+
+TEST(Directory, Bit64Processors) {
+  EXPECT_EQ(Directory::bit(63), 1ULL << 63);
+}
+
+}  // namespace
+}  // namespace afs

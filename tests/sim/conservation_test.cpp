@@ -1,0 +1,143 @@
+// Accounting invariants of the simulator: time must be conserved, sync-op
+// counts must match the analytic recurrences, and no scheduler may go
+// faster than perfect speedup.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "kernels/sor.hpp"
+#include "kernels/synthetic.hpp"
+#include "machines/machines.hpp"
+#include "sched/bounds.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace afs {
+namespace {
+
+MachineConfig quiet(MachineConfig m) {
+  m.epoch_jitter = 0.0;  // deterministic starts so accounting is exact
+  return m;
+}
+
+TEST(Conservation, TimeDecompositionSumsToSpan) {
+  // With zero jitter and no delays, every processor is accounted for from
+  // loop start to loop end: busy + sync + comm + idle + barrier = P * span.
+  MachineConfig m = quiet(iris());
+  MachineSim sim(m);
+  for (const char* spec : {"GSS", "AFS", "STATIC", "SS", "TRAPEZOID"}) {
+    auto sched = make_scheduler(spec);
+    const auto prog = SorKernel::program(64, 4);
+    const SimResult r = sim.run(prog, *sched, 4);
+    const double accounted = r.busy + r.sync + r.comm + r.idle + r.barrier;
+    EXPECT_NEAR(accounted, 4.0 * r.makespan, 1e-6 * accounted) << spec;
+  }
+}
+
+TEST(Conservation, IterationCountExact) {
+  MachineSim sim(quiet(iris()));
+  for (const char* spec : {"GSS", "AFS", "FACTORING", "MOD-FACTORING"}) {
+    auto sched = make_scheduler(spec);
+    const SimResult r = sim.run(SorKernel::program(100, 3), *sched, 5);
+    EXPECT_EQ(r.iterations, 300) << spec;
+  }
+}
+
+TEST(Conservation, SchedulerIterAccountingMatchesLoopSize) {
+  MachineSim sim(quiet(iris()));
+  auto sched = make_scheduler("AFS");
+  const SimResult r = sim.run(SorKernel::program(128, 4), *sched, 8);
+  const QueueStats total = r.sched_stats.total();
+  EXPECT_EQ(total.iters_local + total.iters_remote, 128 * 4);
+}
+
+TEST(Conservation, NoSuperlinearSpeedup) {
+  MachineSim sim(quiet(iris()));
+  const auto prog = SorKernel::program(128, 4);
+  const double serial = sim.ideal_serial_time(prog);
+  for (const char* spec : {"AFS", "GSS", "STATIC", "BEST-STATIC", "WS"}) {
+    for (int p : {1, 2, 4, 8}) {
+      auto sched = make_scheduler(spec);
+      const SimResult r = sim.run(prog, *sched, p);
+      EXPECT_GE(r.makespan, serial / p - 1e-9)
+          << spec << " P=" << p << " exceeded perfect speedup";
+    }
+  }
+}
+
+TEST(Conservation, BusyTimeIndependentOfScheduler) {
+  // Total compute is schedule-invariant; only where it runs changes.
+  MachineSim sim(quiet(iris()));
+  const auto prog = SorKernel::program(96, 5);
+  double reference = -1.0;
+  for (const char* spec : {"AFS", "GSS", "SS", "STATIC", "TRAPEZOID"}) {
+    auto sched = make_scheduler(spec);
+    const SimResult r = sim.run(prog, *sched, 6);
+    if (reference < 0)
+      reference = r.busy;
+    else
+      EXPECT_NEAR(r.busy, reference, 1e-9) << spec;
+  }
+}
+
+// ------------------------------- Tables 3-5 count regressions -----------
+
+TEST(SyncOpRegression, SsCountEqualsIterations) {
+  // Table 3-5: SS does exactly N removals per loop, independent of P.
+  MachineSim sim(quiet(iris()));
+  auto sched = make_scheduler("SS");
+  const SimResult r = sim.run(SorKernel::program(512, 1), *sched, 8);
+  EXPECT_EQ(r.sched_stats.total().total_grabs(), 512);
+}
+
+TEST(SyncOpRegression, GssCountMatchesDrainRecurrence) {
+  // GSS's grab count per loop is exactly the drain recurrence; the paper's
+  // Table 3 reports 43 for N=512, P=8 — the recurrence gives the same
+  // order (it differs from 43 only through their ceil convention).
+  MachineSim sim(quiet(iris()));
+  auto sched = make_scheduler("GSS");
+  const SimResult r = sim.run(SorKernel::program(512, 1), *sched, 8);
+  EXPECT_EQ(r.sched_stats.total().total_grabs(), drain_count(512, 8));
+  // ceil-based chunks drain slightly faster than the paper's
+  // floor-convention count of 43; same order either way.
+  EXPECT_NEAR(static_cast<double>(drain_count(512, 8)), 43.0, 8.0);
+}
+
+TEST(SyncOpRegression, TrapezoidFewestCentralOps) {
+  // Table 3 ordering at P=8: TRAPEZOID < GSS < FACTORING < SS.
+  MachineSim sim(quiet(iris()));
+  const auto prog = SorKernel::program(512, 1);
+  std::map<std::string, std::int64_t> grabs;
+  for (const char* spec : {"SS", "GSS", "FACTORING", "TRAPEZOID"}) {
+    auto sched = make_scheduler(spec);
+    grabs[spec] = sim.run(prog, *sched, 8).sched_stats.total().total_grabs();
+  }
+  EXPECT_LT(grabs["TRAPEZOID"], grabs["GSS"]);
+  EXPECT_LT(grabs["GSS"], grabs["FACTORING"]);
+  EXPECT_LT(grabs["FACTORING"], grabs["SS"]);
+}
+
+TEST(SyncOpRegression, AfsRemoteOpsRareOnBalancedLoop) {
+  // Table 3's striking row: AFS balances SOR with ~0.4-1.1 remote
+  // operations per queue per loop.
+  MachineSim sim(iris());  // default jitter: realistic conditions
+  auto sched = make_scheduler("AFS");
+  const SimResult r = sim.run(SorKernel::program(512, 4), *sched, 8);
+  EXPECT_LE(r.sched_stats.remote_per_queue_per_loop(), 3.0);
+  EXPECT_GT(r.sched_stats.local_per_queue_per_loop(), 3.0);
+}
+
+TEST(SyncOpRegression, AfsQueueBoundHoldsInSim) {
+  // Theorem 3.1 holds for simulated executions too.
+  MachineSim sim(iris());
+  auto sched = make_scheduler("AFS");
+  const SimResult r = sim.run(SorKernel::program(512, 1), *sched, 8);
+  const std::int64_t bound = afs_queue_sync_bound(512, 8, 8);
+  for (const auto& q : r.sched_stats.queues) {
+    EXPECT_LE(q.local_grabs, bound);
+    EXPECT_LE(q.remote_grabs, bound);
+  }
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,58 @@
+#include "sim/interconnect.hpp"
+
+#include <gtest/gtest.h>
+
+namespace afs {
+namespace {
+
+TEST(ResourceTimeline, IdleResourceStartsImmediately) {
+  ResourceTimeline r;
+  EXPECT_DOUBLE_EQ(r.acquire(10.0, 5.0), 15.0);
+}
+
+TEST(ResourceTimeline, BusyResourceQueues) {
+  ResourceTimeline r;
+  r.acquire(0.0, 10.0);             // busy until 10
+  EXPECT_DOUBLE_EQ(r.acquire(3.0, 5.0), 15.0);  // waits 7, then 5
+}
+
+TEST(ResourceTimeline, FcfsSerialization) {
+  ResourceTimeline r;
+  double t1 = r.acquire(0.0, 2.0);
+  double t2 = r.acquire(0.0, 2.0);
+  double t3 = r.acquire(0.0, 2.0);
+  EXPECT_DOUBLE_EQ(t1, 2.0);
+  EXPECT_DOUBLE_EQ(t2, 4.0);
+  EXPECT_DOUBLE_EQ(t3, 6.0);
+}
+
+TEST(ResourceTimeline, LateRequestAfterIdleGap) {
+  ResourceTimeline r;
+  r.acquire(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(r.acquire(100.0, 1.0), 101.0);
+}
+
+TEST(ResourceTimeline, ResetClearsBacklog) {
+  ResourceTimeline r;
+  r.acquire(0.0, 100.0);
+  r.reset();
+  EXPECT_DOUBLE_EQ(r.acquire(0.0, 1.0), 1.0);
+}
+
+TEST(ResourceTimeline, ZeroDurationIsFree) {
+  ResourceTimeline r;
+  EXPECT_DOUBLE_EQ(r.acquire(5.0, 0.0), 5.0);
+}
+
+TEST(ResourceTimeline, SaturationThroughputBounded) {
+  // P requesters each needing the resource for 1 unit per 2 units of
+  // compute: with P=4 the resource is the bottleneck; total span for 100
+  // transfers is >= 100 units regardless of requester parallelism.
+  ResourceTimeline r;
+  double last = 0.0;
+  for (int i = 0; i < 100; ++i) last = r.acquire(0.0, 1.0);
+  EXPECT_DOUBLE_EQ(last, 100.0);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,135 @@
+// Programs with several parallel loops per epoch (L4's shape) and other
+// whole-program behaviours of MachineSim.
+#include <gtest/gtest.h>
+
+#include "kernels/l4.hpp"
+#include "kernels/synthetic.hpp"
+#include "machines/machines.hpp"
+#include "sched/grab.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace afs {
+namespace {
+
+MachineConfig plain() {
+  MachineConfig m;
+  m.name = "plain";
+  m.max_processors = 16;
+  m.work_unit_time = 1.0;
+  return m;
+}
+
+TEST(MultiLoop, LoopsWithinAnEpochRunSequentially) {
+  // Two loops of 100 units each on 1 processor: makespan is their sum.
+  LoopProgram prog;
+  prog.name = "two-loops";
+  prog.epochs = 1;
+  prog.epoch_loops = [](int) {
+    ParallelLoopSpec a, b;
+    a.n = 10;
+    a.work = [](std::int64_t) { return 10.0; };
+    b.n = 20;
+    b.work = [](std::int64_t) { return 5.0; };
+    return std::vector<ParallelLoopSpec>{a, b};
+  };
+  MachineSim sim(plain());
+  auto sched = make_scheduler("STATIC");
+  const SimResult r = sim.run(prog, *sched, 1);
+  EXPECT_DOUBLE_EQ(r.makespan, 200.0);
+  EXPECT_EQ(r.iterations, 30);
+}
+
+TEST(MultiLoop, L4ProgramRunsUnderEveryButterflyScheduler) {
+  L4Config cfg;
+  cfg.outer = 5;
+  L4Kernel l4(cfg);
+  const auto prog = l4.program();
+  MachineSim sim(butterfly1());
+  const double serial = sim.ideal_serial_time(prog);
+  EXPECT_NEAR(serial, l4.total_units() * butterfly1().work_unit_time, 1e-6);
+  for (const char* spec : {"GSS", "TRAPEZOID", "AFS", "SS"}) {
+    auto sched = make_scheduler(spec);
+    const SimResult r = sim.run(prog, *sched, 8);
+    EXPECT_NEAR(r.busy, l4.total_units(), 1e-6) << spec;
+    EXPECT_GE(r.makespan, serial / 8.0) << spec;
+    // 5 epochs x 3 loops each.
+    EXPECT_EQ(r.sched_stats.loops, 15) << spec;
+  }
+}
+
+TEST(MultiLoop, SchedulerReusedAcrossDifferentLoopSizes) {
+  // Gauss-style shrinking loops: AFS must re-seed for each new n.
+  LoopProgram prog;
+  prog.name = "shrinking";
+  prog.epochs = 10;
+  prog.epoch_loops = [](int e) {
+    ParallelLoopSpec spec;
+    spec.n = 100 - 10 * e;
+    spec.work = [](std::int64_t) { return 1.0; };
+    return std::vector<ParallelLoopSpec>{spec};
+  };
+  MachineSim sim(plain());
+  auto sched = make_scheduler("AFS");
+  const SimResult r = sim.run(prog, *sched, 4);
+  EXPECT_EQ(r.iterations, 100 + 90 + 80 + 70 + 60 + 50 + 40 + 30 + 20 + 10);
+}
+
+TEST(MultiLoop, ZeroEpochProgram) {
+  LoopProgram prog = balanced_program(100);
+  prog.epochs = 0;
+  MachineSim sim(plain());
+  auto sched = make_scheduler("GSS");
+  const SimResult r = sim.run(prog, *sched, 4);
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+  EXPECT_EQ(r.iterations, 0);
+}
+
+TEST(MultiLoop, EmptyLoopWithinEpoch) {
+  LoopProgram prog;
+  prog.name = "empty-middle";
+  prog.epochs = 1;
+  prog.epoch_loops = [](int) {
+    ParallelLoopSpec a, b;
+    a.n = 0;
+    a.work = [](std::int64_t) { return 1.0; };
+    b.n = 8;
+    b.work = [](std::int64_t) { return 1.0; };
+    return std::vector<ParallelLoopSpec>{a, b};
+  };
+  MachineSim sim(plain());
+  auto sched = make_scheduler("AFS");
+  const SimResult r = sim.run(prog, *sched, 4);
+  EXPECT_EQ(r.iterations, 8);
+}
+
+// --------------------------------------------------------- small APIs ---
+
+TEST(SmallApis, GrabKindNames) {
+  EXPECT_EQ(to_string(GrabKind::kNone), "none");
+  EXPECT_EQ(to_string(GrabKind::kCentral), "central");
+  EXPECT_EQ(to_string(GrabKind::kLocal), "local");
+  EXPECT_EQ(to_string(GrabKind::kRemote), "remote");
+  EXPECT_EQ(to_string(GrabKind::kStatic), "static");
+}
+
+TEST(SmallApis, SimResultSpeedup) {
+  SimResult r;
+  r.makespan = 50.0;
+  EXPECT_DOUBLE_EQ(r.speedup_vs(200.0), 4.0);
+  r.makespan = 0.0;
+  EXPECT_DOUBLE_EQ(r.speedup_vs(200.0), 0.0);
+}
+
+TEST(SmallApis, IterRangeTakeFrontBack) {
+  IterRange r{10, 20};
+  EXPECT_EQ(r.take_front(3), (IterRange{10, 13}));
+  EXPECT_EQ(r, (IterRange{13, 20}));
+  EXPECT_EQ(r.take_back(4), (IterRange{16, 20}));
+  EXPECT_EQ(r, (IterRange{13, 16}));
+  EXPECT_EQ(r.take_front(100), (IterRange{13, 16}));  // clipped
+  EXPECT_TRUE(r.empty());
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,61 @@
+#include "util/array2d.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace afs {
+namespace {
+
+TEST(Array2D, DefaultIsEmpty) {
+  Array2D<int> a;
+  EXPECT_EQ(a.rows(), 0);
+  EXPECT_EQ(a.cols(), 0);
+}
+
+TEST(Array2D, FillValue) {
+  Array2D<double> a(3, 4, 2.5);
+  for (std::int64_t r = 0; r < 3; ++r)
+    for (std::int64_t c = 0; c < 4; ++c) EXPECT_EQ(a(r, c), 2.5);
+}
+
+TEST(Array2D, RowMajorLayout) {
+  Array2D<int> a(2, 3);
+  int v = 0;
+  for (std::int64_t r = 0; r < 2; ++r)
+    for (std::int64_t c = 0; c < 3; ++c) a(r, c) = v++;
+  const int* p = a.data();
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(p[i], i);
+}
+
+TEST(Array2D, RowSpanAliasesStorage) {
+  Array2D<int> a(4, 5, 0);
+  auto row = a.row(2);
+  ASSERT_EQ(row.size(), 5u);
+  row[3] = 99;
+  EXPECT_EQ(a(2, 3), 99);
+}
+
+TEST(Array2D, ConstRowSpan) {
+  Array2D<int> a(2, 2, 7);
+  const Array2D<int>& ca = a;
+  auto row = ca.row(1);
+  EXPECT_EQ(std::accumulate(row.begin(), row.end(), 0), 14);
+}
+
+TEST(Array2D, EqualityComparesContents) {
+  Array2D<int> a(2, 2, 1), b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2;
+  EXPECT_NE(a, b);
+}
+
+TEST(Array2D, ZeroDimensionsAllowed) {
+  Array2D<int> a(0, 5);
+  EXPECT_EQ(a.rows(), 0);
+  Array2D<int> b(5, 0);
+  EXPECT_EQ(b.cols(), 0);
+}
+
+}  // namespace
+}  // namespace afs

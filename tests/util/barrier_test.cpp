@@ -1,0 +1,72 @@
+#include "util/barrier.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace afs {
+namespace {
+
+TEST(Barrier, SingleThreadPassesImmediately) {
+  Barrier b(1);
+  for (int i = 0; i < 10; ++i) b.arrive_and_wait();
+  SUCCEED();
+}
+
+TEST(Barrier, RejectsNonPositiveCount) {
+  EXPECT_THROW(Barrier(0), CheckFailure);
+  EXPECT_THROW(Barrier(-1), CheckFailure);
+}
+
+TEST(Barrier, SynchronizesPhases) {
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 50;
+  Barrier barrier(kThreads);
+  std::atomic<int> counter{0};
+  std::vector<int> observed_per_phase(kPhases, -1);
+  std::atomic<bool> failed{false};
+
+  std::vector<std::jthread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int phase = 0; phase < kPhases; ++phase) {
+        counter.fetch_add(1);
+        barrier.arrive_and_wait();
+        // After the barrier, all kThreads increments of this phase are done.
+        if (counter.load() < (phase + 1) * kThreads) failed.store(true);
+        barrier.arrive_and_wait();
+      }
+    });
+  }
+  threads.clear();  // join
+  EXPECT_FALSE(failed.load());
+  EXPECT_EQ(counter.load(), kThreads * kPhases);
+}
+
+TEST(Barrier, ReusableBackToBack) {
+  Barrier barrier(2);
+  std::atomic<int> done{0};
+  {
+    std::jthread a([&] {
+      for (int i = 0; i < 1000; ++i) barrier.arrive_and_wait();
+      done.fetch_add(1);
+    });
+    std::jthread b([&] {
+      for (int i = 0; i < 1000; ++i) barrier.arrive_and_wait();
+      done.fetch_add(1);
+    });
+  }
+  EXPECT_EQ(done.load(), 2);
+}
+
+TEST(Barrier, ReportsParticipantCount) {
+  Barrier b(7);
+  EXPECT_EQ(b.participant_count(), 7);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,46 @@
+#include "util/check.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace afs {
+namespace {
+
+TEST(Check, PassingCheckIsSilent) {
+  AFS_CHECK(1 + 1 == 2);
+  SUCCEED();
+}
+
+TEST(Check, FailingCheckThrowsCheckFailure) {
+  EXPECT_THROW(AFS_CHECK(false), CheckFailure);
+}
+
+TEST(Check, MessageContainsExpressionAndLocation) {
+  try {
+    AFS_CHECK(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("2 < 1"), std::string::npos);
+    EXPECT_NE(msg.find("check_test.cpp"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckMsgStreamsValues) {
+  try {
+    const int p = 17;
+    AFS_CHECK_MSG(p < 10, "p was " << p);
+    FAIL() << "should have thrown";
+  } catch (const CheckFailure& e) {
+    EXPECT_NE(std::string(e.what()).find("p was 17"), std::string::npos);
+  }
+}
+
+TEST(Check, CheckFailureIsLogicError) {
+  // API contract: misuse is a programming error, not a runtime condition.
+  EXPECT_THROW(AFS_CHECK(false), std::logic_error);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace afs {
+namespace {
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), CheckFailure);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), CheckFailure);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), CheckFailure);
+}
+
+TEST(Table, AsciiContainsAllCells) {
+  Table t({"P", "time"});
+  t.add_row({"1", "10.5"});
+  t.add_row({"2", "5.25"});
+  const std::string s = t.to_ascii();
+  EXPECT_NE(s.find("P"), std::string::npos);
+  EXPECT_NE(s.find("10.5"), std::string::npos);
+  EXPECT_NE(s.find("5.25"), std::string::npos);
+}
+
+TEST(Table, AsciiColumnsAligned) {
+  Table t({"x", "longheader"});
+  t.add_row({"verylongcell", "1"});
+  std::istringstream in(t.to_ascii());
+  std::string header, rule, row;
+  std::getline(in, header);
+  std::getline(in, rule);
+  std::getline(in, row);
+  EXPECT_EQ(header.size(), row.size());
+}
+
+TEST(Table, CsvFormat) {
+  Table t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(Table, NumFormatsDoublesAndInts) {
+  EXPECT_EQ(Table::num(1.23456, 2), "1.23");
+  EXPECT_EQ(Table::num(static_cast<std::int64_t>(42)), "42");
+}
+
+TEST(Table, WriteCsvCreatesDirectories) {
+  const auto dir = std::filesystem::temp_directory_path() / "afs_table_test";
+  std::filesystem::remove_all(dir);
+  Table t({"h"});
+  t.add_row({"v"});
+  const auto path = (dir / "sub" / "out.csv").string();
+  t.write_csv(path);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "h");
+  std::filesystem::remove_all(dir);
+}
+
+TEST(Table, RowCount) {
+  Table t({"h"});
+  EXPECT_EQ(t.row_count(), 0u);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace afs

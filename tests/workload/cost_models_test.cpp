@@ -1,0 +1,85 @@
+#include "workload/cost_models.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace afs {
+namespace {
+
+TEST(CostModels, UniformIsConstant) {
+  const auto f = uniform_cost(3.5);
+  for (std::int64_t i : {0, 5, 999}) EXPECT_DOUBLE_EQ(f(i), 3.5);
+}
+
+TEST(CostModels, TriangularShape) {
+  const auto f = triangular_cost(100);
+  EXPECT_DOUBLE_EQ(f(0), 100.0);
+  EXPECT_DOUBLE_EQ(f(99), 1.0);
+  EXPECT_DOUBLE_EQ(f(50), 50.0);
+}
+
+TEST(CostModels, ParabolicShape) {
+  const auto f = parabolic_cost(10);
+  EXPECT_DOUBLE_EQ(f(0), 100.0);
+  EXPECT_DOUBLE_EQ(f(9), 1.0);
+}
+
+TEST(CostModels, DecreasingPolyMatchesSpecials) {
+  const auto t = triangular_cost(50);
+  const auto p1 = decreasing_poly_cost(50, 1);
+  const auto q = parabolic_cost(50);
+  const auto p2 = decreasing_poly_cost(50, 2);
+  for (std::int64_t i = 0; i < 50; ++i) {
+    EXPECT_DOUBLE_EQ(t(i), p1(i));
+    EXPECT_DOUBLE_EQ(q(i), p2(i));
+  }
+}
+
+TEST(CostModels, DegreeZeroIsUniform) {
+  const auto f = decreasing_poly_cost(10, 0);
+  for (std::int64_t i = 0; i < 10; ++i) EXPECT_DOUBLE_EQ(f(i), 1.0);
+}
+
+TEST(CostModels, HeadHeavyCutoff) {
+  const auto f = head_heavy_cost(1000, 0.1, 100.0, 1.0);
+  EXPECT_DOUBLE_EQ(f(0), 100.0);
+  EXPECT_DOUBLE_EQ(f(99), 100.0);
+  EXPECT_DOUBLE_EQ(f(100), 1.0);
+  EXPECT_DOUBLE_EQ(f(999), 1.0);
+}
+
+TEST(CostModels, HeadHeavyWorkSplit) {
+  // Paper Fig. 12: first 10% at 100 units holds ~10x the tail's work.
+  const auto f = head_heavy_cost(50000, 0.1, 100.0, 1.0);
+  const double head = total_cost([&](std::int64_t i) { return i < 5000 ? f(i) : 0.0; }, 50000);
+  const double total = total_cost(f, 50000);
+  EXPECT_NEAR(head / total, 100.0 * 5000 / (100.0 * 5000 + 45000), 1e-9);
+}
+
+TEST(CostModels, TotalCostTriangular) {
+  EXPECT_DOUBLE_EQ(total_cost(triangular_cost(100), 100), 5050.0);
+}
+
+TEST(CostModels, MaxCost) {
+  EXPECT_DOUBLE_EQ(max_cost(triangular_cost(100), 100), 100.0);
+  EXPECT_DOUBLE_EQ(max_cost(uniform_cost(2.0), 10), 2.0);
+}
+
+TEST(CostModels, CvUniformIsZero) {
+  EXPECT_DOUBLE_EQ(cost_cv(uniform_cost(5.0), 100), 0.0);
+}
+
+TEST(CostModels, CvGrowsWithSkew) {
+  const double cv_tri = cost_cv(triangular_cost(1000), 1000);
+  const double cv_par = cost_cv(parabolic_cost(1000), 1000);
+  EXPECT_GT(cv_tri, 0.3);
+  EXPECT_GT(cv_par, cv_tri);
+}
+
+TEST(CostModels, CvEmptyLoopIsZero) {
+  EXPECT_DOUBLE_EQ(cost_cv(uniform_cost(), 0), 0.0);
+}
+
+}  // namespace
+}  // namespace afs

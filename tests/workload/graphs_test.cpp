@@ -1,0 +1,63 @@
+#include "workload/graphs.hpp"
+
+#include <gtest/gtest.h>
+
+namespace afs {
+namespace {
+
+TEST(RandomGraph, DeterministicInSeed) {
+  const auto a = random_graph(64, 0.1, 42);
+  const auto b = random_graph(64, 0.1, 42);
+  EXPECT_EQ(a, b);
+}
+
+TEST(RandomGraph, DifferentSeedsDiffer) {
+  EXPECT_NE(random_graph(64, 0.1, 1), random_graph(64, 0.1, 2));
+}
+
+TEST(RandomGraph, EdgeDensityNearP) {
+  const std::int64_t n = 256;
+  const auto g = random_graph(n, 0.08, 7);
+  const double density = static_cast<double>(edge_count(g)) /
+                         static_cast<double>(n * (n - 1));
+  EXPECT_NEAR(density, 0.08, 0.01);
+}
+
+TEST(RandomGraph, NoSelfLoops) {
+  const auto g = random_graph(100, 0.5, 3);
+  for (std::int64_t i = 0; i < 100; ++i) EXPECT_EQ(g(i, i), 0);
+}
+
+TEST(RandomGraph, ProbabilityZeroIsEmpty) {
+  EXPECT_EQ(edge_count(random_graph(50, 0.0, 1)), 0);
+}
+
+TEST(RandomGraph, ProbabilityOneIsComplete) {
+  const std::int64_t n = 20;
+  EXPECT_EQ(edge_count(random_graph(n, 1.0, 1)), n * (n - 1));
+}
+
+TEST(CliqueGraph, EdgeCountIsCliqueSized) {
+  const auto g = clique_graph(640, 320);
+  EXPECT_EQ(edge_count(g), 320 * 319);
+}
+
+TEST(CliqueGraph, NoEdgesOutsideClique) {
+  const auto g = clique_graph(10, 4);
+  for (std::int64_t i = 0; i < 10; ++i)
+    for (std::int64_t j = 0; j < 10; ++j)
+      if (i >= 4 || j >= 4) {
+        EXPECT_EQ(g(i, j), 0);
+      }
+}
+
+TEST(CliqueGraph, EmptyCliqueIsEmptyGraph) {
+  EXPECT_EQ(edge_count(clique_graph(10, 0)), 0);
+}
+
+TEST(CliqueGraph, FullCliqueIsComplete) {
+  EXPECT_EQ(edge_count(clique_graph(8, 8)), 8 * 7);
+}
+
+}  // namespace
+}  // namespace afs
