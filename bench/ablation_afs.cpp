@@ -16,8 +16,9 @@
 #include "util/table.hpp"
 #include "workload/graphs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== ablation: AFS design choices (Iris model) ==\n\n";
 
   // (a) k sweep on a head-heavy imbalanced loop: larger k = finer local
@@ -35,7 +36,7 @@ int main() {
                  Table::num(r.local_grabs), Table::num(r.remote_grabs)});
     }
     std::cout << t.to_ascii();
-    t.write_csv("bench_results/ablation_k.csv");
+    t.write_csv(bench::csv_path(cli, "ablation_k"));
   }
 
   // (b) steal fraction.
@@ -54,7 +55,7 @@ int main() {
                  Table::num(r.remote_grabs), Table::num(stolen)});
     }
     std::cout << t.to_ascii();
-    t.write_csv("bench_results/ablation_steal.csv");
+    t.write_csv(bench::csv_path(cli, "ablation_steal"));
   }
 
   // (c) cache capacity sweep: shrink the Iris caches until the SOR working
@@ -75,7 +76,7 @@ int main() {
                  Table::num(tg, 0), Table::num(tg / ta, 2)});
     }
     std::cout << t.to_ascii();
-    t.write_csv("bench_results/ablation_cache.csv");
+    t.write_csv(bench::csv_path(cli, "ablation_cache"));
     std::cout << "(SOR needs 64 rows/processor at P=8: below that, "
                  "affinity has nothing to preserve)\n";
   }
@@ -102,7 +103,7 @@ int main() {
       }
     }
     std::cout << t.to_ascii();
-    t.write_csv("bench_results/ablation_le.csv");
+    t.write_csv(bench::csv_path(cli, "ablation_le"));
     std::cout << "(AFS-LE should steal far less on the drifting hotspot, at\n"
                  " the price of fragmented queues — §4.3's predicted trade)\n";
   }
@@ -122,9 +123,9 @@ int main() {
                  Table::num(r.remote_grabs)});
     }
     std::cout << t.to_ascii();
-    t.write_csv("bench_results/ablation_victim.csv");
+    t.write_csv(bench::csv_path(cli, "ablation_victim"));
   }
 
-  std::cout << "\n(csv: bench_results/ablation_*.csv)\n";
+  std::cout << "\n(csv: " << cli.out_dir << "/ablation_*.csv)\n";
   return 0;
 }

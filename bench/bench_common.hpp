@@ -1,16 +1,31 @@
 // Shared plumbing for the paper-reproduction binaries: standard processor
-// sweeps, the scheduler line-ups of each experiment family, and a tiny
-// main() wrapper that prints the figure header and shape-check summary.
+// sweeps, the scheduler line-ups of each experiment family, a common
+// command-line interface, and a tiny main() wrapper that prints the
+// figure header and shape-check summary.
+//
+// Every figure/table binary accepts the same flags:
+//
+//   --procs=1,2,4     override the processor sweep (figures only)
+//   --out-dir=DIR     write CSVs (and traces) under DIR [bench_results]
+//   --trace           also write a JSONL event trace per figure run
+//   --help            usage
+//
+// so `bench_fig15_gauss_ksr1 --procs=57 --trace --out-dir=/tmp/f15` gives
+// a single-sweep run with a full timeline without recompiling anything.
 #pragma once
 
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "experiments/expectations.hpp"
 #include "experiments/figure.hpp"
 #include "machines/machines.hpp"
 #include "sched/registry.hpp"
+#include "sim/trace_sink.hpp"
 
 namespace afs::bench {
 
@@ -47,6 +62,75 @@ inline std::vector<SchedulerEntry> ksr_schedulers() {
           entry("FACTORING"), entry("TRAPEZOID"), entry("GSS")};
 }
 
+// ------------------------------- CLI -------------------------------------
+
+/// Options common to every bench binary. Defaults reproduce the paper
+/// configuration exactly; anything else is an explicit deviation.
+struct BenchCli {
+  std::vector<int> procs;                 ///< empty = the figure's own sweep
+  std::string out_dir = "bench_results";  ///< CSV / trace destination
+  bool trace = false;                     ///< write <out_dir>/<id>.trace.jsonl
+};
+
+inline void print_usage(const char* argv0, std::ostream& out) {
+  out << "usage: " << argv0 << " [--procs=1,2,4] [--out-dir=DIR] [--trace]\n"
+      << "  --procs=LIST   comma-separated processor counts overriding the\n"
+      << "                 figure's standard sweep\n"
+      << "  --out-dir=DIR  directory for CSV output (default bench_results)\n"
+      << "  --trace        also stream a JSONL event trace per run\n"
+      << "                 (see docs/SIMULATOR.md, \"Trace schema\")\n";
+}
+
+/// Parses the shared flags; prints usage and exits on --help or on
+/// anything unrecognized (these are batch reproduction binaries — a typo
+/// should fail loudly, not silently run the default 20-minute sweep).
+inline BenchCli parse_cli(int argc, char** argv) {
+  BenchCli cli;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      print_usage(argv[0], std::cout);
+      std::exit(EXIT_SUCCESS);
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      cli.out_dir = arg.substr(10);
+    } else if (arg.rfind("--procs=", 0) == 0) {
+      cli.procs.clear();
+      std::string list = arg.substr(8);
+      std::size_t pos = 0;
+      while (pos < list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok = list.substr(pos, comma - pos);
+        char* end = nullptr;
+        const long v = std::strtol(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0' || v < 1 || v > 64) {
+          std::cerr << argv[0] << ": bad --procs entry '" << tok << "'\n";
+          std::exit(2);
+        }
+        cli.procs.push_back(static_cast<int>(v));
+        pos = comma == std::string::npos ? list.size() : comma + 1;
+      }
+      if (cli.procs.empty()) {
+        std::cerr << argv[0] << ": --procs needs at least one value\n";
+        std::exit(2);
+      }
+    } else {
+      std::cerr << argv[0] << ": unknown argument '" << arg << "'\n";
+      print_usage(argv[0], std::cerr);
+      std::exit(2);
+    }
+  }
+  return cli;
+}
+
+/// CSV path for a non-figure table under the chosen output directory.
+inline std::string csv_path(const BenchCli& cli, const std::string& id) {
+  return cli.out_dir + "/" + id + ".csv";
+}
+
+// --------------------------- main() wrappers ------------------------------
+
 /// Runs the figure, prints the shape summary, returns a process exit code
 /// (shape mismatches are reported but do not fail the binary: they are
 /// data, recorded in EXPERIMENTS.md).
@@ -62,6 +146,36 @@ inline int run_and_report(
     std::cerr << spec.id << " failed: " << e.what() << "\n";
     return EXIT_FAILURE;
   }
+}
+
+/// The standard figure main(): applies the shared CLI to the spec
+/// (processor-sweep override, output directory, optional trace sink),
+/// then runs and reports as above.
+inline int run_and_report(
+    int argc, char** argv, FigureSpec spec,
+    const std::function<void(const FigureResult&, std::ostream&)>& shapes) {
+  const BenchCli cli = parse_cli(argc, argv);
+  if (!cli.procs.empty()) spec.procs = cli.procs;
+  spec.out_dir = cli.out_dir;
+
+  std::unique_ptr<JsonlTraceSink> trace;
+  if (cli.trace) {
+    const std::string path = cli.out_dir + "/" + spec.id + ".trace.jsonl";
+    try {
+      std::filesystem::create_directories(cli.out_dir);
+      trace = std::make_unique<JsonlTraceSink>(path);
+    } catch (const std::exception& e) {
+      std::cerr << argv[0] << ": cannot open trace " << path << ": "
+                << e.what() << "\n";
+      return EXIT_FAILURE;
+    }
+    spec.sim_options.trace = trace.get();
+    std::cout << "(tracing to " << path << ")\n";
+  }
+  const int rc = run_and_report(spec, shapes);
+  if (trace)
+    std::cout << "(trace: " << trace->lines_written() << " events)\n";
+  return rc;
 }
 
 }  // namespace afs::bench

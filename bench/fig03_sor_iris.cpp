@@ -4,7 +4,7 @@
 #include "bench_common.hpp"
 #include "kernels/sor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   FigureSpec spec;
   spec.id = "fig03";
@@ -14,7 +14,7 @@ int main() {
   spec.procs = bench::iris_procs();
   spec.schedulers = bench::iris_schedulers();
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, comparable(r, "AFS", "STATIC", 8, 0.25),
                        "AFS ~ STATIC at P=8");

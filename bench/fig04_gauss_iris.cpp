@@ -5,7 +5,7 @@
 #include "bench_common.hpp"
 #include "kernels/gauss.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   FigureSpec spec;
   spec.id = "fig04";
@@ -15,7 +15,7 @@ int main() {
   spec.procs = bench::iris_procs();
   spec.schedulers = bench::iris_schedulers();
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, effective_processors(r, "GSS") <= 4,
                        "GSS cannot effectively use more than a few processors");

@@ -6,7 +6,7 @@
 #include "sched/static_scheduler.hpp"
 #include "workload/graphs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   const auto graph = random_graph(512, 0.08, 1992);
   const auto trace = std::make_shared<std::vector<std::vector<std::uint8_t>>>(
@@ -33,7 +33,7 @@ int main() {
         }));
   });
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, beats(r, "AFS", "GSS", 8, 1.15),
                        "AFS beats GSS at P=8");

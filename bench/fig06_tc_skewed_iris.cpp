@@ -8,7 +8,7 @@
 #include "sched/static_scheduler.hpp"
 #include "workload/graphs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   const auto graph = clique_graph(640, 320);
   const auto trace = std::make_shared<std::vector<std::vector<std::uint8_t>>>(
@@ -34,7 +34,7 @@ int main() {
         }));
   });
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, beats(r, "FACTORING", "GSS", 8, 1.0),
                        "GSS worst-in-class: FACTORING beats it at P=8");

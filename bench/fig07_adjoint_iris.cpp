@@ -6,7 +6,7 @@
 #include "kernels/adjoint_convolution.hpp"
 #include "sched/static_scheduler.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   FigureSpec spec;
   spec.id = "fig07";
@@ -21,7 +21,7 @@ int main() {
         AdjointConvolutionKernel::cost(75));
   });
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, beats(r, "FACTORING", "GSS", 8, 1.1),
                        "FACTORING beats GSS (GSS front-loads work)");

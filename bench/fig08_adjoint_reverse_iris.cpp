@@ -5,7 +5,7 @@
 #include "bench_common.hpp"
 #include "kernels/adjoint_convolution.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   FigureSpec spec;
   spec.id = "fig08";
@@ -17,7 +17,7 @@ int main() {
                      entry("REV:TRAPEZOID"), entry("REV:AFS"),
                      entry("REV:STATIC")};
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, comparable(r, "REV:GSS", "REV:FACTORING", 8, 0.15),
                        "reverse GSS ~ reverse FACTORING");

@@ -4,7 +4,7 @@
 #include "bench_common.hpp"
 #include "kernels/l4.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   L4Kernel l4;  // the paper's 50 outer iterations
 
@@ -17,7 +17,7 @@ int main() {
   spec.schedulers = {entry("STATIC"), entry("SS"),        entry("GSS"),
                      entry("FACTORING"), entry("TRAPEZOID"), entry("AFS")};
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, comparable(r, "AFS", "GSS", 8, 0.15),
                        "AFS ~ GSS (no affinity to exploit)");

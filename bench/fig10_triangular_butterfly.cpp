@@ -5,7 +5,7 @@
 #include "bench_common.hpp"
 #include "kernels/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   FigureSpec spec;
   spec.id = "fig10";
@@ -15,7 +15,7 @@ int main() {
   spec.procs = bench::butterfly_procs();
   spec.schedulers = bench::butterfly_schedulers();
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, comparable(r, "AFS", "TRAPEZOID", 48, 0.15),
                        "AFS ~ TRAPEZOID at P=48");

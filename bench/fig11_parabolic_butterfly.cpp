@@ -6,7 +6,7 @@
 #include "bench_common.hpp"
 #include "kernels/synthetic.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   FigureSpec spec;
   spec.id = "fig11";
@@ -16,7 +16,7 @@ int main() {
   spec.procs = bench::butterfly_procs();
   spec.schedulers = bench::butterfly_schedulers();
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, beats(r, "AFS", "GSS", 16, 1.05),
                        "AFS beats GSS at P=16");

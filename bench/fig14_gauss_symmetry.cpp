@@ -6,7 +6,7 @@
 #include "bench_common.hpp"
 #include "kernels/gauss.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   FigureSpec spec;
   spec.id = "fig14";
@@ -16,7 +16,7 @@ int main() {
   spec.procs = bench::iris_procs();
   spec.schedulers = {entry("AFS"), entry("GSS"), entry("TRAPEZOID")};
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, comparable(r, "AFS", "GSS", 8, 0.10),
                        "AFS ~ GSS on the Symmetry (communication is cheap)");

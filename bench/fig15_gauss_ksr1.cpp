@@ -6,7 +6,7 @@
 #include "bench_common.hpp"
 #include "kernels/gauss.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   FigureSpec spec;
   spec.id = "fig15";
@@ -16,7 +16,7 @@ int main() {
   spec.procs = bench::ksr_procs();
   spec.schedulers = bench::ksr_schedulers();
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, beats(r, "AFS", "FACTORING", 57, 2.0),
                        "AFS >2x over FACTORING at P=57 (paper: 3.7x)");

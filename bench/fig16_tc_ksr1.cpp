@@ -7,7 +7,7 @@
 #include "kernels/transitive_closure.hpp"
 #include "workload/graphs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   const auto graph = clique_graph(1024, 409);  // 40% clique
 
@@ -20,7 +20,7 @@ int main() {
   spec.schedulers = {entry("AFS"), entry("TRAPEZOID"), entry("FACTORING"),
                      entry("GSS"), entry("MOD-FACTORING")};
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     // "Cannot exploit more than ~12 processors": past P=12 the central
     // schedulers gain at most a sliver (<1.5x for 4.75x more processors)

@@ -6,7 +6,7 @@
 #include "bench_common.hpp"
 #include "kernels/sor.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   FigureSpec spec;
   spec.id = "fig17";
@@ -18,7 +18,7 @@ int main() {
   spec.procs = bench::ksr_procs();
   spec.schedulers = bench::ksr_schedulers();
 
-  return bench::run_and_report(spec, [](const FigureResult& r, std::ostream& out) {
+  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
     bool ok = true;
     ok &= report_shape(out, beats(r, "AFS", "GSS", 57, 1.0),
                        "AFS still best at P=57");

@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "machines/machines.hpp"
 #include "sched/registry.hpp"
 #include "sim/machine_sim.hpp"
@@ -17,7 +18,8 @@
 namespace afs::bench {
 
 inline void run_sync_ops_table(const std::string& id, const std::string& title,
-                               const LoopProgram& program) {
+                               const LoopProgram& program,
+                               const BenchCli& cli = {}) {
   std::cout << "== " << id << ": " << title << " ==\n";
   Table table({"P", "SS", "GSS", "FACTORING", "TRAPEZOID", "AFS remote/queue",
                "AFS local/queue"});
@@ -37,8 +39,9 @@ inline void run_sync_ops_table(const std::string& id, const std::string& title,
     table.add_row(std::move(row));
   }
   std::cout << table.to_ascii();
-  table.write_csv("bench_results/" + id + ".csv");
-  std::cout << "(csv: bench_results/" << id << ".csv)\n\n";
+  const std::string csv = csv_path(cli, id);
+  table.write_csv(csv);
+  std::cout << "(csv: " << csv << ")\n\n";
 }
 
 }  // namespace afs::bench

@@ -11,8 +11,9 @@
 #include "sim/machine_sim.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   const std::int64_t n = 200'000'000;
   const int p = 8;
   const std::vector<double> delays{0.0625, 0.125, 0.1875, 0.2031, 0.2187, 0.25};
@@ -56,8 +57,8 @@ int main() {
     table.add_row(std::move(row));
   }
   std::cout << table.to_ascii();
-  table.write_csv("bench_results/tab2.csv");
-  std::cout << "(csv: bench_results/tab2.csv)\n";
+  table.write_csv(bench::csv_path(cli, "tab2"));
+  std::cout << "(csv: " << bench::csv_path(cli, "tab2") << ")\n";
 
   report_shape(std::cout, all_close,
                "GSS/TRAPEZOID/FACTORING/AFS(k=P) within ~2% of each other");

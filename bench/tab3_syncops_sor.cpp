@@ -5,9 +5,10 @@
 #include "kernels/sor.hpp"
 #include "sync_ops_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   bench::run_sync_ops_table("tab3", "sync operations per loop, SOR N=512",
-                            SorKernel::program(512, 4));
+                            SorKernel::program(512, 4),
+                            bench::parse_cli(argc, argv));
   return 0;
 }

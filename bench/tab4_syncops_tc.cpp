@@ -6,10 +6,11 @@
 #include "sync_ops_common.hpp"
 #include "workload/graphs.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   bench::run_sync_ops_table(
       "tab4", "sync operations per loop, transitive closure (640, skewed)",
-      TransitiveClosureKernel::program(clique_graph(640, 320)));
+      TransitiveClosureKernel::program(clique_graph(640, 320)),
+      bench::parse_cli(argc, argv));
   return 0;
 }

@@ -5,10 +5,11 @@
 #include "kernels/adjoint_convolution.hpp"
 #include "sync_ops_common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
   bench::run_sync_ops_table("tab5",
                             "sync operations, adjoint convolution N=75",
-                            AdjointConvolutionKernel::program(75));
+                            AdjointConvolutionKernel::program(75),
+                            bench::parse_cli(argc, argv));
   return 0;
 }

@@ -11,8 +11,9 @@
 #include "sim/machine_sim.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== tab6: Gaussian elimination N=4096, P=16, KSR-1 model ==\n";
   const auto program = GaussKernel::program(4096);
   MachineSim sim(ksr1());
@@ -33,8 +34,8 @@ int main() {
                    Table::num(serial / t, 2)});
   }
   std::cout << table.to_ascii();
-  table.write_csv("bench_results/tab6.csv");
-  std::cout << "(csv: bench_results/tab6.csv)\n";
+  table.write_csv(bench::csv_path(cli, "tab6"));
+  std::cout << "(csv: " << bench::csv_path(cli, "tab6") << ")\n";
 
   auto t = [&](const char* name) {
     for (const auto& [spec, v] : results)

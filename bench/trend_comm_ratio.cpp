@@ -12,8 +12,9 @@
 #include "sim/machine_sim.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace afs;
+  const bench::BenchCli cli = bench::parse_cli(argc, argv);
   std::cout << "== trend: AFS advantage vs compute/communication ratio ==\n";
 
   MachineConfig future = iris();
@@ -38,8 +39,8 @@ int main() {
     prev_adv = adv;
   }
   std::cout << t.to_ascii();
-  t.write_csv("bench_results/trend.csv");
-  std::cout << "(csv: bench_results/trend.csv)\n";
+  t.write_csv(bench::csv_path(cli, "trend"));
+  std::cout << "(csv: " << bench::csv_path(cli, "trend") << ")\n";
   report_shape(std::cout, monotone,
                "AFS advantage grows with the comm/compute ratio (§5.1)");
 

@@ -1,6 +1,7 @@
 #include "experiments/figure.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "sched/registry.hpp"
 #include "util/check.hpp"
@@ -66,18 +67,23 @@ FigureResult run_figure(const FigureSpec& spec, std::ostream& out) {
   result.serial_time = sim.ideal_serial_time(spec.program);
 
   for (const SchedulerEntry& se : spec.schedulers) {
+    const auto phase_start = std::chrono::steady_clock::now();
     for (int p : spec.procs) {
       AFS_CHECK_MSG(p <= spec.machine.max_processors,
                     "P=" << p << " exceeds " << spec.machine.name);
       auto sched = se.make();
       result.results[se.label][p] = sim.run(spec.program, *sched, p);
     }
-    out << "  " << se.label << ": done\n";
+    const std::chrono::duration<double> phase =
+        std::chrono::steady_clock::now() - phase_start;
+    out << "  " << se.label << ": done (" << Table::num(phase.count(), 2)
+        << "s)\n";
   }
 
+  const std::string csv = spec.out_dir + "/" + spec.id + ".csv";
   out << result.completion_table().to_ascii();
-  write_figure_csv(result, "bench_results/" + spec.id + ".csv");
-  out << "(csv: bench_results/" << spec.id << ".csv)\n\n";
+  write_figure_csv(result, csv);
+  out << "(csv: " << csv << ")\n\n";
   return result;
 }
 

@@ -41,6 +41,7 @@ struct FigureSpec {
   std::vector<int> procs;
   std::vector<SchedulerEntry> schedulers;
   SimOptions sim_options;
+  std::string out_dir = "bench_results";  ///< where <id>.csv lands
 };
 
 struct FigureResult {

@@ -1,0 +1,88 @@
+// EventCore: the deterministic heart of the simulation engine — a min-heap
+// of (time, processor) events plus the per-processor completion clocks of
+// the loop in flight.
+//
+// Determinism contract: events are totally ordered by (time, processor-id),
+// so a given event population always drains in the same order regardless
+// of insertion order. Every layered component above this one (memory
+// system, sync model, metrics) relies on that total order.
+//
+// Batching fast path: `leads(t, proc)` answers "if (t, proc) were pushed
+// now, would it be popped next?". When true, the engine may keep executing
+// that processor inline — the next heap round-trip would hand control
+// straight back to it — which coalesces consecutive iterations of a chunk
+// into one event without perturbing the serialization order. See
+// docs/SIMULATOR.md ("Iteration batching") for the exactness argument.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace afs {
+
+class EventCore {
+ public:
+  /// (time, processor); min-heap order with processor id breaking ties.
+  using Event = std::pair<double, int>;
+
+  /// Starts a new loop: one event per processor at its start time, and all
+  /// completion clocks cleared.
+  void reset(const std::vector<double>& start) {
+    heap_.clear();
+    heap_.reserve(start.size());
+    for (std::size_t i = 0; i < start.size(); ++i)
+      heap_.emplace_back(start[i], static_cast<int>(i));
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    done_.assign(start.size(), 0.0);
+  }
+
+  bool empty() const { return heap_.empty(); }
+  std::size_t size() const { return heap_.size(); }
+
+  /// Removes and returns the globally earliest event.
+  Event pop() {
+    AFS_DCHECK(!heap_.empty());
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
+    const Event e = heap_.back();
+    heap_.pop_back();
+    return e;
+  }
+
+  void push(double t, int proc) {
+    heap_.emplace_back(t, proc);
+    std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
+  /// True when a processor at time `t` would still be popped before every
+  /// queued event — i.e. it may continue executing without a heap
+  /// round-trip. (`proc` is not in the heap when this is asked.)
+  bool leads(double t, int proc) const {
+    if (heap_.empty()) return true;
+    const Event& top = heap_.front();
+    return t < top.first || (t == top.first && proc < top.second);
+  }
+
+  /// Records that `proc` drained the scheduler at time `t`.
+  void finish(int proc, double t) {
+    done_[static_cast<std::size_t>(proc)] = t;
+  }
+
+  /// Per-processor completion times of the finished loop.
+  const std::vector<double>& completion_times() const { return done_; }
+
+  /// The loop's join time: the latest completion clock.
+  double join_time() const {
+    AFS_DCHECK(!done_.empty());
+    return *std::max_element(done_.begin(), done_.end());
+  }
+
+ private:
+  std::vector<Event> heap_;   // binary min-heap via std::*_heap
+  std::vector<double> done_;  // completion clock per processor
+};
+
+}  // namespace afs

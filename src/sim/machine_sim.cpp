@@ -1,12 +1,22 @@
 #include "sim/machine_sim.hpp"
 
 #include <algorithm>
-#include <queue>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
 
 namespace afs {
+namespace {
+
+/// The chunk a processor is executing: remaining iterations plus the data
+/// the chunk-level trace event needs (original begin, execution start).
+struct ChunkState {
+  IterRange range{};
+  std::int64_t first = 0;
+  double exec_start = 0.0;
+};
+
+}  // namespace
 
 MachineSim::MachineSim(MachineConfig config, SimOptions options)
     : config_(std::move(config)), options_(std::move(options)) {
@@ -28,154 +38,96 @@ double MachineSim::ideal_serial_time(const LoopProgram& program) const {
   return total * config_.work_unit_time;
 }
 
-double MachineSim::access(int proc, const BlockAccess& a, double t,
-                          SimResult& result) {
-  ProcCache& cache = caches_[static_cast<std::size_t>(proc)];
-  if (!cache.enabled()) return t;  // cache-less machine: cost folded into work
-
-  const bool resident = cache.contains(a.block);
-  if (resident) {
-    cache.touch(a.block);
-    ++result.hits;
-  } else {
-    // Miss: move the block over the interconnect.
-    ++result.misses;
-    result.units_transferred += a.size;
-    const double t0 = t;
-    const double occupancy = a.size * config_.transfer_unit_time;
-    if (config_.interconnect == Interconnect::kSwitch) {
-      t += config_.miss_latency + occupancy;
-    } else {
-      t = shared_link_.acquire(t, occupancy) + config_.miss_latency;
-    }
-    result.comm += t - t0;
-    cache.insert(a.block, a.size, [&](std::int64_t evicted) {
-      directory_.remove_sharer(evicted, proc);
-    });
-    // A block larger than the cache streams through without becoming
-    // resident; only register a sharer for copies that actually exist.
-    if (cache.contains(a.block)) directory_.add_sharer(a.block, proc);
-  }
-
-  if (a.write) {
-    const std::uint64_t others = directory_.make_exclusive(a.block, proc);
-    if (others != 0) {
-      for (int q = 0; q < static_cast<int>(caches_.size()); ++q) {
-        if (others & Directory::bit(q)) {
-          caches_[static_cast<std::size_t>(q)].invalidate(a.block);
-          ++result.invalidations;
-        }
-      }
-      const double t0 = t;
-      t += config_.invalidate_time;
-      result.comm += t - t0;
-    }
-    // A streamed (cache-bypassing) write leaves no copy; drop the
-    // directory entry we just created if the cache did not keep it.
-    if (!cache.contains(a.block)) directory_.remove_sharer(a.block, proc);
-  }
-  return t;
-}
-
-std::vector<double> MachineSim::run_loop(const ParallelLoopSpec& spec,
-                                         Scheduler& sched, int p,
-                                         const std::vector<double>& start,
-                                         SimResult& result) {
+void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
+                          int p, const std::vector<double>& start,
+                          MetricsFanout& m) {
   sched.start_loop(spec.n, p);
+  events_.reset(start);
 
-  // Min-heap of (time, proc); proc id breaks ties for determinism.
-  //
-  // Granularity: one event per *iteration*, not per chunk. Shared
-  // resources (the bus, queue locks) serialize requests in global
-  // simulated-time order only if no processor's clock runs far ahead of
-  // the others between events; executing a whole N/P-iteration chunk in
-  // one event would let the first-processed processor reserve the bus for
-  // its entire epoch and starve everyone else retroactively. Chunks whose
-  // loop has no data footprint carry no shared-resource interaction and
-  // are charged in one step via work_sum when available.
-  using Event = std::pair<double, int>;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> heap;
-  for (int i = 0; i < p; ++i) heap.emplace(start[static_cast<std::size_t>(i)], i);
-
-  std::vector<double> done(static_cast<std::size_t>(p), 0.0);
-  std::vector<IterRange> pending(static_cast<std::size_t>(p));
+  std::vector<ChunkState> pending(static_cast<std::size_t>(p));
   std::vector<BlockAccess> accesses;
-  const double central_sync =
-      config_.remote_sync_time *
-      (sched.central_queue_is_indexed() ? config_.modfact_sync_multiplier : 1.0);
+  const bool batch = options_.batch_iterations;
 
-  while (!heap.empty()) {
-    auto [t, proc] = heap.top();
-    heap.pop();
-    IterRange& mine = pending[static_cast<std::size_t>(proc)];
+  // Granularity: one event per *iteration* of a loop with a data
+  // footprint, not per chunk. Shared resources (the bus, queue locks)
+  // serialize requests in global simulated-time order only if no
+  // processor's clock runs far ahead of the others between events;
+  // executing a whole N/P-iteration chunk in one event would let the
+  // first-processed processor reserve the bus for its entire epoch and
+  // starve everyone else retroactively.
+  //
+  // Batching fast path (batch == true): after each step a processor checks
+  // EventCore::leads — if it would be popped next anyway, it keeps
+  // executing inline, eliminating the heap round-trip without reordering
+  // anything. Footprint-free chunks go further and always coalesce to one
+  // event: they touch no shared resource, so no interleaving with other
+  // processors can observe or affect them (docs/SIMULATOR.md proves both
+  // cases). Chunks with an analytic work_sum are charged in O(1) as
+  // before (this is what makes Table 2's 2e8-iteration loop tractable).
+  while (!events_.empty()) {
+    auto [t, proc] = events_.pop();
+    ChunkState& mine = pending[static_cast<std::size_t>(proc)];
+    bool active = true;
 
-    if (mine.empty()) {
-      const Grab g = sched.next(proc);
-      if (g.done()) {
-        done[static_cast<std::size_t>(proc)] = t;
-        continue;
-      }
-      // --- synchronization cost for the queue that was touched ---
-      const double t_sync0 = t;
-      switch (g.kind) {
-        case GrabKind::kLocal:
-          t = queue_locks_[static_cast<std::size_t>(g.queue)].acquire(
-              t, config_.local_sync_time);
-          ++result.local_grabs;
+    for (;;) {
+      if (mine.range.empty()) {
+        const Grab g = sched.next(proc);
+        if (g.done()) {
+          events_.finish(proc, t);
+          m.on_proc_done(proc, t);
+          active = false;
           break;
-        case GrabKind::kRemote:
-          // Victim selection probes queue load words (unsynchronized reads,
-          // paper fn. 4) — all P for the paper's scan, a constant sample
-          // for the randomized variant — then the victim's lock is taken.
-          t += config_.probe_time * sched.victim_probe_count(p);
-          t = queue_locks_[static_cast<std::size_t>(g.queue)].acquire(
-              t, config_.remote_sync_time);
-          ++result.remote_grabs;
-          break;
-        case GrabKind::kCentral:
-          t = queue_locks_[static_cast<std::size_t>(p)].acquire(t, central_sync);
-          ++result.central_grabs;
-          break;
-        case GrabKind::kStatic:
-          break;  // no run-time queue access
-        case GrabKind::kNone:
-          AFS_CHECK_MSG(false, "non-done grab with kind kNone");
-      }
-      result.sync += t - t_sync0;
-      result.iterations += g.range.size();
+        }
+        // --- synchronization cost for the queue that was touched ---
+        const double t_sync0 = t;
+        t = sync_.charge(g, t);
+        m.on_grab(proc, g, t_sync0, t);
 
-      if (!spec.footprint && spec.work_sum) {
-        // Memory-less chunk: no shared-resource interaction, charge in one
-        // step (this is what makes Table 2's 2e8-iteration loop tractable).
-        const double w =
-            spec.work_sum(g.range.begin, g.range.end) * config_.work_unit_time;
-        result.busy += w;
-        heap.emplace(t + w, proc);
-        continue;
+        if (!spec.footprint && spec.work_sum) {
+          // Analytic chunk: charged in one step.
+          const double w =
+              spec.work_sum(g.range.begin, g.range.end) * config_.work_unit_time;
+          m.on_work(proc, w);
+          const double te = t + w;
+          m.on_chunk(proc, g.range.begin, g.range.end, t, te);
+          t = te;
+        } else {
+          mine.range = g.range;
+          mine.first = g.range.begin;
+          mine.exec_start = t;
+        }
+      } else if (batch && !spec.footprint) {
+        // Footprint-free chunk: coalesce every remaining iteration into
+        // this event (no shared-resource interaction to serialize).
+        while (!mine.range.empty()) {
+          const double w = spec.work(mine.range.begin++) * config_.work_unit_time;
+          m.on_work(proc, w);
+          t += w;
+        }
+        m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
+      } else {
+        // --- execute one iteration ---
+        const std::int64_t i = mine.range.begin++;
+        const double w = spec.work(i) * config_.work_unit_time;
+        m.on_work(proc, w);
+        t += w;
+        if (spec.footprint) {
+          accesses.clear();
+          spec.footprint(i, accesses);
+          for (const BlockAccess& a : accesses)
+            t = memory_.access(proc, a, t, m);
+        }
+        if (mine.range.empty())
+          m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
       }
-      mine = g.range;
-      heap.emplace(t, proc);
-      continue;
+
+      if (!batch || !events_.leads(t, proc)) break;
     }
 
-    // --- execute one iteration ---
-    const std::int64_t i = mine.begin++;
-    const double w = spec.work(i) * config_.work_unit_time;
-    result.busy += w;
-    t += w;
-    if (spec.footprint) {
-      accesses.clear();
-      spec.footprint(i, accesses);
-      for (const BlockAccess& a : accesses) t = access(proc, a, t, result);
-    }
-    heap.emplace(t, proc);
+    if (active) events_.push(t, proc);
   }
 
   sched.end_loop();
-
-  const double end = *std::max_element(done.begin(), done.end());
-  for (double d : done) result.idle += end - d;
-  return done;
 }
 
 SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
@@ -183,11 +135,11 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
   AFS_CHECK(program.epochs >= 0 && program.epoch_loops != nullptr);
 
   SimResult result;
-  directory_.clear();
-  caches_.assign(static_cast<std::size_t>(p), ProcCache(config_.cache_capacity));
-  shared_link_.reset();
-  queue_locks_.assign(static_cast<std::size_t>(p) + 1, ResourceTimeline{});
+  MetricsFanout m(result, options_.trace);
+  memory_.reset(config_, p);
+  sync_.reset(config_, sched, p);
   sched.reset_stats();
+  m.on_run_begin(config_, program.name, sched.name(), p);
 
   Xoshiro256 jitter_rng(options_.jitter_seed);
   double now = 0.0;
@@ -206,18 +158,23 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
       }
       first_loop = false;
 
-      const std::vector<double> done = run_loop(spec, sched, p, start, result);
-      now = *std::max_element(done.begin(), done.end());
+      m.on_loop_begin(e, spec.n, p);
+      run_loop(spec, sched, p, start, m);
+
+      const double end = events_.join_time();
+      for (double d : events_.completion_times()) m.on_idle(end - d);
+      m.on_loop_end(e, end);
+      now = end;
 
       // Fork/join barrier before the next loop.
       const double b = config_.barrier_base + config_.barrier_per_proc * p;
-      result.barrier += b * p;
+      m.on_barrier(e, b, b * p);
       now += b;
     }
   }
 
-  result.makespan = now;
   result.sched_stats = sched.stats();
+  m.on_run_end(now);
   return result;
 }
 

@@ -2,17 +2,32 @@
 //
 // MachineSim executes a LoopProgram under any Scheduler on a simulated
 // machine with P processors, producing the completion times that the
-// paper's figures plot. One run is one fork/join execution: per epoch,
-// every processor repeatedly asks the scheduler for a chunk, pays the
-// modeled synchronization cost for the queue it touched, executes the
-// chunk's iterations (compute time + cache misses + interconnect
-// serialization), and loops until the scheduler reports the loop drained;
-// epochs are separated by a barrier.
+// paper's figures plot. Since the engine refactor it is a thin
+// orchestrator over four layered, independently-testable components:
+//
+//   EventCore    (event_core.hpp)    deterministic (time, proc) heap and
+//                                    per-processor completion clocks;
+//   MemorySystem (memory_system.hpp) caches + coherence directory +
+//                                    interconnect behind one access();
+//   SyncModel    (sync_model.hpp)    queue-lock and victim-probe costing
+//                                    per GrabKind;
+//   MetricsSink  (metrics.hpp)       the accumulator producing SimResult,
+//                                    plus opt-in trace sinks
+//                                    (trace_sink.hpp) — zero-cost when
+//                                    disabled.
+//
+// One run is one fork/join execution: per epoch, every processor
+// repeatedly asks the scheduler for a chunk, pays the modeled
+// synchronization cost for the queue it touched, executes the chunk's
+// iterations (compute time + cache misses + interconnect serialization),
+// and loops until the scheduler reports the loop drained; epochs are
+// separated by a barrier.
 //
 // Determinism: processors are advanced in global simulated-time order with
 // processor-id tie-breaking, and all jitter comes from a seeded RNG, so a
 // given (machine, program, scheduler, P, seed) always yields bit-identical
-// results. Tests rely on this.
+// results — with iteration batching on or off (SimOptions::batch_iterations;
+// see docs/SIMULATOR.md for the batching invariant). Tests rely on this.
 #pragma once
 
 #include <cstdint>
@@ -20,9 +35,11 @@
 
 #include "machines/machine_config.hpp"
 #include "sched/scheduler.hpp"
-#include "sim/cache.hpp"
-#include "sim/interconnect.hpp"
+#include "sim/event_core.hpp"
+#include "sim/memory_system.hpp"
+#include "sim/metrics.hpp"
 #include "sim/sim_result.hpp"
+#include "sim/sync_model.hpp"
 #include "workload/loop_spec.hpp"
 
 namespace afs {
@@ -35,6 +52,18 @@ struct SimOptions {
   /// Extra per-processor start delays in time units, applied to the first
   /// loop of the first epoch only (the Table 2 arrival-time experiment).
   std::vector<double> start_delays;
+
+  /// Iteration-batching fast path (on by default): consecutive iterations
+  /// of a grabbed chunk execute without event-heap round-trips whenever
+  /// that provably cannot change the serialization order — the processor
+  /// still leads every queued event, or the loop has no data footprint at
+  /// all. Results are identical either way; off exists for A/B tests.
+  bool batch_iterations = true;
+
+  /// Optional trace observer (not owned; must outlive the simulator).
+  /// Every simulated event is narrated into it — see trace_sink.hpp for
+  /// the standard JSONL implementation. Null: tracing disabled, no cost.
+  MetricsSink* trace = nullptr;
 };
 
 class MachineSim {
@@ -53,22 +82,21 @@ class MachineSim {
 
   const MachineConfig& config() const { return config_; }
 
+  /// Attaches / detaches the trace observer for subsequent run() calls
+  /// (overrides SimOptions::trace). Not owned.
+  void set_trace_sink(MetricsSink* sink) { options_.trace = sink; }
+
  private:
   /// Executes one parallel loop starting at per-processor times `start`;
-  /// returns per-processor completion times.
-  std::vector<double> run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
-                               int p, const std::vector<double>& start,
-                               SimResult& result);
-
-  /// Charges one data access; returns the processor's new time.
-  double access(int proc, const BlockAccess& a, double t, SimResult& result);
+  /// leaves per-processor completion times in events_.completion_times().
+  void run_loop(const ParallelLoopSpec& spec, Scheduler& sched, int p,
+                const std::vector<double>& start, MetricsFanout& m);
 
   MachineConfig config_;
   SimOptions options_;
-  Directory directory_;
-  std::vector<ProcCache> caches_;
-  ResourceTimeline shared_link_;           // bus or ring; unused for switch
-  std::vector<ResourceTimeline> queue_locks_;  // [0..p-1] local, [p] central
+  EventCore events_;
+  MemorySystem memory_;
+  SyncModel sync_;
 };
 
 }  // namespace afs

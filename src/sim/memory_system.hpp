@@ -1,0 +1,55 @@
+// MemorySystem: the engine's memory-hierarchy model — per-processor caches,
+// the global coherence directory, and the shared interconnect — behind one
+// `access()` call.
+//
+// The component owns no notion of scheduling or events: it is handed a
+// processor, a block access and the processor's current time, charges the
+// modeled cost (miss latency, serialized bus/ring occupancy, write
+// invalidations), narrates what happened into the metrics layer, and
+// returns the new time. See docs/SIMULATOR.md ("Memory system") for the
+// cost model.
+#pragma once
+
+#include <vector>
+
+#include "machines/machine_config.hpp"
+#include "sim/cache.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/metrics.hpp"
+#include "workload/loop_spec.hpp"
+
+namespace afs {
+
+class MemorySystem {
+ public:
+  /// Prepares for a fresh run on `p` processors of machine `config`: cold
+  /// caches, empty directory, idle interconnect. The relevant config
+  /// fields are captured so `access()` needs no config thereafter.
+  void reset(const MachineConfig& config, int p);
+
+  /// Charges one data access by `proc` at time `t`; returns the new time.
+  double access(int proc, const BlockAccess& a, double t, MetricsFanout& m);
+
+  /// True when the machine models caches at all (capacity > 0). When
+  /// false, `access()` is the identity: the cache-less machines fold
+  /// memory cost into iteration work.
+  bool modeled() const { return cache_capacity_ > 0.0; }
+
+  const ProcCache& cache(int proc) const {
+    return caches_[static_cast<std::size_t>(proc)];
+  }
+  const Directory& directory() const { return directory_; }
+
+ private:
+  double cache_capacity_ = 0.0;
+  double miss_latency_ = 0.0;
+  double transfer_unit_time_ = 0.0;
+  double invalidate_time_ = 0.0;
+  bool serialized_link_ = true;  // bus/ring serialize; a switch does not
+
+  Directory directory_;
+  std::vector<ProcCache> caches_;
+  ResourceTimeline shared_link_;
+};
+
+}  // namespace afs

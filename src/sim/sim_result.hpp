@@ -1,6 +1,8 @@
 // Aggregate metrics produced by one simulator run.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 
 #include "sched/stats.hpp"
@@ -35,6 +37,50 @@ struct SimResult {
   double speedup_vs(double serial_time) const {
     return makespan > 0.0 ? serial_time / makespan : 0.0;
   }
+
+  /// Aggregates another run (or partial result) into this one: every time
+  /// component and counter sums, makespans add (back-to-back runs), and
+  /// scheduler queue stats merge index-wise.
+  SimResult& operator+=(const SimResult& o) {
+    makespan += o.makespan;
+    busy += o.busy;
+    sync += o.sync;
+    comm += o.comm;
+    idle += o.idle;
+    barrier += o.barrier;
+    hits += o.hits;
+    misses += o.misses;
+    invalidations += o.invalidations;
+    units_transferred += o.units_transferred;
+    local_grabs += o.local_grabs;
+    remote_grabs += o.remote_grabs;
+    central_grabs += o.central_grabs;
+    iterations += o.iterations;
+    if (sched_stats.queues.size() < o.sched_stats.queues.size())
+      sched_stats.queues.resize(o.sched_stats.queues.size());
+    for (std::size_t q = 0; q < o.sched_stats.queues.size(); ++q)
+      sched_stats.queues[q] += o.sched_stats.queues[q];
+    sched_stats.loops += o.sched_stats.loops;
+    return *this;
+  }
 };
+
+/// The part of a run's wall time the decomposition explains:
+/// busy + sync + comm + idle + barrier.
+inline double accounted_time(const SimResult& r) {
+  return r.busy + r.sync + r.comm + r.idle + r.barrier;
+}
+
+/// The engine's conservation law: with deterministic (jitter-free) starts
+/// every processor is accounted for from fork to join, so
+/// accounted_time(r) ~= P * makespan to relative tolerance `rel_tol`.
+/// Returns true when the identity holds.
+inline bool check_time_identity(const SimResult& r, int p,
+                                double rel_tol = 1e-6) {
+  const double accounted = accounted_time(r);
+  const double expected = static_cast<double>(p) * r.makespan;
+  const double scale = std::max(std::abs(accounted), std::abs(expected));
+  return std::abs(accounted - expected) <= rel_tol * scale;
+}
 
 }  // namespace afs

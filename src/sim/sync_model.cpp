@@ -1,0 +1,39 @@
+#include "sim/sync_model.hpp"
+
+#include "util/check.hpp"
+
+namespace afs {
+
+void SyncModel::reset(const MachineConfig& config, const Scheduler& sched,
+                      int p) {
+  local_sync_ = config.local_sync_time;
+  remote_sync_ = config.remote_sync_time;
+  central_sync_ =
+      config.remote_sync_time *
+      (sched.central_queue_is_indexed() ? config.modfact_sync_multiplier : 1.0);
+  probe_cost_ = config.probe_time * sched.victim_probe_count(p);
+  central_lock_ = p;
+  locks_.assign(static_cast<std::size_t>(p) + 1, ResourceTimeline{});
+}
+
+double SyncModel::charge(const Grab& g, double t) {
+  switch (g.kind) {
+    case GrabKind::kLocal:
+      return locks_[static_cast<std::size_t>(g.queue)].acquire(t, local_sync_);
+    case GrabKind::kRemote:
+      // Probe queue loads first, then take the victim's lock.
+      t += probe_cost_;
+      return locks_[static_cast<std::size_t>(g.queue)].acquire(t, remote_sync_);
+    case GrabKind::kCentral:
+      return locks_[static_cast<std::size_t>(central_lock_)].acquire(
+          t, central_sync_);
+    case GrabKind::kStatic:
+      return t;  // no run-time queue access
+    case GrabKind::kNone:
+      break;
+  }
+  AFS_CHECK_MSG(false, "non-done grab with kind kNone");
+  return t;
+}
+
+}  // namespace afs

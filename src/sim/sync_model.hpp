@@ -1,0 +1,57 @@
+// SyncModel: the engine's synchronization-cost model. Owns the per-queue
+// lock timelines and knows what each GrabKind costs on the current machine
+// under the current scheduler:
+//
+//  * kLocal   — the worker's own queue lock, local_sync_time held;
+//  * kRemote  — victim-selection probes (unsynchronized load reads, paper
+//               fn. 4) followed by the victim's lock, remote_sync_time;
+//  * kCentral — the central queue lock; MOD-FACTORING-style indexed queues
+//               pay remote_sync_time * modfact_sync_multiplier because the
+//               worker must find its reserved chunk instead of popping the
+//               head (§2.3);
+//  * kStatic  — no run-time queue access, free.
+//
+// Lock contention emerges from the FCFS ResourceTimeline per queue: a grab
+// arriving while the lock is held waits. The engine guarantees grabs are
+// issued in global simulated-time order, which makes the single free-at
+// timestamp per lock an exact FCFS queue.
+#pragma once
+
+#include <vector>
+
+#include "machines/machine_config.hpp"
+#include "sched/grab.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/interconnect.hpp"
+#include "sim/metrics.hpp"
+
+namespace afs {
+
+class SyncModel {
+ public:
+  /// Prepares for a fresh run: p local queue locks plus the central-queue
+  /// lock, with the per-kind costs captured from `config` and the
+  /// scheduler's fixed properties (indexed central queue, probe count).
+  void reset(const MachineConfig& config, const Scheduler& sched, int p);
+
+  /// Charges the queue operation behind grab `g` issued at time `t`;
+  /// returns the time the operation completes. kStatic (and kNone) cost
+  /// nothing. `g.kind != kNone` narration is the caller's job via
+  /// MetricsFanout::on_grab.
+  double charge(const Grab& g, double t);
+
+  double queue_free_at(int queue) const {
+    return locks_[static_cast<std::size_t>(queue)].free_at();
+  }
+
+ private:
+  double local_sync_ = 0.0;
+  double remote_sync_ = 0.0;
+  double central_sync_ = 0.0;  // remote_sync * multiplier for indexed queues
+  double probe_cost_ = 0.0;    // victim-selection probes per remote grab
+  int central_lock_ = 0;       // index of the central lock (== p)
+
+  std::vector<ResourceTimeline> locks_;  // [0..p-1] local, [p] central
+};
+
+}  // namespace afs

@@ -1,0 +1,116 @@
+#include "sim/trace_sink.hpp"
+
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+
+namespace afs {
+namespace {
+
+// Minimal JSON string escaping: our identifiers are ASCII, but machine and
+// program names are caller-supplied.
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string num(double v) {
+  std::ostringstream os;
+  os.precision(17);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
+
+JsonlTraceSink::JsonlTraceSink(const std::string& path)
+    : file_(path), out_(&file_) {
+  if (!file_) throw std::runtime_error("cannot open trace file: " + path);
+}
+
+void JsonlTraceSink::line(const std::string& body) {
+  *out_ << '{' << body << "}\n";
+  ++lines_;
+}
+
+void JsonlTraceSink::on_run_begin(const MachineConfig& m,
+                                  const std::string& program,
+                                  const std::string& scheduler, int p) {
+  line("\"ev\":\"run_begin\",\"machine\":\"" + escaped(m.name) +
+       "\",\"program\":\"" + escaped(program) + "\",\"scheduler\":\"" +
+       escaped(scheduler) + "\",\"p\":" + std::to_string(p));
+}
+
+void JsonlTraceSink::on_loop_begin(int epoch, std::int64_t n, int p) {
+  line("\"ev\":\"loop_begin\",\"epoch\":" + std::to_string(epoch) +
+       ",\"n\":" + std::to_string(n) + ",\"p\":" + std::to_string(p));
+}
+
+void JsonlTraceSink::on_grab(int proc, const Grab& g, double t0, double t1) {
+  line("\"ev\":\"grab\",\"proc\":" + std::to_string(proc) + ",\"kind\":\"" +
+       std::string(to_string(g.kind)) + "\",\"queue\":" +
+       std::to_string(g.queue) + ",\"begin\":" + std::to_string(g.range.begin) +
+       ",\"end\":" + std::to_string(g.range.end) + ",\"t0\":" + num(t0) +
+       ",\"t1\":" + num(t1));
+}
+
+void JsonlTraceSink::on_chunk(int proc, std::int64_t begin, std::int64_t end,
+                              double t0, double t1) {
+  line("\"ev\":\"chunk\",\"proc\":" + std::to_string(proc) + ",\"begin\":" +
+       std::to_string(begin) + ",\"end\":" + std::to_string(end) +
+       ",\"t0\":" + num(t0) + ",\"t1\":" + num(t1));
+}
+
+void JsonlTraceSink::on_miss(int proc, const BlockAccess& a, double t0,
+                             double t1) {
+  line("\"ev\":\"miss\",\"proc\":" + std::to_string(proc) + ",\"block\":" +
+       std::to_string(a.block) + ",\"size\":" + num(a.size) + ",\"t0\":" +
+       num(t0) + ",\"t1\":" + num(t1));
+}
+
+void JsonlTraceSink::on_invalidate(int proc, std::int64_t block, int copies,
+                                   double t0, double t1) {
+  line("\"ev\":\"inval\",\"proc\":" + std::to_string(proc) + ",\"block\":" +
+       std::to_string(block) + ",\"copies\":" + std::to_string(copies) +
+       ",\"t0\":" + num(t0) + ",\"t1\":" + num(t1));
+}
+
+void JsonlTraceSink::on_proc_done(int proc, double t) {
+  line("\"ev\":\"done\",\"proc\":" + std::to_string(proc) + ",\"t\":" + num(t));
+}
+
+void JsonlTraceSink::on_loop_end(int epoch, double end) {
+  line("\"ev\":\"loop_end\",\"epoch\":" + std::to_string(epoch) + ",\"end\":" +
+       num(end));
+}
+
+void JsonlTraceSink::on_barrier(int epoch, double cost, double total) {
+  line("\"ev\":\"barrier\",\"epoch\":" + std::to_string(epoch) + ",\"cost\":" +
+       num(cost) + ",\"total\":" + num(total));
+}
+
+void JsonlTraceSink::on_run_end(double makespan) {
+  line("\"ev\":\"run_end\",\"makespan\":" + num(makespan));
+  out_->flush();
+}
+
+}  // namespace afs

@@ -1,0 +1,66 @@
+// JsonlTraceSink: an opt-in MetricsSink that streams a per-processor
+// timeline of one (or more) simulator runs as JSON Lines.
+//
+// One JSON object per line, each with an "ev" discriminator. The schema
+// (documented in docs/SIMULATOR.md, "Trace schema"):
+//
+//   {"ev":"run_begin","machine":..,"program":..,"scheduler":..,"p":N}
+//   {"ev":"loop_begin","epoch":E,"n":N,"p":P}
+//   {"ev":"grab","proc":Q,"kind":"local|remote|central|static",
+//    "queue":I,"begin":B,"end":E,"t0":..,"t1":..}
+//   {"ev":"chunk","proc":Q,"begin":B,"end":E,"t0":..,"t1":..}
+//   {"ev":"miss","proc":Q,"block":B,"size":S,"t0":..,"t1":..}
+//   {"ev":"inval","proc":Q,"block":B,"copies":C,"t0":..,"t1":..}
+//   {"ev":"done","proc":Q,"t":..}
+//   {"ev":"loop_end","epoch":E,"end":..}
+//   {"ev":"barrier","epoch":E,"cost":..,"total":..}
+//   {"ev":"run_end","makespan":..}
+//
+// Volume is proportional to scheduling decisions and misses, not
+// iterations: the per-iteration on_work/on_hit micro-events are
+// intentionally not serialized (their aggregates are in SimResult).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "sim/metrics.hpp"
+
+namespace afs {
+
+class JsonlTraceSink : public MetricsSink {
+ public:
+  /// Streams to `out` (not owned; must outlive the sink).
+  explicit JsonlTraceSink(std::ostream& out);
+
+  /// Opens `path` for writing (truncates). Throws std::runtime_error when
+  /// the file cannot be opened; parent directories are not created.
+  explicit JsonlTraceSink(const std::string& path);
+
+  std::int64_t lines_written() const { return lines_; }
+
+  void on_run_begin(const MachineConfig& m, const std::string& program,
+                    const std::string& scheduler, int p) override;
+  void on_loop_begin(int epoch, std::int64_t n, int p) override;
+  void on_grab(int proc, const Grab& g, double t0, double t1) override;
+  void on_chunk(int proc, std::int64_t begin, std::int64_t end, double t0,
+                double t1) override;
+  void on_miss(int proc, const BlockAccess& a, double t0, double t1) override;
+  void on_invalidate(int proc, std::int64_t block, int copies, double t0,
+                     double t1) override;
+  void on_proc_done(int proc, double t) override;
+  void on_loop_end(int epoch, double end) override;
+  void on_barrier(int epoch, double cost, double total) override;
+  void on_run_end(double makespan) override;
+
+ private:
+  void line(const std::string& body);
+
+  std::ofstream file_;   // used by the path constructor
+  std::ostream* out_;    // always valid
+  std::int64_t lines_ = 0;
+};
+
+}  // namespace afs

@@ -29,9 +29,60 @@ TEST(Conservation, TimeDecompositionSumsToSpan) {
     auto sched = make_scheduler(spec);
     const auto prog = SorKernel::program(64, 4);
     const SimResult r = sim.run(prog, *sched, 4);
-    const double accounted = r.busy + r.sync + r.comm + r.idle + r.barrier;
-    EXPECT_NEAR(accounted, 4.0 * r.makespan, 1e-6 * accounted) << spec;
+    EXPECT_TRUE(check_time_identity(r, 4))
+        << spec << ": accounted " << accounted_time(r) << " vs "
+        << 4.0 * r.makespan;
   }
+}
+
+TEST(Conservation, TimeIdentityHoldsAcrossMachines) {
+  // The identity is a property of the engine, not of one machine model:
+  // it must survive serialized buses, switches, and COMA-size caches.
+  const auto prog = SorKernel::program(64, 2);
+  for (const MachineConfig& base :
+       {iris(), butterfly1(), symmetry(), ksr1()}) {
+    MachineSim sim(quiet(base));
+    auto sched = make_scheduler("AFS");
+    const SimResult r = sim.run(prog, *sched, 4);
+    EXPECT_TRUE(check_time_identity(r, 4)) << base.name;
+  }
+}
+
+TEST(Conservation, CheckTimeIdentityRejectsCorruptedAccounting) {
+  MachineSim sim(quiet(iris()));
+  auto sched = make_scheduler("AFS");
+  SimResult r = sim.run(SorKernel::program(64, 4), *sched, 4);
+  ASSERT_TRUE(check_time_identity(r, 4));
+  r.idle += 0.01 * r.makespan;  // lose 1% of a processor somewhere
+  EXPECT_FALSE(check_time_identity(r, 4));
+}
+
+TEST(Conservation, ResultAccumulationMatchesFieldSums) {
+  // operator+= is how experiment drivers aggregate repeated runs; it must
+  // preserve the conservation identity of back-to-back executions.
+  MachineSim sim(quiet(iris()));
+  const auto prog = SorKernel::program(64, 4);
+  auto s1 = make_scheduler("AFS");
+  auto s2 = make_scheduler("GSS");
+  const SimResult a = sim.run(prog, *s1, 4);
+  const SimResult b = sim.run(prog, *s2, 4);
+
+  SimResult sum = a;
+  sum += b;
+  EXPECT_DOUBLE_EQ(sum.makespan, a.makespan + b.makespan);
+  EXPECT_DOUBLE_EQ(sum.busy, a.busy + b.busy);
+  EXPECT_DOUBLE_EQ(sum.comm, a.comm + b.comm);
+  EXPECT_EQ(sum.iterations, a.iterations + b.iterations);
+  EXPECT_EQ(sum.misses, a.misses + b.misses);
+  EXPECT_EQ(sum.local_grabs + sum.remote_grabs + sum.central_grabs,
+            a.local_grabs + a.remote_grabs + a.central_grabs +
+                b.local_grabs + b.remote_grabs + b.central_grabs);
+  EXPECT_EQ(sum.sched_stats.loops, a.sched_stats.loops + b.sched_stats.loops);
+  EXPECT_EQ(sum.sched_stats.total().total_grabs(),
+            a.sched_stats.total().total_grabs() +
+                b.sched_stats.total().total_grabs());
+  // Two conserving runs still conserve when pooled.
+  EXPECT_TRUE(check_time_identity(sum, 4));
 }
 
 TEST(Conservation, IterationCountExact) {

@@ -1,0 +1,251 @@
+// Golden determinism pins: exact SimResult fields for one small
+// configuration per simulated machine, captured from the engine at the
+// time of the core refactor (values printed at %.17g, which round-trips
+// doubles exactly).
+//
+// These tests intentionally hard-code numbers. The simulator promises
+// bit-identical results for a given (machine, program, scheduler, P, seed)
+// — including with iteration batching on or off — and the paper's figures
+// are regenerated from these runs, so *any* drift here is a behavioral
+// change that must be deliberate. If you intend to change the model,
+// re-capture the constants and say so in the commit message.
+#include <gtest/gtest.h>
+
+#include "kernels/gauss.hpp"
+#include "kernels/sor.hpp"
+#include "kernels/synthetic.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace afs {
+namespace {
+
+struct Golden {
+  double makespan, busy, sync, comm, idle, barrier;
+  std::int64_t hits, misses, invalidations;
+  double units;
+  std::int64_t local, remote, central, iters;
+};
+
+void expect_matches(const SimResult& r, const Golden& g) {
+  EXPECT_EQ(r.makespan, g.makespan);
+  EXPECT_EQ(r.busy, g.busy);
+  EXPECT_EQ(r.sync, g.sync);
+  EXPECT_EQ(r.comm, g.comm);
+  EXPECT_EQ(r.idle, g.idle);
+  EXPECT_EQ(r.barrier, g.barrier);
+  EXPECT_EQ(r.hits, g.hits);
+  EXPECT_EQ(r.misses, g.misses);
+  EXPECT_EQ(r.invalidations, g.invalidations);
+  EXPECT_EQ(r.units_transferred, g.units);
+  EXPECT_EQ(r.local_grabs, g.local);
+  EXPECT_EQ(r.remote_grabs, g.remote);
+  EXPECT_EQ(r.central_grabs, g.central);
+  EXPECT_EQ(r.iterations, g.iters);
+}
+
+SimResult run(const MachineConfig& m, const LoopProgram& prog,
+              const char* spec, int p, bool batch = true) {
+  SimOptions opts;
+  opts.batch_iterations = batch;
+  MachineSim sim(m, opts);
+  auto sched = make_scheduler(spec);
+  return sim.run(prog, *sched, p);
+}
+
+// ------------------------- one pin per machine ---------------------------
+
+TEST(GoldenDeterminism, IrisGauss64Afs) {
+  const Golden g{67819.036487821562,
+                 174720,
+                 14055.074095390286,
+                 31372.385365932016,
+                 15597.16533924961,
+                 22680,
+                 3634,
+                 398,
+                 150,
+                 14952,
+                 1251,
+                 45,
+                 0,
+                 2016};
+  expect_matches(run(iris(), GaussKernel::program(64), "AFS", 4), g);
+}
+
+TEST(GoldenDeterminism, IrisGauss64Gss) {
+  const Golden g{103803.043776226,
+                 174720,
+                 17687.752275123195,
+                 164705.09400794463,
+                 22567.807671121889,
+                 22680,
+                 2264,
+                 1768,
+                 1520,
+                 74932,
+                 0,
+                 0,
+                 587,
+                 2016};
+  expect_matches(run(iris(), GaussKernel::program(64), "GSS", 4), g);
+}
+
+TEST(GoldenDeterminism, Butterfly1Triangular256Afs) {
+  const Golden g{5174.4869730217124,
+                 32896,
+                 5514.1615409214583,
+                 0,
+                 1467.8147445231752,
+                 1248,
+                 0,
+                 0,
+                 0,
+                 0,
+                 107,
+                 21,
+                 0,
+                 256};
+  expect_matches(run(butterfly1(), triangular_program(256), "AFS", 8), g);
+}
+
+TEST(GoldenDeterminism, Butterfly1Triangular256Gss) {
+  const Golden g{7906.193148552994,
+                 32896,
+                 4302.6256896948871,
+                 0,
+                 24533,
+                 1248,
+                 0,
+                 0,
+                 0,
+                 0,
+                 0,
+                 0,
+                 31,
+                 256};
+  expect_matches(run(butterfly1(), triangular_program(256), "GSS", 8), g);
+}
+
+TEST(GoldenDeterminism, SymmetrySor64Factoring) {
+  const Golden g{623649.5210944016,
+                 2457600,
+                 5807.3246373988195,
+                 23727.999999999687,
+                 4980,
+                 1440,
+                 438,
+                 322,
+                 239,
+                 20608,
+                 0,
+                 0,
+                 80,
+                 256};
+  expect_matches(run(symmetry(), SorKernel::program(64, 4), "FACTORING", 4), g);
+}
+
+TEST(GoldenDeterminism, SymmetrySor64Afs) {
+  const Golden g{618028.73689446342,
+                 2457600,
+                 3840,
+                 6630.441699508523,
+                 1561.7461381373578,
+                 1440,
+                 672,
+                 88,
+                 21,
+                 5632,
+                 128,
+                 0,
+                 0,
+                 256};
+  expect_matches(run(symmetry(), SorKernel::program(64, 4), "AFS", 4), g);
+}
+
+TEST(GoldenDeterminism, Ksr1Gauss96Afs) {
+  const Golden g{206878.67576108791,
+                 589760,
+                 219829.17119099604,
+                 166513.3545960848,
+                 252536.62152450037,
+                 273600,
+                 7821,
+                 1299,
+                 568,
+                 68543,
+                 4030,
+                 218,
+                 0,
+                 4560};
+  expect_matches(run(ksr1(), GaussKernel::program(96), "AFS", 8), g);
+}
+
+TEST(GoldenDeterminism, Ksr1Gauss96Trapezoid) {
+  const Golden g{596856.07205591374,
+                 589760,
+                 2406393.9436231712,
+                 661721.66666666593,
+                 690582.70738034754,
+                 273600,
+                 4444,
+                 4676,
+                 3940,
+                 294638,
+                 0,
+                 0,
+                 1783,
+                 4560};
+  expect_matches(run(ksr1(), GaussKernel::program(96), "TRAPEZOID", 8), g);
+}
+
+// -------------------- batching must not change anything ------------------
+
+TEST(GoldenDeterminism, BatchingOffIsBitIdentical) {
+  struct Case {
+    MachineConfig machine;
+    LoopProgram program;
+    const char* spec;
+    int p;
+  };
+  const Case cases[] = {
+      {iris(), GaussKernel::program(64), "AFS", 4},
+      {butterfly1(), triangular_program(256), "GSS", 8},
+      {symmetry(), SorKernel::program(64, 4), "FACTORING", 4},
+      {ksr1(), GaussKernel::program(96), "TRAPEZOID", 8},
+  };
+  for (const Case& c : cases) {
+    const SimResult on = run(c.machine, c.program, c.spec, c.p, true);
+    const SimResult off = run(c.machine, c.program, c.spec, c.p, false);
+    EXPECT_EQ(on.makespan, off.makespan) << c.spec;
+    EXPECT_EQ(on.busy, off.busy) << c.spec;
+    EXPECT_EQ(on.sync, off.sync) << c.spec;
+    EXPECT_EQ(on.comm, off.comm) << c.spec;
+    EXPECT_EQ(on.idle, off.idle) << c.spec;
+    EXPECT_EQ(on.barrier, off.barrier) << c.spec;
+    EXPECT_EQ(on.hits, off.hits) << c.spec;
+    EXPECT_EQ(on.misses, off.misses) << c.spec;
+    EXPECT_EQ(on.invalidations, off.invalidations) << c.spec;
+    EXPECT_EQ(on.units_transferred, off.units_transferred) << c.spec;
+    EXPECT_EQ(on.local_grabs, off.local_grabs) << c.spec;
+    EXPECT_EQ(on.remote_grabs, off.remote_grabs) << c.spec;
+    EXPECT_EQ(on.central_grabs, off.central_grabs) << c.spec;
+    EXPECT_EQ(on.iterations, off.iterations) << c.spec;
+  }
+}
+
+TEST(GoldenDeterminism, RepeatedRunsIdentical) {
+  // Same MachineSim instance reused: internal state must fully reset.
+  MachineSim sim(ksr1());
+  auto sched1 = make_scheduler("AFS");
+  auto sched2 = make_scheduler("AFS");
+  const SimResult a = sim.run(GaussKernel::program(96), *sched1, 8);
+  const SimResult b = sim.run(GaussKernel::program(96), *sched2, 8);
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.units_transferred, b.units_transferred);
+}
+
+}  // namespace
+}  // namespace afs

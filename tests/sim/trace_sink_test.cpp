@@ -1,0 +1,156 @@
+// JsonlTraceSink: the trace stream must be well-formed JSONL, must narrate
+// the run completely (begin/end framing, every grab and miss), and —
+// critically — attaching it must not perturb the simulation itself.
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "kernels/gauss.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+#include "sim/trace_sink.hpp"
+
+namespace afs {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  return lines;
+}
+
+// Minimal structural JSON validator: balanced {} and [] outside strings,
+// no trailing garbage. Enough to catch broken escaping or truncation
+// without a JSON library in the test image.
+bool looks_like_json_object(const std::string& s) {
+  if (s.empty() || s.front() != '{') return false;
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;  // skip escaped char
+      else if (c == '"')
+        in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+      if (depth == 0 && i + 1 != s.size()) return false;  // trailing junk
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+int count_with_ev(const std::vector<std::string>& lines, const std::string& ev) {
+  const std::string needle = "\"ev\":\"" + ev + "\"";
+  int n = 0;
+  for (const std::string& l : lines)
+    if (l.find(needle) != std::string::npos) ++n;
+  return n;
+}
+
+TEST(TraceSink, StreamIsWellFormedAndComplete) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+
+  SimOptions opts;
+  opts.trace = &sink;
+  MachineSim sim(iris(), opts);
+  auto sched = make_scheduler("AFS");
+  const SimResult r = sim.run(GaussKernel::program(32), *sched, 4);
+
+  const auto lines = lines_of(out.str());
+  ASSERT_FALSE(lines.empty());
+  EXPECT_EQ(static_cast<std::int64_t>(lines.size()), sink.lines_written());
+  for (const std::string& l : lines)
+    EXPECT_TRUE(looks_like_json_object(l)) << l;
+
+  // Framing: exactly one run_begin / run_end, first and last.
+  EXPECT_EQ(count_with_ev(lines, "run_begin"), 1);
+  EXPECT_EQ(count_with_ev(lines, "run_end"), 1);
+  EXPECT_NE(lines.front().find("\"ev\":\"run_begin\""), std::string::npos);
+  EXPECT_NE(lines.back().find("\"ev\":\"run_end\""), std::string::npos);
+
+  // Gauss on 32 rows has 31 epochs, each one loop.
+  EXPECT_EQ(count_with_ev(lines, "loop_begin"), 31);
+  EXPECT_EQ(count_with_ev(lines, "loop_end"), 31);
+  EXPECT_EQ(count_with_ev(lines, "barrier"), 31);
+
+  // Narration completeness: one grab line per scheduler grab, one miss
+  // line per cache miss, one done line per processor per loop.
+  const std::int64_t grabs = r.local_grabs + r.remote_grabs + r.central_grabs;
+  EXPECT_EQ(count_with_ev(lines, "grab"), grabs);
+  EXPECT_EQ(count_with_ev(lines, "miss"), r.misses);
+  EXPECT_EQ(count_with_ev(lines, "done"), 31 * 4);
+}
+
+TEST(TraceSink, TracingDoesNotPerturbTheRun) {
+  auto run_once = [](MetricsSink* trace) {
+    SimOptions opts;
+    opts.trace = trace;
+    MachineSim sim(ksr1(), opts);
+    auto sched = make_scheduler("AFS");
+    return sim.run(GaussKernel::program(64), *sched, 8);
+  };
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  const SimResult traced = run_once(&sink);
+  const SimResult plain = run_once(nullptr);
+
+  EXPECT_EQ(traced.makespan, plain.makespan);
+  EXPECT_EQ(traced.busy, plain.busy);
+  EXPECT_EQ(traced.sync, plain.sync);
+  EXPECT_EQ(traced.comm, plain.comm);
+  EXPECT_EQ(traced.idle, plain.idle);
+  EXPECT_EQ(traced.misses, plain.misses);
+  EXPECT_EQ(traced.units_transferred, plain.units_transferred);
+  EXPECT_EQ(traced.local_grabs, plain.local_grabs);
+  EXPECT_EQ(traced.remote_grabs, plain.remote_grabs);
+  EXPECT_GT(sink.lines_written(), 0);
+}
+
+TEST(TraceSink, SetTraceSinkAttachesAndDetaches) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  MachineSim sim(iris());
+  auto sched = make_scheduler("GSS");
+
+  sim.set_trace_sink(&sink);
+  sim.run(GaussKernel::program(16), *sched, 2);
+  const std::int64_t traced_lines = sink.lines_written();
+  EXPECT_GT(traced_lines, 0);
+
+  sim.set_trace_sink(nullptr);
+  auto sched2 = make_scheduler("GSS");
+  sim.run(GaussKernel::program(16), *sched2, 2);
+  EXPECT_EQ(sink.lines_written(), traced_lines);  // nothing new
+}
+
+TEST(TraceSink, PathConstructorRejectsUnwritableFile) {
+  EXPECT_THROW(JsonlTraceSink("/nonexistent_dir_xyz/trace.jsonl"),
+               std::runtime_error);
+}
+
+TEST(TraceSink, EscapesControlAndQuoteCharacters) {
+  std::ostringstream out;
+  JsonlTraceSink sink(out);
+  MachineConfig m = iris();
+  m.name = "we\"ird\\na\tme";
+  sink.on_run_begin(m, "prog\nname", "sched", 2);
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_TRUE(looks_like_json_object(lines[0])) << lines[0];
+  EXPECT_EQ(lines[0].find('\t'), std::string::npos);
+}
+
+}  // namespace
+}  // namespace afs

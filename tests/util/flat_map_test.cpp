@@ -1,0 +1,129 @@
+// FlatMap64: the open-addressing map under the simulator's hot paths.
+// Exercises the cases that matter for correctness of backward-shift
+// deletion and growth, plus a randomized differential test against
+// std::unordered_map.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "util/flat_map.hpp"
+#include "util/rng.hpp"
+
+namespace afs {
+namespace {
+
+TEST(FlatMap64, StartsEmpty) {
+  FlatMap64<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.size(), 0u);
+  EXPECT_EQ(m.find(7), nullptr);
+  EXPECT_FALSE(m.contains(7));
+  EXPECT_FALSE(m.erase(7));
+}
+
+TEST(FlatMap64, InsertFindErase) {
+  FlatMap64<int> m;
+  m[1] = 10;
+  m[2] = 20;
+  m[3] = 30;
+  EXPECT_EQ(m.size(), 3u);
+  ASSERT_NE(m.find(2), nullptr);
+  EXPECT_EQ(*m.find(2), 20);
+  EXPECT_TRUE(m.erase(2));
+  EXPECT_EQ(m.find(2), nullptr);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_FALSE(m.erase(2));  // already gone
+  EXPECT_EQ(*m.find(1), 10);
+  EXPECT_EQ(*m.find(3), 30);
+}
+
+TEST(FlatMap64, SubscriptDefaultConstructsAndUpdatesInPlace) {
+  FlatMap64<std::uint64_t> m;
+  EXPECT_EQ(m[42], 0u);  // default constructed
+  m[42] |= 0b101;
+  m[42] |= 0b010;
+  EXPECT_EQ(m[42], 0b111u);
+  EXPECT_EQ(m.size(), 1u);
+}
+
+TEST(FlatMap64, NegativeAndLargeKeys) {
+  FlatMap64<int> m;
+  m[-1] = 1;
+  m[INT64_MIN] = 2;
+  m[INT64_MAX] = 3;
+  m[0] = 4;
+  EXPECT_EQ(*m.find(-1), 1);
+  EXPECT_EQ(*m.find(INT64_MIN), 2);
+  EXPECT_EQ(*m.find(INT64_MAX), 3);
+  EXPECT_EQ(*m.find(0), 4);
+}
+
+TEST(FlatMap64, GrowthPreservesContents) {
+  FlatMap64<std::int64_t> m;
+  for (std::int64_t k = 0; k < 1000; ++k) m[k] = k * k;
+  EXPECT_EQ(m.size(), 1000u);
+  for (std::int64_t k = 0; k < 1000; ++k) {
+    ASSERT_NE(m.find(k), nullptr) << k;
+    EXPECT_EQ(*m.find(k), k * k) << k;
+  }
+}
+
+TEST(FlatMap64, ClearEmptiesButStaysUsable) {
+  FlatMap64<int> m;
+  for (int k = 0; k < 100; ++k) m[k] = k;
+  m.clear();
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.find(50), nullptr);
+  m[50] = 5;
+  EXPECT_EQ(*m.find(50), 5);
+}
+
+TEST(FlatMap64, EraseDuringDenseCollisions) {
+  // Sequential keys stress linear probing + backward-shift deletion:
+  // delete every other key, then verify the survivors are all reachable.
+  FlatMap64<int> m;
+  for (int k = 0; k < 256; ++k) m[k] = k;
+  for (int k = 0; k < 256; k += 2) EXPECT_TRUE(m.erase(k));
+  EXPECT_EQ(m.size(), 128u);
+  for (int k = 0; k < 256; ++k) {
+    if (k % 2 == 0) {
+      EXPECT_EQ(m.find(k), nullptr) << k;
+    } else {
+      ASSERT_NE(m.find(k), nullptr) << k;
+      EXPECT_EQ(*m.find(k), k) << k;
+    }
+  }
+}
+
+TEST(FlatMap64, DifferentialAgainstUnorderedMap) {
+  FlatMap64<std::int64_t> flat;
+  std::unordered_map<std::int64_t, std::int64_t> ref;
+  Xoshiro256 rng(2024);
+  for (int step = 0; step < 20000; ++step) {
+    const std::int64_t key = rng.next_in(0, 512);  // small space → collisions
+    const std::int64_t op = rng.next_in(0, 3);
+    if (op == 0) {
+      flat[key] = step;
+      ref[key] = step;
+    } else if (op == 1) {
+      EXPECT_EQ(flat.erase(key), ref.erase(key) > 0) << "step " << step;
+    } else {
+      const std::int64_t* v = flat.find(key);
+      const auto it = ref.find(key);
+      ASSERT_EQ(v != nullptr, it != ref.end()) << "step " << step;
+      if (v != nullptr) {
+        EXPECT_EQ(*v, it->second) << "step " << step;
+      }
+    }
+    ASSERT_EQ(flat.size(), ref.size()) << "step " << step;
+  }
+  for (const auto& [k, v] : ref) {
+    ASSERT_NE(flat.find(k), nullptr) << k;
+    EXPECT_EQ(*flat.find(k), v) << k;
+  }
+}
+
+}  // namespace
+}  // namespace afs
