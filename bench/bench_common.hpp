@@ -14,6 +14,7 @@
 // a single-sweep run with a full timeline without recompiling anything.
 #pragma once
 
+#include <cerrno>
 #include <cstdlib>
 #include <filesystem>
 #include <iostream>
@@ -81,45 +82,73 @@ inline void print_usage(const char* argv0, std::ostream& out) {
       << "                 (see docs/SIMULATOR.md, \"Trace schema\")\n";
 }
 
+/// Pure parser behind parse_cli, exposed so tests can drive it without a
+/// process exit. Parses `args` (argv[1..]) into `cli`. Returns false with
+/// `error` describing the offending flag/value on malformed input; sets
+/// `want_help` (and returns true) when --help / -h is present.
+inline bool parse_cli_args(const std::vector<std::string>& args, BenchCli& cli,
+                           std::string& error, bool& want_help) {
+  error.clear();
+  want_help = false;
+  for (const std::string& arg : args) {
+    if (arg == "--help" || arg == "-h") {
+      want_help = true;
+      return true;
+    } else if (arg == "--trace") {
+      cli.trace = true;
+    } else if (arg.rfind("--out-dir=", 0) == 0) {
+      cli.out_dir = arg.substr(10);
+      if (cli.out_dir.empty()) {
+        error = "--out-dir needs a non-empty directory";
+        return false;
+      }
+    } else if (arg.rfind("--procs=", 0) == 0) {
+      cli.procs.clear();
+      const std::string list = arg.substr(8);
+      if (list.empty()) {
+        error = "--procs needs at least one value";
+        return false;
+      }
+      std::size_t pos = 0;
+      while (pos <= list.size()) {
+        const std::size_t comma = list.find(',', pos);
+        const std::string tok = list.substr(pos, comma - pos);
+        char* end = nullptr;
+        errno = 0;
+        const long v = std::strtol(tok.c_str(), &end, 10);
+        if (end == tok.c_str() || *end != '\0' || errno == ERANGE || v < 1 ||
+            v > 64) {
+          error = "bad --procs entry '" + tok + "' (need integers in 1..64)";
+          return false;
+        }
+        cli.procs.push_back(static_cast<int>(v));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;  // a trailing comma leaves an empty (bad) token
+      }
+    } else {
+      error = "unknown argument '" + arg + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
 /// Parses the shared flags; prints usage and exits on --help or on
 /// anything unrecognized (these are batch reproduction binaries — a typo
 /// should fail loudly, not silently run the default 20-minute sweep).
 inline BenchCli parse_cli(int argc, char** argv) {
   BenchCli cli;
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    if (arg == "--help" || arg == "-h") {
-      print_usage(argv[0], std::cout);
-      std::exit(EXIT_SUCCESS);
-    } else if (arg == "--trace") {
-      cli.trace = true;
-    } else if (arg.rfind("--out-dir=", 0) == 0) {
-      cli.out_dir = arg.substr(10);
-    } else if (arg.rfind("--procs=", 0) == 0) {
-      cli.procs.clear();
-      std::string list = arg.substr(8);
-      std::size_t pos = 0;
-      while (pos < list.size()) {
-        const std::size_t comma = list.find(',', pos);
-        const std::string tok = list.substr(pos, comma - pos);
-        char* end = nullptr;
-        const long v = std::strtol(tok.c_str(), &end, 10);
-        if (end == tok.c_str() || *end != '\0' || v < 1 || v > 64) {
-          std::cerr << argv[0] << ": bad --procs entry '" << tok << "'\n";
-          std::exit(2);
-        }
-        cli.procs.push_back(static_cast<int>(v));
-        pos = comma == std::string::npos ? list.size() : comma + 1;
-      }
-      if (cli.procs.empty()) {
-        std::cerr << argv[0] << ": --procs needs at least one value\n";
-        std::exit(2);
-      }
-    } else {
-      std::cerr << argv[0] << ": unknown argument '" << arg << "'\n";
-      print_usage(argv[0], std::cerr);
-      std::exit(2);
-    }
+  std::string error;
+  bool want_help = false;
+  if (!parse_cli_args(std::vector<std::string>(argv + 1, argv + argc), cli,
+                      error, want_help)) {
+    std::cerr << argv[0] << ": " << error << "\n";
+    print_usage(argv[0], std::cerr);
+    std::exit(2);
+  }
+  if (want_help) {
+    print_usage(argv[0], std::cout);
+    std::exit(EXIT_SUCCESS);
   }
   return cli;
 }

@@ -35,9 +35,11 @@ int main(int argc, char** argv) {
     double best = 1e300;
     std::vector<double> times;
     for (const auto& spec : specs) {
+      // The delayed start is expressed through the fault-injection model:
+      // one initial stall on processor 0 (accounted as stall_time).
       SimOptions opts;
-      opts.start_delays.assign(p, 0.0);
-      opts.start_delays[0] = frac * static_cast<double>(n);
+      opts.perturb.start_delays.assign(p, 0.0);
+      opts.perturb.start_delays[0] = frac * static_cast<double>(n);
       MachineSim sim(machine, opts);
       auto sched = make_scheduler(spec);
       const double t = sim.run(balanced_program(n), *sched, p).makespan;

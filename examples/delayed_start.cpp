@@ -30,8 +30,9 @@ int main(int argc, char** argv) {
   MachineConfig machine = iris();
   machine.epoch_jitter = 0.0;
   SimOptions opts;
-  opts.start_delays.assign(static_cast<std::size_t>(p), 0.0);
-  opts.start_delays[0] = frac * static_cast<double>(n);
+  // The late arrival is one initial stall in the fault-injection model.
+  opts.perturb.start_delays.assign(static_cast<std::size_t>(p), 0.0);
+  opts.perturb.start_delays[0] = frac * static_cast<double>(n);
   MachineSim sim(machine, opts);
 
   const double ideal = std::max(

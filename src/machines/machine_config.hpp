@@ -80,6 +80,13 @@ struct MachineConfig {
   /// Models OS noise and the "short term fluctuations" that §5.2 blames for
   /// MOD-FACTORING's degradation at scale.
   double epoch_jitter = 0.0;
+
+  /// Throws CheckFailure naming the offending field and value when any
+  /// cost or capacity is out of range (negative, non-finite, zero where a
+  /// positive value is required). MachineSim validates its config on
+  /// construction; callers building configs by hand can validate earlier
+  /// to get the error next to the mistake.
+  void validate() const;
 };
 
 }  // namespace afs

@@ -1,6 +1,59 @@
 #include "machines/machines.hpp"
 
+#include <cmath>
+
+#include "util/check.hpp"
+
 namespace afs {
+namespace {
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+void MachineConfig::validate() const {
+  AFS_CHECK_MSG(max_processors >= 1 && max_processors <= 64,
+                "MachineConfig.max_processors must be in [1, 64] (got "
+                    << max_processors << " for machine '" << name << "')");
+  AFS_CHECK_MSG(std::isfinite(work_unit_time) && work_unit_time > 0.0,
+                "MachineConfig.work_unit_time must be positive (got "
+                    << work_unit_time << " for machine '" << name << "')");
+  AFS_CHECK_MSG(finite_nonneg(cache_capacity),
+                "MachineConfig.cache_capacity must be finite and >= 0 (got "
+                    << cache_capacity << " for machine '" << name << "')");
+  AFS_CHECK_MSG(finite_nonneg(miss_latency),
+                "MachineConfig.miss_latency must be finite and >= 0 (got "
+                    << miss_latency << " for machine '" << name << "')");
+  AFS_CHECK_MSG(finite_nonneg(transfer_unit_time),
+                "MachineConfig.transfer_unit_time must be finite and >= 0 "
+                "(got " << transfer_unit_time << " for machine '" << name
+                        << "')");
+  AFS_CHECK_MSG(finite_nonneg(local_sync_time),
+                "MachineConfig.local_sync_time must be finite and >= 0 (got "
+                    << local_sync_time << " for machine '" << name << "')");
+  AFS_CHECK_MSG(finite_nonneg(remote_sync_time),
+                "MachineConfig.remote_sync_time must be finite and >= 0 (got "
+                    << remote_sync_time << " for machine '" << name << "')");
+  AFS_CHECK_MSG(
+      std::isfinite(modfact_sync_multiplier) && modfact_sync_multiplier >= 1.0,
+      "MachineConfig.modfact_sync_multiplier must be >= 1 (got "
+          << modfact_sync_multiplier << " for machine '" << name << "')");
+  AFS_CHECK_MSG(finite_nonneg(probe_time),
+                "MachineConfig.probe_time must be finite and >= 0 (got "
+                    << probe_time << " for machine '" << name << "')");
+  AFS_CHECK_MSG(finite_nonneg(invalidate_time),
+                "MachineConfig.invalidate_time must be finite and >= 0 (got "
+                    << invalidate_time << " for machine '" << name << "')");
+  AFS_CHECK_MSG(finite_nonneg(barrier_base),
+                "MachineConfig.barrier_base must be finite and >= 0 (got "
+                    << barrier_base << " for machine '" << name << "')");
+  AFS_CHECK_MSG(finite_nonneg(barrier_per_proc),
+                "MachineConfig.barrier_per_proc must be finite and >= 0 (got "
+                    << barrier_per_proc << " for machine '" << name << "')");
+  AFS_CHECK_MSG(finite_nonneg(epoch_jitter),
+                "MachineConfig.epoch_jitter must be finite and >= 0 (got "
+                    << epoch_jitter << " for machine '" << name << "')");
+}
 
 // Units: one "work unit" is one kernel inner-loop step (a few flops); one
 // "transfer unit" is one matrix element (8 bytes). Absolute scales are

@@ -10,6 +10,7 @@
 
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <mutex>
 #include <thread>
@@ -33,6 +34,17 @@ class ThreadPool {
   /// are rethrown on the caller thread (first one wins).
   void run_on_all(const std::function<void(int)>& job);
 
+  /// Enqueues `task` to run on whichever worker frees up first. Tasks run
+  /// concurrently with each other (but a run_on_all job has priority once
+  /// started). A task that throws never crashes a worker or wedges the
+  /// pool: the first exception is held and rethrown by the next drain().
+  /// Tasks still queued at destruction are executed, not dropped.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished, then rethrows the
+  /// first task exception, if any (clearing it).
+  void drain();
+
  private:
   void worker_main(int id);
 
@@ -43,7 +55,10 @@ class ThreadPool {
   std::uint64_t generation_ = 0;
   int running_ = 0;
   bool stop_ = false;
-  std::exception_ptr first_error_;
+  std::exception_ptr first_error_;       // from the current run_on_all job
+  std::deque<std::function<void()>> tasks_;
+  int tasks_running_ = 0;
+  std::exception_ptr first_task_error_;  // from submitted tasks, for drain()
   std::vector<std::jthread> threads_;
 };
 

@@ -40,6 +40,23 @@ class EventCore {
     done_.assign(start.size(), 0.0);
   }
 
+  /// Fault-aware reset: processor `i` joins the loop only when `alive[i]`;
+  /// a dead processor never gets an event and its completion clock is
+  /// pinned at its start time (it contributes nothing past its death).
+  void reset(const std::vector<double>& start, const std::vector<char>& alive) {
+    AFS_DCHECK(alive.size() == start.size());
+    heap_.clear();
+    heap_.reserve(start.size());
+    done_.assign(start.size(), 0.0);
+    for (std::size_t i = 0; i < start.size(); ++i) {
+      if (alive[i])
+        heap_.emplace_back(start[i], static_cast<int>(i));
+      else
+        done_[i] = start[i];
+    }
+    std::make_heap(heap_.begin(), heap_.end(), std::greater<>{});
+  }
+
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 

@@ -18,10 +18,24 @@ struct ChunkState {
 
 }  // namespace
 
+void SimOptions::validate(const MachineConfig& config) const {
+  AFS_CHECK_MSG(start_delays.empty() || perturb.start_delays.empty(),
+                "SimOptions.start_delays and "
+                "SimOptions.perturb.start_delays are both set; use one");
+  perturb.validate(config.max_processors);
+}
+
 MachineSim::MachineSim(MachineConfig config, SimOptions options)
     : config_(std::move(config)), options_(std::move(options)) {
-  AFS_CHECK(config_.work_unit_time > 0.0);
-  AFS_CHECK(config_.max_processors >= 1 && config_.max_processors <= 64);
+  config_.validate();
+  // Legacy Table 2 shim: fold SimOptions::start_delays into the
+  // perturbation config so there is exactly one delay mechanism inside
+  // the engine.
+  if (!options_.start_delays.empty() && options_.perturb.start_delays.empty()) {
+    options_.perturb.start_delays = options_.start_delays;
+    options_.start_delays.clear();
+  }
+  options_.validate(config_);
 }
 
 double MachineSim::ideal_serial_time(const LoopProgram& program) const {
@@ -42,11 +56,24 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
                           int p, const std::vector<double>& start,
                           MetricsFanout& m) {
   sched.start_loop(spec.n, p);
-  events_.reset(start);
+
+  // Fault checks run only when a fault family can alter execution flow
+  // (stalls or losses). Delay-only and memory-fault-only configurations —
+  // and the default no-fault configuration — keep the exact original loop.
+  const bool faulty = pert_.perturbs_execution();
+  if (!faulty) {
+    events_.reset(start);
+  } else {
+    std::vector<char> alive(static_cast<std::size_t>(p), 1);
+    for (int i = 0; i < p; ++i)
+      if (pert_.lost(i)) alive[static_cast<std::size_t>(i)] = 0;
+    events_.reset(start, alive);
+  }
 
   std::vector<ChunkState> pending(static_cast<std::size_t>(p));
   std::vector<BlockAccess> accesses;
   const bool batch = options_.batch_iterations;
+  std::int64_t executed = 0;  // iterations actually run (fault accounting)
 
   // Granularity: one event per *iteration* of a loop with a data
   // footprint, not per chunk. Shared resources (the bus, queue locks)
@@ -64,12 +91,33 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
   // processors can observe or affect them (docs/SIMULATOR.md proves both
   // cases). Chunks with an analytic work_sum are charged in O(1) as
   // before (this is what makes Table 2's 2e8-iteration loop tractable).
+  //
+  // Fault checks (death, transient stalls) happen at iteration/chunk
+  // boundaries, which both batching modes visit at identical clock values;
+  // the coalescing path below repeats them per iteration so the injected
+  // schedule — and therefore the SimResult — is the same either way.
   while (!events_.empty()) {
     auto [t, proc] = events_.pop();
     ChunkState& mine = pending[static_cast<std::size_t>(proc)];
     bool active = true;
 
     for (;;) {
+      if (faulty) {
+        if (pert_.death_due(proc, t)) {
+          // Permanent loss: the processor stops at this boundary. Its
+          // in-flight chunk is abandoned (the iterations are folded into
+          // the end-of-loop abandoned count); queued work it owned is left
+          // for the survivors to steal or drain.
+          pert_.mark_lost(proc, t);
+          m.on_proc_lost(proc, t);
+          mine.range = IterRange{};
+          events_.finish(proc, t);
+          active = false;
+          break;
+        }
+        t = pert_.apply_stalls(proc, t, m);
+      }
+
       if (mine.range.empty()) {
         const Grab g = sched.next(proc);
         if (g.done()) {
@@ -82,12 +130,16 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
         const double t_sync0 = t;
         t = sync_.charge(g, t);
         m.on_grab(proc, g, t_sync0, t);
+        if (faulty && g.kind == GrabKind::kRemote && pert_.lost(g.queue))
+          m.on_fault_steal(proc, g.queue, g.range.size());
 
         if (!spec.footprint && spec.work_sum) {
-          // Analytic chunk: charged in one step.
+          // Analytic chunk: charged in one step (atomic with respect to
+          // faults — boundaries are before the grab and after the chunk).
           const double w =
               spec.work_sum(g.range.begin, g.range.end) * config_.work_unit_time;
           m.on_work(proc, w);
+          executed += g.range.size();
           const double te = t + w;
           m.on_chunk(proc, g.range.begin, g.range.end, t, te);
           t = te;
@@ -98,19 +150,28 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
         }
       } else if (batch && !spec.footprint) {
         // Footprint-free chunk: coalesce every remaining iteration into
-        // this event (no shared-resource interaction to serialize).
+        // this event (no shared-resource interaction to serialize). Under
+        // fault injection each iteration still hits the same boundary
+        // checks the unbatched path performs.
         while (!mine.range.empty()) {
           const double w = spec.work(mine.range.begin++) * config_.work_unit_time;
           m.on_work(proc, w);
           t += w;
+          ++executed;
+          if (faulty) {
+            if (pert_.death_due(proc, t)) break;  // handled atop next pass
+            t = pert_.apply_stalls(proc, t, m);
+          }
         }
-        m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
+        if (mine.range.empty())
+          m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
       } else {
         // --- execute one iteration ---
         const std::int64_t i = mine.range.begin++;
         const double w = spec.work(i) * config_.work_unit_time;
         m.on_work(proc, w);
         t += w;
+        ++executed;
         if (spec.footprint) {
           accesses.clear();
           spec.footprint(i, accesses);
@@ -127,6 +188,14 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
     if (active) events_.push(t, proc);
   }
 
+  if (faulty) {
+    // Whatever was never executed — a dead processor's in-flight chunk
+    // plus any statically-assigned range nobody could reclaim — is the
+    // loop's graceful-degradation deficit.
+    const std::int64_t abandoned = spec.n - executed;
+    if (abandoned > 0) m.on_abandoned(abandoned);
+  }
+
   sched.end_loop();
 }
 
@@ -136,14 +205,16 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
 
   SimResult result;
   MetricsFanout m(result, options_.trace);
-  memory_.reset(config_, p);
-  sync_.reset(config_, sched, p);
+  pert_.reset(options_.perturb, p);
+  memory_.reset(config_, p, &pert_);
+  sync_.reset(config_, sched, p, &pert_);
   sched.reset_stats();
   m.on_run_begin(config_, program.name, sched.name(), p);
 
   Xoshiro256 jitter_rng(options_.jitter_seed);
   double now = 0.0;
   bool first_loop = true;
+  const bool fault_aware = pert_.perturbs_execution();
 
   for (int e = 0; e < program.epochs; ++e) {
     for (const ParallelLoopSpec& spec : program.epoch_loops(e)) {
@@ -153,8 +224,15 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
         auto& s = start[static_cast<std::size_t>(i)];
         if (config_.epoch_jitter > 0.0)
           s += jitter_rng.next_double() * config_.epoch_jitter;
-        if (first_loop && static_cast<std::size_t>(i) < options_.start_delays.size())
-          s += options_.start_delays[static_cast<std::size_t>(i)];
+        if (first_loop) {
+          // Start delay = one initial stall (the Table 2 experiment),
+          // charged to stall_time so conservation closes over it.
+          const double d = pert_.start_delay(i);
+          if (d > 0.0) {
+            m.on_stall(i, s, s + d);
+            s += d;
+          }
+        }
       }
       first_loop = false;
 
@@ -162,13 +240,31 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
       run_loop(spec, sched, p, start, m);
 
       const double end = events_.join_time();
-      for (double d : events_.completion_times()) m.on_idle(end - d);
+      if (!fault_aware) {
+        for (double d : events_.completion_times()) m.on_idle(end - d);
+      } else {
+        // A live processor's tail is idle time; a dead processor's span
+        // from death (or loop start, when it died earlier) to the join is
+        // fault time, charged to stall_time so the decomposition still
+        // covers P * makespan.
+        const std::vector<double>& done = events_.completion_times();
+        for (int i = 0; i < p; ++i) {
+          const double span = end - done[static_cast<std::size_t>(i)];
+          if (pert_.lost(i))
+            m.on_dead_time(span);
+          else
+            m.on_idle(span);
+        }
+      }
       m.on_loop_end(e, end);
       now = end;
 
-      // Fork/join barrier before the next loop.
+      // Fork/join barrier before the next loop. Dead processors do not
+      // participate: their share of the span is fault time, not barrier.
       const double b = config_.barrier_base + config_.barrier_per_proc * p;
-      m.on_barrier(e, b, b * p);
+      const int lost = pert_.lost_count();
+      m.on_barrier(e, b, b * (p - lost));
+      if (lost > 0) m.on_dead_time(b * lost);
       now += b;
     }
   }

@@ -28,6 +28,10 @@
 // given (machine, program, scheduler, P, seed) always yields bit-identical
 // results — with iteration batching on or off (SimOptions::batch_iterations;
 // see docs/SIMULATOR.md for the batching invariant). Tests rely on this.
+// The same holds under fault injection (SimOptions::perturb): every fault
+// stream is seeded and consulted only at points both batching modes visit,
+// and with no perturbation configured the engine never touches the model,
+// keeping unperturbed results bit-identical to pre-subsystem output.
 #pragma once
 
 #include <cstdint>
@@ -38,6 +42,7 @@
 #include "sim/event_core.hpp"
 #include "sim/memory_system.hpp"
 #include "sim/metrics.hpp"
+#include "sim/perturbation.hpp"
 #include "sim/sim_result.hpp"
 #include "sim/sync_model.hpp"
 #include "workload/loop_spec.hpp"
@@ -49,9 +54,17 @@ struct SimOptions {
   /// MachineConfig::epoch_jitter).
   std::uint64_t jitter_seed = 42;
 
-  /// Extra per-processor start delays in time units, applied to the first
-  /// loop of the first epoch only (the Table 2 arrival-time experiment).
+  /// Compatibility shim for the Table 2 arrival-time experiment: per-
+  /// processor start delays for the first loop of the first epoch. Folded
+  /// into `perturb.start_delays` at construction; setting both is an
+  /// error. Prefer PerturbationConfig directly.
   std::vector<double> start_delays;
+
+  /// Deterministic fault injection (start delays, transient stalls,
+  /// processor loss, memory spikes, contention bursts). Default: all off,
+  /// with results bit-identical to an engine without the subsystem. See
+  /// sim/perturbation.hpp.
+  PerturbationConfig perturb;
 
   /// Iteration-batching fast path (on by default): consecutive iterations
   /// of a grabbed chunk execute without event-heap round-trips whenever
@@ -64,6 +77,11 @@ struct SimOptions {
   /// Every simulated event is narrated into it — see trace_sink.hpp for
   /// the standard JSONL implementation. Null: tracing disabled, no cost.
   MetricsSink* trace = nullptr;
+
+  /// Throws CheckFailure (naming the offending field and value) when any
+  /// option is inconsistent with itself or with `config`. Called by the
+  /// MachineSim constructor after the start_delays shim is folded in.
+  void validate(const MachineConfig& config) const;
 };
 
 class MachineSim {
@@ -97,6 +115,7 @@ class MachineSim {
   EventCore events_;
   MemorySystem memory_;
   SyncModel sync_;
+  PerturbationModel pert_;
 };
 
 }  // namespace afs

@@ -1,13 +1,17 @@
 #include "sim/memory_system.hpp"
 
+#include "sim/perturbation.hpp"
+
 namespace afs {
 
-void MemorySystem::reset(const MachineConfig& config, int p) {
+void MemorySystem::reset(const MachineConfig& config, int p,
+                         PerturbationModel* pert) {
   cache_capacity_ = config.cache_capacity;
   miss_latency_ = config.miss_latency;
   transfer_unit_time_ = config.transfer_unit_time;
   invalidate_time_ = config.invalidate_time;
   serialized_link_ = config.interconnect != Interconnect::kSwitch;
+  pert_ = (pert && pert->affects_memory()) ? pert : nullptr;
 
   directory_.clear();
   caches_.assign(static_cast<std::size_t>(p), ProcCache(cache_capacity_));
@@ -25,11 +29,16 @@ double MemorySystem::access(int proc, const BlockAccess& a, double t,
   } else {
     // Miss: move the block over the interconnect.
     const double t0 = t;
-    const double occupancy = a.size * transfer_unit_time_;
+    double occupancy = a.size * transfer_unit_time_;
+    double latency = miss_latency_;
+    if (pert_) {
+      occupancy *= pert_->link_factor(t);
+      latency += pert_->miss_spike(proc);
+    }
     if (serialized_link_) {
-      t = shared_link_.acquire(t, occupancy) + miss_latency_;
+      t = shared_link_.acquire(t, occupancy) + latency;
     } else {
-      t += miss_latency_ + occupancy;
+      t += latency + occupancy;
     }
     m.on_miss(proc, a, t0, t);
     // A block larger than the cache streams through without becoming

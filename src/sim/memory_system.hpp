@@ -20,12 +20,18 @@
 
 namespace afs {
 
+class PerturbationModel;
+
 class MemorySystem {
  public:
   /// Prepares for a fresh run on `p` processors of machine `config`: cold
   /// caches, empty directory, idle interconnect. The relevant config
   /// fields are captured so `access()` needs no config thereafter.
-  void reset(const MachineConfig& config, int p);
+  /// `pert` (optional) injects per-miss latency spikes and contention-burst
+  /// occupancy multipliers; it is consulted only when it actually affects
+  /// memory, so the unperturbed miss path is untouched.
+  void reset(const MachineConfig& config, int p,
+             PerturbationModel* pert = nullptr);
 
   /// Charges one data access by `proc` at time `t`; returns the new time.
   double access(int proc, const BlockAccess& a, double t, MetricsFanout& m);
@@ -50,6 +56,7 @@ class MemorySystem {
   Directory directory_;
   std::vector<ProcCache> caches_;
   ResourceTimeline shared_link_;
+  PerturbationModel* pert_ = nullptr;  // non-null only when faults hit memory
 };
 
 }  // namespace afs

@@ -91,6 +91,26 @@ class MetricsSink {
   /// `proc` drained the scheduler and left the current loop at time t.
   virtual void on_proc_done(int proc, double t) { (void)proc, (void)t; }
 
+  /// `proc` was stalled by an injected fault (start delay or transient
+  /// preemption) over [t0, t1].
+  virtual void on_stall(int proc, double t0, double t1) {
+    (void)proc, (void)t0, (void)t1;
+  }
+
+  /// `proc` died permanently at time `t` (processor-loss fault).
+  virtual void on_proc_lost(int proc, double t) { (void)proc, (void)t; }
+
+  /// `thief` grabbed `iters` iterations from dead processor queue
+  /// `victim_queue` (graceful degradation under processor loss).
+  virtual void on_fault_steal(int thief, int victim_queue,
+                              std::int64_t iters) {
+    (void)thief, (void)victim_queue, (void)iters;
+  }
+
+  /// `iters` statically-assigned iterations were abandoned because their
+  /// owner died before grabbing them.
+  virtual void on_abandoned(std::int64_t iters) { (void)iters; }
+
   /// The current loop joined at `end`; each processor waited `end - done`.
   virtual void on_loop_end(int epoch, double end) { (void)epoch, (void)end; }
 
@@ -139,6 +159,24 @@ class SimResultSink final : public MetricsSink {
   }
 
   void on_idle(double span) { r_->idle += span; }
+
+  void on_stall(int, double t0, double t1) override {
+    r_->stall_time += t1 - t0;
+  }
+
+  void on_proc_lost(int, double) override { ++r_->lost_processor_count; }
+
+  void on_fault_steal(int, int, std::int64_t iters) override {
+    r_->stolen_under_fault += iters;
+  }
+
+  void on_abandoned(std::int64_t iters) override {
+    r_->abandoned_iterations += iters;
+  }
+
+  /// Accumulator-only (like on_idle): a dead processor's span from death to
+  /// the loop join, charged to stall_time so conservation still closes.
+  void on_dead_time(double span) { r_->stall_time += span; }
 
   void on_barrier(int, double, double total) override { r_->barrier += total; }
 
@@ -191,7 +229,24 @@ class MetricsFanout {
   void on_proc_done(int proc, double t) {
     if (trace_) trace_->on_proc_done(proc, t);
   }
+  void on_stall(int proc, double t0, double t1) {
+    acc_.on_stall(proc, t0, t1);
+    if (trace_) trace_->on_stall(proc, t0, t1);
+  }
+  void on_proc_lost(int proc, double t) {
+    acc_.on_proc_lost(proc, t);
+    if (trace_) trace_->on_proc_lost(proc, t);
+  }
+  void on_fault_steal(int thief, int victim_queue, std::int64_t iters) {
+    acc_.on_fault_steal(thief, victim_queue, iters);
+    if (trace_) trace_->on_fault_steal(thief, victim_queue, iters);
+  }
+  void on_abandoned(std::int64_t iters) {
+    acc_.on_abandoned(iters);
+    if (trace_) trace_->on_abandoned(iters);
+  }
   void on_idle(double span) { acc_.on_idle(span); }
+  void on_dead_time(double span) { acc_.on_dead_time(span); }
   void on_loop_end(int epoch, double end) {
     if (trace_) trace_->on_loop_end(epoch, end);
   }

@@ -1,0 +1,163 @@
+#include "sim/perturbation.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace afs {
+namespace {
+
+/// Stream seed for (root seed, salt): every processor stream and the burst
+/// stream get decorrelated single-word states via SplitMix64.
+std::uint64_t stream_seed(std::uint64_t seed, std::uint64_t salt) {
+  SplitMix64 sm(seed ^ (0x9e3779b97f4a7c15ULL * (salt + 1)));
+  return sm.next();
+}
+
+bool finite_nonneg(double v) { return std::isfinite(v) && v >= 0.0; }
+
+}  // namespace
+
+bool PerturbationConfig::any() const {
+  return !start_delays.empty() || stall_mean_interval > 0.0 ||
+         !losses.empty() || mem_spike_prob > 0.0 ||
+         burst_mean_interval > 0.0;
+}
+
+void PerturbationConfig::validate(int max_procs) const {
+  AFS_CHECK_MSG(static_cast<int>(start_delays.size()) <= max_procs,
+                "PerturbationConfig.start_delays has "
+                    << start_delays.size() << " entries for a machine of "
+                    << max_procs << " processors");
+  for (std::size_t i = 0; i < start_delays.size(); ++i)
+    AFS_CHECK_MSG(finite_nonneg(start_delays[i]),
+                  "PerturbationConfig.start_delays[" << i
+                      << "] must be finite and >= 0 (got " << start_delays[i]
+                      << ")");
+  AFS_CHECK_MSG(finite_nonneg(stall_mean_interval),
+                "PerturbationConfig.stall_mean_interval must be finite and "
+                "    >= 0 (got " << stall_mean_interval << ")");
+  if (stall_mean_interval > 0.0)
+    AFS_CHECK_MSG(std::isfinite(stall_duration) && stall_duration > 0.0,
+                  "PerturbationConfig.stall_duration must be positive when "
+                  "stalls are enabled (got " << stall_duration << ")");
+  for (std::size_t i = 0; i < losses.size(); ++i) {
+    AFS_CHECK_MSG(losses[i].proc >= 0 && losses[i].proc < max_procs,
+                  "PerturbationConfig.losses[" << i << "].proc = "
+                      << losses[i].proc << " out of range [0, " << max_procs
+                      << ")");
+    AFS_CHECK_MSG(finite_nonneg(losses[i].time),
+                  "PerturbationConfig.losses[" << i
+                      << "].time must be finite and >= 0 (got "
+                      << losses[i].time << ")");
+  }
+  AFS_CHECK_MSG(std::isfinite(mem_spike_prob) && mem_spike_prob >= 0.0 &&
+                    mem_spike_prob <= 1.0,
+                "PerturbationConfig.mem_spike_prob must be in [0, 1] (got "
+                    << mem_spike_prob << ")");
+  if (mem_spike_prob > 0.0)
+    AFS_CHECK_MSG(finite_nonneg(mem_spike_latency),
+                  "PerturbationConfig.mem_spike_latency must be finite and "
+                  ">= 0 (got " << mem_spike_latency << ")");
+  AFS_CHECK_MSG(finite_nonneg(burst_mean_interval),
+                "PerturbationConfig.burst_mean_interval must be finite and "
+                ">= 0 (got " << burst_mean_interval << ")");
+  if (burst_mean_interval > 0.0) {
+    AFS_CHECK_MSG(std::isfinite(burst_duration) && burst_duration > 0.0,
+                  "PerturbationConfig.burst_duration must be positive when "
+                  "bursts are enabled (got " << burst_duration << ")");
+    AFS_CHECK_MSG(std::isfinite(burst_multiplier) && burst_multiplier >= 1.0,
+                  "PerturbationConfig.burst_multiplier must be >= 1 (got "
+                      << burst_multiplier << ")");
+  }
+}
+
+void PerturbationModel::reset(const PerturbationConfig& config, int p) {
+  config_ = config;
+  stall_on_ = config_.stall_mean_interval > 0.0;
+  spike_on_ = config_.mem_spike_prob > 0.0;
+  burst_on_ = config_.burst_mean_interval > 0.0;
+  active_ = config_.any();
+  perturbs_execution_ = stall_on_ || !config_.losses.empty();
+  affects_memory_ = spike_on_ || burst_on_;
+  lost_count_ = 0;
+
+  const std::size_t n = static_cast<std::size_t>(p);
+  loss_time_.assign(n, kNever);
+  lost_.assign(n, 0);
+  death_time_.assign(n, kNever);
+  for (const ProcessorLoss& l : config_.losses)
+    if (l.proc < p)
+      loss_time_[static_cast<std::size_t>(l.proc)] =
+          std::min(loss_time_[static_cast<std::size_t>(l.proc)], l.time);
+
+  next_stall_.assign(n, kNever);
+  stall_rng_.clear();
+  spike_rng_.clear();
+  if (stall_on_ || spike_on_) {
+    stall_rng_.reserve(n);
+    spike_rng_.reserve(n);
+    for (int i = 0; i < p; ++i) {
+      stall_rng_.emplace_back(stream_seed(config_.seed, 2 * i));
+      spike_rng_.emplace_back(stream_seed(config_.seed, 2 * i + 1));
+      if (stall_on_)
+        next_stall_[static_cast<std::size_t>(i)] =
+            next_gap(stall_rng_.back(), config_.stall_mean_interval);
+    }
+  }
+
+  bursts_.clear();
+  next_burst_ = kNever;
+  if (burst_on_) {
+    burst_rng_ = XorShift64(stream_seed(config_.seed, 0x10000));
+    next_burst_ = next_gap(burst_rng_, config_.burst_mean_interval);
+  }
+}
+
+double PerturbationModel::apply_stalls(int proc, double t, MetricsFanout& m) {
+  if (!stall_on_) return t;
+  double& next = next_stall_[static_cast<std::size_t>(proc)];
+  while (next <= t) {
+    const double d = config_.stall_duration;
+    m.on_stall(proc, t, t + d);
+    t += d;
+    // Reschedule from the post-stall clock: preemptions recur per unit of
+    // the processor's own elapsed time, so a long uninterrupted wait does
+    // not bank a burst of catch-up stalls.
+    next = t + next_gap(stall_rng_[static_cast<std::size_t>(proc)],
+                        config_.stall_mean_interval);
+  }
+  return t;
+}
+
+double PerturbationModel::miss_spike(int proc) {
+  if (!spike_on_) return 0.0;
+  return spike_rng_[static_cast<std::size_t>(proc)].next_double() <
+                 config_.mem_spike_prob
+             ? config_.mem_spike_latency
+             : 0.0;
+}
+
+double PerturbationModel::link_factor(double t) {
+  if (!burst_on_) return 1.0;
+  // Windows are a fixed seeded sequence in simulated time; generate them up
+  // to t. The vector's contents depend only on the largest t queried so
+  // far, never on query order, so any interleaving of memory and sync
+  // queries sees the same schedule.
+  while (next_burst_ <= t) {
+    const double b = next_burst_;
+    bursts_.push_back({b, b + config_.burst_duration});
+    next_burst_ = b + config_.burst_duration +
+                  next_gap(burst_rng_, config_.burst_mean_interval);
+  }
+  // Membership test: the last window starting at or before t.
+  auto it = std::upper_bound(
+      bursts_.begin(), bursts_.end(), t,
+      [](double v, const BurstWindow& w) { return v < w.begin; });
+  if (it == bursts_.begin()) return 1.0;
+  --it;
+  return t < it->end ? config_.burst_multiplier : 1.0;
+}
+
+}  // namespace afs

@@ -1,0 +1,196 @@
+// Deterministic fault injection for the simulation engine.
+//
+// A PerturbationConfig (carried on SimOptions) describes four families of
+// faults; PerturbationModel is the per-run state machine the engine
+// consults while executing:
+//
+//  * start delays    — per-processor arrival offsets for the first loop of
+//                      the first epoch (the Table 2 experiment, now
+//                      expressed as one initial stall);
+//  * transient stalls — seeded preemption intervals per processor: at
+//                      iteration/chunk boundaries a processor's clock jumps
+//                      by stall_duration whenever it crosses its next
+//                      scheduled preemption, drawn from a per-processor
+//                      xorshift stream;
+//  * processor loss  — a processor dies permanently the first time its
+//                      clock reaches the configured time; its in-flight
+//                      chunk is abandoned, its queued work is stolen
+//                      (AFS) or drained (central queues) by the others,
+//                      and statically-assigned work it never grabbed is
+//                      reported as abandoned_iterations;
+//  * memory faults   — per-miss latency spikes (per-processor Bernoulli
+//                      streams) and global interconnect contention bursts
+//                      (seeded windows during which transfer occupancy and
+//                      remote synchronization are multiplied).
+//
+// Determinism contract: every draw comes from streams derived from
+// PerturbationConfig::seed, keyed by processor id (stalls, spikes) or
+// generated as a fixed global window sequence (bursts). All fault decisions
+// depend only on a processor's own clock trajectory or on the access
+// sequence — both of which the batching fast path provably preserves — so
+// a fixed seed yields bit-identical SimResults with batching on or off.
+// When no perturbation is configured, the engine never consults the model
+// and every result is bit-identical to a build without it.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "sim/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace afs {
+
+/// Permanent loss of processor `proc`: it executes normally until its clock
+/// first reaches `time`, then never runs again (for the rest of the run,
+/// epochs included).
+struct ProcessorLoss {
+  int proc = 0;
+  double time = 0.0;
+};
+
+/// All knobs default to "off": a default-constructed config injects
+/// nothing and guarantees bit-identical results to an unperturbed engine.
+struct PerturbationConfig {
+  /// Root seed for every fault stream (stalls, spikes; bursts).
+  std::uint64_t seed = 0xfa517ULL;
+
+  /// Extra per-processor start delays in time units, applied to the first
+  /// loop of the first epoch only and accounted as stall_time.
+  std::vector<double> start_delays;
+
+  /// Transient preemption: while enabled (mean interval > 0), each
+  /// processor is stalled for stall_duration roughly every
+  /// stall_mean_interval time units (gap drawn uniform in
+  /// [0.5, 1.5) x mean from its xorshift stream). Stalls take effect at
+  /// iteration/chunk boundaries.
+  double stall_mean_interval = 0.0;
+  double stall_duration = 0.0;
+
+  /// Processors lost permanently mid-run. Entries whose proc is >= the
+  /// run's P are ignored (the processor is not part of that run).
+  std::vector<ProcessorLoss> losses;
+
+  /// Memory-latency spikes: each miss independently pays an extra
+  /// mem_spike_latency with probability mem_spike_prob.
+  double mem_spike_prob = 0.0;
+  double mem_spike_latency = 0.0;
+
+  /// Interconnect contention bursts: windows of burst_duration occur
+  /// roughly every burst_mean_interval time units (same uniform gap law as
+  /// stalls); during a window, transfer occupancy and remote/central
+  /// synchronization costs are multiplied by burst_multiplier.
+  double burst_mean_interval = 0.0;
+  double burst_duration = 0.0;
+  double burst_multiplier = 1.0;
+
+  /// True when any fault family is enabled.
+  bool any() const;
+
+  /// Throws CheckFailure naming the offending field and value. `max_procs`
+  /// bounds start_delays and loss processor ids.
+  void validate(int max_procs) const;
+};
+
+/// Per-run fault state. Reset before each MachineSim::run; consulted by the
+/// engine (stalls, losses), MemorySystem (spikes, bursts) and SyncModel
+/// (bursts). All methods are cheap no-ops for disabled fault families.
+class PerturbationModel {
+ public:
+  /// Prepares streams for a fresh run on `p` processors. `config` must
+  /// outlive nothing — it is copied.
+  void reset(const PerturbationConfig& config, int p);
+
+  /// Any fault family enabled (including start delays).
+  bool active() const { return active_; }
+  /// Stalls or losses configured: the engine's per-iteration fault checks
+  /// are needed.
+  bool perturbs_execution() const { return perturbs_execution_; }
+  /// Spikes or bursts configured: MemorySystem must consult the model.
+  bool affects_memory() const { return affects_memory_; }
+  /// Bursts configured: SyncModel must consult the model.
+  bool affects_link() const { return burst_on_; }
+
+  /// Start delay of `proc` for the first loop (0 when none configured).
+  double start_delay(int proc) const {
+    return static_cast<std::size_t>(proc) < config_.start_delays.size()
+               ? config_.start_delays[static_cast<std::size_t>(proc)]
+               : 0.0;
+  }
+
+  // ----------------------------- losses ----------------------------------
+
+  /// True once `proc` has died (mark_lost was called).
+  bool lost(int proc) const { return lost_[static_cast<std::size_t>(proc)]; }
+  int lost_count() const { return lost_count_; }
+
+  /// True when `proc` is due to die: alive, has a configured loss, and its
+  /// clock `t` has reached the loss time.
+  bool death_due(int proc, double t) const {
+    return !lost_[static_cast<std::size_t>(proc)] &&
+           t >= loss_time_[static_cast<std::size_t>(proc)];
+  }
+
+  /// Marks `proc` dead at time `t` (its recorded death time).
+  void mark_lost(int proc, double t) {
+    lost_[static_cast<std::size_t>(proc)] = true;
+    death_time_[static_cast<std::size_t>(proc)] = t;
+    ++lost_count_;
+  }
+
+  double death_time(int proc) const {
+    return death_time_[static_cast<std::size_t>(proc)];
+  }
+
+  // ----------------------------- stalls ----------------------------------
+
+  /// Applies every preemption `proc` has crossed by clock time `t`,
+  /// narrating each span into `m`; returns the advanced clock. Called at
+  /// iteration/chunk boundaries only, which is what keeps the injected
+  /// schedule identical with batching on or off.
+  double apply_stalls(int proc, double t, MetricsFanout& m);
+
+  // -------------------------- memory faults ------------------------------
+
+  /// Extra latency for the next miss by `proc` (draws the processor's
+  /// spike stream; 0 when spikes are disabled).
+  double miss_spike(int proc);
+
+  /// Occupancy/sync multiplier at time `t`: burst_multiplier inside a
+  /// contention window, 1 outside. Generates windows lazily; deterministic
+  /// for any query order (windows are a fixed seeded sequence).
+  double link_factor(double t);
+
+ private:
+  static constexpr double kNever = std::numeric_limits<double>::infinity();
+
+  double next_gap(XorShift64& rng, double mean) const {
+    return mean * (0.5 + rng.next_double());
+  }
+
+  PerturbationConfig config_;
+  bool active_ = false;
+  bool perturbs_execution_ = false;
+  bool affects_memory_ = false;
+  bool stall_on_ = false;
+  bool spike_on_ = false;
+  bool burst_on_ = false;
+  int lost_count_ = 0;
+
+  std::vector<double> loss_time_;   // per proc; kNever when not configured
+  std::vector<char> lost_;          // per proc
+  std::vector<double> death_time_;  // per proc; valid when lost_
+  std::vector<double> next_stall_;  // per proc: next preemption clock time
+  std::vector<XorShift64> stall_rng_;
+  std::vector<XorShift64> spike_rng_;
+
+  struct BurstWindow {
+    double begin, end;
+  };
+  std::vector<BurstWindow> bursts_;  // generated lazily, sorted by begin
+  double next_burst_ = kNever;       // begin of the first ungenerated window
+  XorShift64 burst_rng_{0};
+};
+
+}  // namespace afs

@@ -20,6 +20,7 @@ struct SimResult {
   double comm = 0.0;     ///< waiting for the interconnect + miss latency
   double idle = 0.0;     ///< finished early, waiting at the epoch join
   double barrier = 0.0;  ///< fork/join overhead itself
+  double stall_time = 0.0;  ///< injected faults: delays, preemptions, loss
 
   std::int64_t hits = 0;
   std::int64_t misses = 0;
@@ -30,6 +31,14 @@ struct SimResult {
   std::int64_t remote_grabs = 0;   ///< AFS steals
   std::int64_t central_grabs = 0;
   std::int64_t iterations = 0;
+
+  // Fault-injection accounting (all zero when no PerturbationConfig is
+  // active; see src/sim/perturbation.hpp).
+  std::int64_t lost_processor_count = 0;  ///< processors that died mid-run
+  std::int64_t stolen_under_fault = 0;    ///< iterations drained from a dead
+                                          ///< processor's queue
+  std::int64_t abandoned_iterations = 0;  ///< statically-assigned work a dead
+                                          ///< processor never executed
 
   SyncStats sched_stats;  ///< the scheduler's own accounting (Tables 3-5)
 
@@ -48,6 +57,7 @@ struct SimResult {
     comm += o.comm;
     idle += o.idle;
     barrier += o.barrier;
+    stall_time += o.stall_time;
     hits += o.hits;
     misses += o.misses;
     invalidations += o.invalidations;
@@ -56,6 +66,9 @@ struct SimResult {
     remote_grabs += o.remote_grabs;
     central_grabs += o.central_grabs;
     iterations += o.iterations;
+    lost_processor_count += o.lost_processor_count;
+    stolen_under_fault += o.stolen_under_fault;
+    abandoned_iterations += o.abandoned_iterations;
     if (sched_stats.queues.size() < o.sched_stats.queues.size())
       sched_stats.queues.resize(o.sched_stats.queues.size());
     for (std::size_t q = 0; q < o.sched_stats.queues.size(); ++q)
@@ -66,9 +79,10 @@ struct SimResult {
 };
 
 /// The part of a run's wall time the decomposition explains:
-/// busy + sync + comm + idle + barrier.
+/// busy + sync + comm + idle + barrier + stall_time (the last is zero
+/// outside fault-injection runs).
 inline double accounted_time(const SimResult& r) {
-  return r.busy + r.sync + r.comm + r.idle + r.barrier;
+  return r.busy + r.sync + r.comm + r.idle + r.barrier + r.stall_time;
 }
 
 /// The engine's conservation law: with deterministic (jitter-free) starts

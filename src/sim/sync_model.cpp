@@ -1,11 +1,12 @@
 #include "sim/sync_model.hpp"
 
+#include "sim/perturbation.hpp"
 #include "util/check.hpp"
 
 namespace afs {
 
 void SyncModel::reset(const MachineConfig& config, const Scheduler& sched,
-                      int p) {
+                      int p, PerturbationModel* pert) {
   local_sync_ = config.local_sync_time;
   remote_sync_ = config.remote_sync_time;
   central_sync_ =
@@ -14,19 +15,26 @@ void SyncModel::reset(const MachineConfig& config, const Scheduler& sched,
   probe_cost_ = config.probe_time * sched.victim_probe_count(p);
   central_lock_ = p;
   locks_.assign(static_cast<std::size_t>(p) + 1, ResourceTimeline{});
+  pert_ = (pert && pert->affects_link()) ? pert : nullptr;
 }
 
 double SyncModel::charge(const Grab& g, double t) {
   switch (g.kind) {
     case GrabKind::kLocal:
       return locks_[static_cast<std::size_t>(g.queue)].acquire(t, local_sync_);
-    case GrabKind::kRemote:
-      // Probe queue loads first, then take the victim's lock.
-      t += probe_cost_;
-      return locks_[static_cast<std::size_t>(g.queue)].acquire(t, remote_sync_);
-    case GrabKind::kCentral:
+    case GrabKind::kRemote: {
+      // Probe queue loads first, then take the victim's lock. Remote
+      // operations cross the interconnect, so contention bursts scale them.
+      const double f = pert_ ? pert_->link_factor(t) : 1.0;
+      t += probe_cost_ * f;
+      return locks_[static_cast<std::size_t>(g.queue)].acquire(
+          t, remote_sync_ * f);
+    }
+    case GrabKind::kCentral: {
+      const double f = pert_ ? pert_->link_factor(t) : 1.0;
       return locks_[static_cast<std::size_t>(central_lock_)].acquire(
-          t, central_sync_);
+          t, central_sync_ * f);
+    }
     case GrabKind::kStatic:
       return t;  // no run-time queue access
     case GrabKind::kNone:

@@ -27,12 +27,17 @@
 
 namespace afs {
 
+class PerturbationModel;
+
 class SyncModel {
  public:
   /// Prepares for a fresh run: p local queue locks plus the central-queue
   /// lock, with the per-kind costs captured from `config` and the
   /// scheduler's fixed properties (indexed central queue, probe count).
-  void reset(const MachineConfig& config, const Scheduler& sched, int p);
+  /// `pert` (optional) scales remote/central costs during interconnect
+  /// contention bursts; consulted only when bursts are configured.
+  void reset(const MachineConfig& config, const Scheduler& sched, int p,
+             PerturbationModel* pert = nullptr);
 
   /// Charges the queue operation behind grab `g` issued at time `t`;
   /// returns the time the operation completes. kStatic (and kNone) cost
@@ -52,6 +57,7 @@ class SyncModel {
   int central_lock_ = 0;       // index of the central lock (== p)
 
   std::vector<ResourceTimeline> locks_;  // [0..p-1] local, [p] central
+  PerturbationModel* pert_ = nullptr;    // non-null only when bursts are on
 };
 
 }  // namespace afs

@@ -98,6 +98,26 @@ void JsonlTraceSink::on_proc_done(int proc, double t) {
   line("\"ev\":\"done\",\"proc\":" + std::to_string(proc) + ",\"t\":" + num(t));
 }
 
+void JsonlTraceSink::on_stall(int proc, double t0, double t1) {
+  line("\"ev\":\"stall\",\"proc\":" + std::to_string(proc) + ",\"t0\":" +
+       num(t0) + ",\"t1\":" + num(t1));
+}
+
+void JsonlTraceSink::on_proc_lost(int proc, double t) {
+  line("\"ev\":\"lost\",\"proc\":" + std::to_string(proc) + ",\"t\":" + num(t));
+}
+
+void JsonlTraceSink::on_fault_steal(int thief, int victim_queue,
+                                    std::int64_t iters) {
+  line("\"ev\":\"fault_steal\",\"proc\":" + std::to_string(thief) +
+       ",\"queue\":" + std::to_string(victim_queue) + ",\"iters\":" +
+       std::to_string(iters));
+}
+
+void JsonlTraceSink::on_abandoned(std::int64_t iters) {
+  line("\"ev\":\"abandoned\",\"iters\":" + std::to_string(iters));
+}
+
 void JsonlTraceSink::on_loop_end(int epoch, double end) {
   line("\"ev\":\"loop_end\",\"epoch\":" + std::to_string(epoch) + ",\"end\":" +
        num(end));

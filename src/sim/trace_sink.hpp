@@ -12,6 +12,10 @@
 //   {"ev":"miss","proc":Q,"block":B,"size":S,"t0":..,"t1":..}
 //   {"ev":"inval","proc":Q,"block":B,"copies":C,"t0":..,"t1":..}
 //   {"ev":"done","proc":Q,"t":..}
+//   {"ev":"stall","proc":Q,"t0":..,"t1":..}
+//   {"ev":"lost","proc":Q,"t":..}
+//   {"ev":"fault_steal","proc":Q,"queue":V,"iters":N}
+//   {"ev":"abandoned","iters":N}
 //   {"ev":"loop_end","epoch":E,"end":..}
 //   {"ev":"barrier","epoch":E,"cost":..,"total":..}
 //   {"ev":"run_end","makespan":..}
@@ -51,6 +55,10 @@ class JsonlTraceSink : public MetricsSink {
   void on_invalidate(int proc, std::int64_t block, int copies, double t0,
                      double t1) override;
   void on_proc_done(int proc, double t) override;
+  void on_stall(int proc, double t0, double t1) override;
+  void on_proc_lost(int proc, double t) override;
+  void on_fault_steal(int thief, int victim_queue, std::int64_t iters) override;
+  void on_abandoned(std::int64_t iters) override;
   void on_loop_end(int epoch, double end) override;
   void on_barrier(int epoch, double cost, double total) override;
   void on_run_end(double makespan) override;

@@ -26,6 +26,37 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// xorshift64*: a tiny single-word stream. One instance per fault stream in
+/// the perturbation model, so every processor's preemption/spike draws are
+/// independent of every other's (and of how many streams exist).
+class XorShift64 {
+ public:
+  using result_type = std::uint64_t;
+
+  /// A zero seed would be a fixed point of the xorshift; remap it.
+  explicit XorShift64(std::uint64_t seed)
+      : state_(seed ? seed : 0x2545f4914f6cdd1dULL) {}
+
+  std::uint64_t next() {
+    state_ ^= state_ << 13;
+    state_ ^= state_ >> 7;
+    state_ ^= state_ << 17;
+    return state_ * 0x2545f4914f6cdd1dULL;
+  }
+  std::uint64_t operator()() { return next(); }
+
+  static constexpr std::uint64_t min() { return 0; }
+  static constexpr std::uint64_t max() { return ~0ULL; }
+
+  /// Uniform double in [0, 1).
+  double next_double() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
 /// Xoshiro256**: the workhorse generator.
 class Xoshiro256 {
  public:

@@ -1,0 +1,118 @@
+// Tests for the shared bench CLI parser (bench/bench_common.hpp). The
+// reproduction binaries must fail loudly on any typo rather than silently
+// falling back to a multi-minute default sweep, so parse_cli_args rejects
+// unknown flags and malformed values with a message naming the culprit.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+
+namespace afs::bench {
+namespace {
+
+struct Parse {
+  BenchCli cli;
+  std::string error;
+  bool want_help = false;
+  bool ok = false;
+};
+
+Parse parse(const std::vector<std::string>& args) {
+  Parse p;
+  p.ok = parse_cli_args(args, p.cli, p.error, p.want_help);
+  return p;
+}
+
+TEST(BenchCli, DefaultsWithNoArgs) {
+  const Parse p = parse({});
+  ASSERT_TRUE(p.ok);
+  EXPECT_FALSE(p.want_help);
+  EXPECT_TRUE(p.cli.procs.empty());
+  EXPECT_EQ(p.cli.out_dir, "bench_results");
+  EXPECT_FALSE(p.cli.trace);
+}
+
+TEST(BenchCli, ParsesAllFlags) {
+  const Parse p = parse({"--procs=1,2,4,64", "--out-dir=/tmp/x", "--trace"});
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.cli.procs, (std::vector<int>{1, 2, 4, 64}));
+  EXPECT_EQ(p.cli.out_dir, "/tmp/x");
+  EXPECT_TRUE(p.cli.trace);
+}
+
+TEST(BenchCli, SingleProcValue) {
+  const Parse p = parse({"--procs=57"});
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.cli.procs, (std::vector<int>{57}));
+}
+
+TEST(BenchCli, LaterProcsFlagReplacesEarlier) {
+  const Parse p = parse({"--procs=1,2", "--procs=8"});
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.cli.procs, (std::vector<int>{8}));
+}
+
+TEST(BenchCli, HelpShortCircuits) {
+  for (const char* flag : {"--help", "-h"}) {
+    const Parse p = parse({flag});
+    EXPECT_TRUE(p.ok) << flag;
+    EXPECT_TRUE(p.want_help) << flag;
+  }
+  // --help wins even when followed by garbage: the user asked for usage.
+  const Parse p = parse({"--help", "--bogus"});
+  EXPECT_TRUE(p.ok);
+  EXPECT_TRUE(p.want_help);
+}
+
+TEST(BenchCli, RejectsUnknownArgument) {
+  const Parse p = parse({"--prcos=4"});  // typo'd flag
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--prcos=4"), std::string::npos) << p.error;
+}
+
+TEST(BenchCli, RejectsBareWord) {
+  const Parse p = parse({"8"});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("'8'"), std::string::npos) << p.error;
+}
+
+TEST(BenchCli, RejectsEmptyOutDir) {
+  const Parse p = parse({"--out-dir="});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--out-dir"), std::string::npos) << p.error;
+}
+
+TEST(BenchCli, RejectsEmptyProcsList) {
+  const Parse p = parse({"--procs="});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--procs"), std::string::npos) << p.error;
+}
+
+TEST(BenchCli, RejectsMalformedProcsEntries) {
+  for (const char* bad :
+       {"--procs=abc", "--procs=4x", "--procs=1,,2", "--procs=1,2,",
+        "--procs=,1", "--procs=0", "--procs=65", "--procs=-3",
+        "--procs=99999999999999999999"}) {
+    const Parse p = parse({bad});
+    EXPECT_FALSE(p.ok) << bad;
+    EXPECT_NE(p.error.find("--procs"), std::string::npos)
+        << bad << " -> " << p.error;
+  }
+}
+
+TEST(BenchCli, ErrorNamesTheBadToken) {
+  const Parse p = parse({"--procs=1,zap,3"});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("'zap'"), std::string::npos) << p.error;
+}
+
+TEST(BenchCli, CsvPathJoinsOutDir) {
+  BenchCli cli;
+  cli.out_dir = "/tmp/results";
+  EXPECT_EQ(csv_path(cli, "tab7"), "/tmp/results/tab7.csv");
+}
+
+}  // namespace
+}  // namespace afs::bench

@@ -78,5 +78,63 @@ TEST(ThreadPool, DestructorJoinsCleanly) {
   SUCCEED();
 }
 
+TEST(ThreadPool, SubmitAndDrainRunsEveryTask) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i)
+    pool.submit([&] { count.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPool, DrainOnEmptyQueueIsNoOp) {
+  ThreadPool pool(2);
+  pool.drain();
+  SUCCEED();
+}
+
+TEST(ThreadPool, SubmitRejectsNullTask) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.submit(std::function<void()>{}), CheckFailure);
+}
+
+TEST(ThreadPool, DrainRethrowsFirstTaskException) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  pool.submit([] { throw std::runtime_error("task boom"); });
+  for (int i = 0; i < 10; ++i)
+    pool.submit([&] { count.fetch_add(1); });
+  EXPECT_THROW(pool.drain(), std::runtime_error);
+  // A throwing task must not take the others down with it...
+  EXPECT_EQ(count.load(), 10);
+  // ...and the error must be cleared: the pool stays usable.
+  pool.submit([&] { count.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(count.load(), 11);
+}
+
+TEST(ThreadPool, TasksQueuedAtDestructionStillRun) {
+  // Destroying the pool with work queued must execute it, not drop it.
+  std::atomic<int> count{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i)
+      pool.submit([&] { count.fetch_add(1); });
+  }
+  EXPECT_EQ(count.load(), 50);
+}
+
+TEST(ThreadPool, SubmitInterleavesWithRunOnAll) {
+  ThreadPool pool(3);
+  std::atomic<int> tasks{0}, jobs{0};
+  pool.submit([&] { tasks.fetch_add(1); });
+  pool.drain();
+  pool.run_on_all([&](int) { jobs.fetch_add(1); });
+  pool.submit([&] { tasks.fetch_add(1); });
+  pool.drain();
+  EXPECT_EQ(tasks.load(), 2);
+  EXPECT_EQ(jobs.load(), 3);
+}
+
 }  // namespace
 }  // namespace afs

@@ -85,6 +85,26 @@ TEST(Conservation, ResultAccumulationMatchesFieldSums) {
   EXPECT_TRUE(check_time_identity(sum, 4));
 }
 
+TEST(Conservation, ExtendedIdentityIncludesStallTime) {
+  // Under fault injection the identity gains a sixth term: stall_time
+  // absorbs preemption stalls, start delays, and dead-processor spans, and
+  // the decomposition stays exact.
+  SimOptions opts;
+  opts.perturb.seed = 7;
+  opts.perturb.stall_mean_interval = 2000.0;
+  opts.perturb.stall_duration = 150.0;
+  opts.perturb.losses.push_back({1, 10000.0});
+  MachineSim sim(quiet(iris()), opts);
+  for (const char* spec : {"GSS", "AFS", "STATIC", "TRAPEZOID"}) {
+    auto sched = make_scheduler(spec);
+    const SimResult r = sim.run(SorKernel::program(64, 4), *sched, 4);
+    EXPECT_GT(r.stall_time, 0.0) << spec;
+    EXPECT_TRUE(check_time_identity(r, 4))
+        << spec << ": accounted " << accounted_time(r) << " vs "
+        << 4.0 * r.makespan;
+  }
+}
+
 TEST(Conservation, IterationCountExact) {
   MachineSim sim(quiet(iris()));
   for (const char* spec : {"GSS", "AFS", "FACTORING", "MOD-FACTORING"}) {

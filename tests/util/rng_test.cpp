@@ -86,5 +86,43 @@ TEST(Xoshiro256, SatisfiesUniformRandomBitGenerator) {
   EXPECT_NE(rng(), rng());
 }
 
+TEST(XorShift64, DeterministicForSeed) {
+  XorShift64 a(99), b(99);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(XorShift64, DifferentSeedsDiverge) {
+  XorShift64 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(XorShift64, ZeroSeedIsRemapped) {
+  // xorshift64* has an all-zero fixed point; the constructor must dodge it.
+  XorShift64 z(0);
+  EXPECT_NE(z.next(), 0ULL);
+  XorShift64 z2(0), remapped(0x2545f4914f6cdd1dULL);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(z2.next(), remapped.next());
+}
+
+TEST(XorShift64, DoubleInUnitInterval) {
+  XorShift64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(XorShift64, DoubleMeanIsHalf) {
+  XorShift64 rng(11);
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
 }  // namespace
 }  // namespace afs
