@@ -19,6 +19,7 @@
 int main(int argc, char** argv) {
   using namespace afs;
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  bench::warn_runner_flags_serial(cli, argv[0]);
   std::cout << "== ablation: AFS design choices (Iris model) ==\n\n";
 
   // (a) k sweep on a head-heavy imbalanced loop: larger k = finer local

@@ -8,10 +8,19 @@
 //   --procs=1,2,4     override the processor sweep (figures only)
 //   --out-dir=DIR     write CSVs (and traces) under DIR [bench_results]
 //   --trace           also write a JSONL event trace per figure run
+//   --jobs=N          run (scheduler, P) cells on N threads [1]
+//   --resume          reload finished cells from the sweep checkpoint
+//   --cell-timeout=S  wall-clock deadline (seconds) per cell attempt
+//   --sweep-timeout=S wall-clock deadline for the whole sweep
 //   --help            usage
 //
 // so `bench_fig15_gauss_ksr1 --procs=57 --trace --out-dir=/tmp/f15` gives
-// a single-sweep run with a full timeline without recompiling anything.
+// a single-sweep run with a full timeline without recompiling anything,
+// and `bench_fig15_gauss_ksr1 --jobs=4 --resume` finishes a previously
+// killed sweep, recomputing only its missing cells (docs/SWEEP_RUNNER.md).
+// The figure binaries route the last four flags through the crash-safe
+// sweep runner; bespoke tables whose rows are interdependent run serially
+// and say so when the flags are passed.
 #pragma once
 
 #include <cerrno>
@@ -25,6 +34,7 @@
 #include "experiments/expectations.hpp"
 #include "experiments/figure.hpp"
 #include "machines/machines.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "sched/registry.hpp"
 #include "sim/trace_sink.hpp"
 
@@ -71,15 +81,35 @@ struct BenchCli {
   std::vector<int> procs;                 ///< empty = the figure's own sweep
   std::string out_dir = "bench_results";  ///< CSV / trace destination
   bool trace = false;                     ///< write <out_dir>/<id>.trace.jsonl
+  int jobs = 1;                ///< sweep-runner worker threads
+  bool resume = false;         ///< reload checkpointed cells
+  double cell_timeout = 0.0;   ///< seconds per cell attempt; 0 = unlimited
+  double sweep_timeout = 0.0;  ///< seconds for the whole sweep; 0 = unlimited
+
+  /// True when any sweep-runner flag deviates from its default.
+  bool runner_flags_set() const {
+    return jobs != 1 || resume || cell_timeout > 0.0 || sweep_timeout > 0.0;
+  }
 };
 
 inline void print_usage(const char* argv0, std::ostream& out) {
-  out << "usage: " << argv0 << " [--procs=1,2,4] [--out-dir=DIR] [--trace]\n"
+  out << "usage: " << argv0
+      << " [--procs=1,2,4] [--out-dir=DIR] [--trace]\n"
+      << "       [--jobs=N] [--resume] [--cell-timeout=S] [--sweep-timeout=S]\n"
       << "  --procs=LIST   comma-separated processor counts overriding the\n"
       << "                 figure's standard sweep\n"
       << "  --out-dir=DIR  directory for CSV output (default bench_results)\n"
       << "  --trace        also stream a JSONL event trace per run\n"
-      << "                 (see docs/SIMULATOR.md, \"Trace schema\")\n";
+      << "                 (see docs/SIMULATOR.md, \"Trace schema\");\n"
+      << "                 requires --jobs=1\n"
+      << "  --jobs=N       run independent (scheduler, P) sweep cells on N\n"
+      << "                 threads (default 1 = serial; results identical)\n"
+      << "  --resume       reload finished cells from the sweep checkpoint\n"
+      << "                 under <out-dir>/.sweep/<id> instead of rerunning\n"
+      << "  --cell-timeout=S  per-cell wall-clock deadline in seconds\n"
+      << "  --sweep-timeout=S sweep-wide wall-clock deadline in seconds\n"
+      << "                 (timed-out cells are reported, not fatal —\n"
+      << "                  see docs/SWEEP_RUNNER.md)\n";
 }
 
 /// Pure parser behind parse_cli, exposed so tests can drive it without a
@@ -90,6 +120,22 @@ inline bool parse_cli_args(const std::vector<std::string>& args, BenchCli& cli,
                            std::string& error, bool& want_help) {
   error.clear();
   want_help = false;
+  const auto parse_seconds = [&error](const std::string& arg,
+                                      std::size_t prefix_len, const char* flag,
+                                      double& out_v) {
+    const std::string tok = arg.substr(prefix_len);
+    char* end = nullptr;
+    errno = 0;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+        !(v > 0.0) || v > 86400.0) {
+      error = std::string("bad ") + flag + " value '" + tok +
+              "' (need seconds in (0, 86400])";
+      return false;
+    }
+    out_v = v;
+    return true;
+  };
   for (const std::string& arg : args) {
     if (arg == "--help" || arg == "-h") {
       want_help = true;
@@ -125,10 +171,34 @@ inline bool parse_cli_args(const std::vector<std::string>& args, BenchCli& cli,
         if (comma == std::string::npos) break;
         pos = comma + 1;  // a trailing comma leaves an empty (bad) token
       }
+    } else if (arg == "--resume") {
+      cli.resume = true;
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      const std::string tok = arg.substr(7);
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(tok.c_str(), &end, 10);
+      if (tok.empty() || end == tok.c_str() || *end != '\0' ||
+          errno == ERANGE || v < 1 || v > 256) {
+        error = "bad --jobs value '" + tok + "' (need an integer in 1..256)";
+        return false;
+      }
+      cli.jobs = static_cast<int>(v);
+    } else if (arg.rfind("--cell-timeout=", 0) == 0) {
+      if (!parse_seconds(arg, 15, "--cell-timeout", cli.cell_timeout))
+        return false;
+    } else if (arg.rfind("--sweep-timeout=", 0) == 0) {
+      if (!parse_seconds(arg, 16, "--sweep-timeout", cli.sweep_timeout))
+        return false;
     } else {
       error = "unknown argument '" + arg + "'";
       return false;
     }
+  }
+  if (cli.trace && cli.jobs > 1) {
+    error = "--trace requires --jobs=1 (the JSONL trace sink is a single "
+            "shared writer; parallel cells would interleave its records)";
+    return false;
   }
   return true;
 }
@@ -160,21 +230,41 @@ inline std::string csv_path(const BenchCli& cli, const std::string& id) {
 
 // --------------------------- main() wrappers ------------------------------
 
-/// Runs the figure, prints the shape summary, returns a process exit code
-/// (shape mismatches are reported but do not fail the binary: they are
-/// data, recorded in EXPERIMENTS.md).
+/// Runs the figure through the sweep runner, prints the shape summary,
+/// returns a process exit code. Shape mismatches are reported but do not
+/// fail the binary: they are data, recorded in EXPERIMENTS.md. Failed
+/// cells degrade gracefully — the CSV still covers every completed cell
+/// and a machine-readable failure report is written next to it — and only
+/// an *invariant* break (a simulator bug, not a deadline) is fatal: shape
+/// checks are skipped (they assume a full grid) and the exit code stays 0
+/// for timeouts/cancellations so batch drivers can --resume later.
 inline int run_and_report(
-    const FigureSpec& spec,
+    const FigureSpec& spec, const SweepOptions& sweep,
     const std::function<void(const FigureResult&, std::ostream&)>& shapes) {
   try {
-    const FigureResult result = run_figure(spec, std::cout);
-    if (shapes) shapes(result, std::cout);
+    const FigureResult result = run_figure(spec, std::cout, sweep);
+    if (result.failures.empty()) {
+      if (shapes) shapes(result, std::cout);
+    } else {
+      std::cout << "(skipping shape checks: " << result.failures.size()
+                << " of " << result.cells_total << " cells have no result)\n";
+    }
     std::cout << std::endl;
+    for (const CellFailure& f : result.failures)
+      if (f.kind == "invariant") return EXIT_FAILURE;
     return EXIT_SUCCESS;
   } catch (const std::exception& e) {
     std::cerr << spec.id << " failed: " << e.what() << "\n";
     return EXIT_FAILURE;
   }
+}
+
+/// Legacy entry point: serial, no checkpointing (bit-identical to the
+/// pre-runner loop).
+inline int run_and_report(
+    const FigureSpec& spec,
+    const std::function<void(const FigureResult&, std::ostream&)>& shapes) {
+  return run_and_report(spec, SweepOptions{}, shapes);
 }
 
 /// The standard figure main(): applies the shared CLI to the spec
@@ -186,6 +276,16 @@ inline int run_and_report(
   const BenchCli cli = parse_cli(argc, argv);
   if (!cli.procs.empty()) spec.procs = cli.procs;
   spec.out_dir = cli.out_dir;
+
+  // Every CLI run checkpoints under <out-dir>/.sweep/<id> so a killed
+  // sweep is resumable with --resume even when the first invocation never
+  // asked for it; a clean finish costs one small file per cell.
+  SweepOptions sweep;
+  sweep.jobs = cli.jobs;
+  sweep.cell_timeout = cli.cell_timeout;
+  sweep.sweep_timeout = cli.sweep_timeout;
+  sweep.resume = cli.resume;
+  sweep.checkpoint_dir = cli.out_dir + "/.sweep/" + spec.id;
 
   std::unique_ptr<JsonlTraceSink> trace;
   if (cli.trace) {
@@ -201,10 +301,24 @@ inline int run_and_report(
     spec.sim_options.trace = trace.get();
     std::cout << "(tracing to " << path << ")\n";
   }
-  const int rc = run_and_report(spec, shapes);
-  if (trace)
+  const int rc = run_and_report(spec, sweep, shapes);
+  if (trace) {
+    trace->finalize();  // publish <id>.trace.jsonl (was streaming to .tmp)
     std::cout << "(trace: " << trace->lines_written() << " events)\n";
+  }
   return rc;
+}
+
+/// Bespoke tables whose rows feed each other (e.g. tab7's fault-free
+/// baseline row) cannot be split into independent sweep cells; they
+/// accept the shared runner flags for CLI uniformity but run serially.
+/// Call after parse_cli to say so instead of silently ignoring the ask.
+inline void warn_runner_flags_serial(const BenchCli& cli, const char* argv0) {
+  if (cli.runner_flags_set())
+    std::cerr << argv0
+              << ": note: this table's rows are interdependent; "
+                 "--jobs/--resume/--*-timeout are accepted but the table "
+                 "runs serially without checkpoints\n";
 }
 
 }  // namespace afs::bench

@@ -20,6 +20,7 @@ namespace afs::bench {
 inline void run_sync_ops_table(const std::string& id, const std::string& title,
                                const LoopProgram& program,
                                const BenchCli& cli = {}) {
+  warn_runner_flags_serial(cli, id.c_str());
   std::cout << "== " << id << ": " << title << " ==\n";
   Table table({"P", "SS", "GSS", "FACTORING", "TRAPEZOID", "AFS remote/queue",
                "AFS local/queue"});

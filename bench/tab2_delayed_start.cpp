@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace afs;
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  bench::warn_runner_flags_serial(cli, argv[0]);
   const std::int64_t n = 200'000'000;
   const int p = 8;
   const std::vector<double> delays{0.0625, 0.125, 0.1875, 0.2031, 0.2187, 0.25};

@@ -14,6 +14,7 @@
 int main(int argc, char** argv) {
   using namespace afs;
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  bench::warn_runner_flags_serial(cli, argv[0]);
   std::cout << "== tab6: Gaussian elimination N=4096, P=16, KSR-1 model ==\n";
   const auto program = GaussKernel::program(4096);
   MachineSim sim(ksr1());

@@ -1,6 +1,8 @@
 // Table 7 (extension, not in the paper): graceful degradation under
-// deterministic fault injection. For each machine (Iris, KSR-1) and
-// scheduler (AFS, GSS, FACTORING, STATIC) we run Gaussian elimination
+// deterministic fault injection. For each machine (Iris, Butterfly,
+// KSR-1) and scheduler (AFS, the full central-queue line-up — SS,
+// CHUNK, GSS, FACTORING, TRAPEZOID, TAPER — and STATIC) we run
+// Gaussian elimination
 // unperturbed to get a baseline, then re-run under increasing fault
 // intensity — transient preemption stalls, memory faults (latency spikes +
 // interconnect contention bursts), and a permanent processor loss at 30%
@@ -55,6 +57,7 @@ struct MachineCase {
 int main(int argc, char** argv) {
   using namespace afs;
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  bench::warn_runner_flags_serial(cli, argv[0]);
 
   std::cout << "== tab7: scheduler resilience vs. fault intensity "
                "(Gauss, deterministic fault injection) ==\n";
@@ -64,11 +67,20 @@ int main(int argc, char** argv) {
     MachineCase iris_case{iris(), 8, 256};
     iris_case.config.epoch_jitter = 0.0;  // faults are the only skew
     machines.push_back(iris_case);
+    MachineCase butterfly_case{butterfly1(), 16, 256};
+    butterfly_case.config.epoch_jitter = 0.0;
+    machines.push_back(butterfly_case);
     MachineCase ksr_case{ksr1(), 16, 256};
     ksr_case.config.epoch_jitter = 0.0;
     machines.push_back(ksr_case);
   }
-  const std::vector<std::string> specs{"AFS", "GSS", "FACTORING", "STATIC"};
+  // AFS, every central-queue discipline the registry offers, and STATIC:
+  // the fault model must hold for each queue topology, not just the four
+  // schedulers the original extension sampled.
+  const std::vector<std::string> specs{"AFS",       "SS",
+                                       "CHUNK(8)",  "GSS",
+                                       "FACTORING", "TRAPEZOID",
+                                       "TAPER(1.3)", "STATIC"};
   const std::vector<std::string> levels{"none", "stall-low", "stall-high",
                                         "mem-faults", "proc-loss"};
 

@@ -15,6 +15,7 @@
 int main(int argc, char** argv) {
   using namespace afs;
   const bench::BenchCli cli = bench::parse_cli(argc, argv);
+  bench::warn_runner_flags_serial(cli, argv[0]);
   std::cout << "== trend: AFS advantage vs compute/communication ratio ==\n";
 
   MachineConfig future = iris();

@@ -1,9 +1,10 @@
 #include "experiments/figure.hpp"
 
 #include <algorithm>
-#include <chrono>
+#include <filesystem>
 
 #include "sched/registry.hpp"
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace afs {
@@ -55,6 +56,11 @@ Table FigureResult::completion_table() const {
 }
 
 FigureResult run_figure(const FigureSpec& spec, std::ostream& out) {
+  return run_figure(spec, out, SweepOptions{});
+}
+
+FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
+                        const SweepOptions& sweep) {
   AFS_CHECK(!spec.procs.empty() && !spec.schedulers.empty());
   out << "== " << spec.id << ": " << spec.title << " ==\n";
   out << "machine: " << spec.machine.name << ", program: " << spec.program.name
@@ -62,28 +68,59 @@ FigureResult run_figure(const FigureSpec& spec, std::ostream& out) {
 
   FigureResult result;
   result.id = spec.id;
+  {
+    MachineSim sim(spec.machine, spec.sim_options);
+    result.serial_time = sim.ideal_serial_time(spec.program);
+  }
 
-  MachineSim sim(spec.machine, spec.sim_options);
-  result.serial_time = sim.ideal_serial_time(spec.program);
-
+  // One sweep cell per (scheduler, P): a fresh simulator and scheduler per
+  // cell, so results depend only on the cell's own inputs and the merged
+  // sweep is bit-identical whether cells run serially, in parallel, or are
+  // reloaded from a checkpoint. (A simulator run resets all per-run state
+  // anyway — the legacy shared-instance loop produced the same numbers.)
+  std::vector<SweepCellSpec> cells;
+  cells.reserve(spec.schedulers.size() * spec.procs.size());
   for (const SchedulerEntry& se : spec.schedulers) {
-    const auto phase_start = std::chrono::steady_clock::now();
     for (int p : spec.procs) {
       AFS_CHECK_MSG(p <= spec.machine.max_processors,
                     "P=" << p << " exceeds " << spec.machine.name);
-      auto sched = se.make();
-      result.results[se.label][p] = sim.run(spec.program, *sched, p);
+      cells.push_back(
+          {se.label, p, [&spec, &se, p](const CancelToken& token) {
+             SimOptions options = spec.sim_options;
+             options.cancel = &token;
+             MachineSim sim(spec.machine, options);
+             auto sched = se.make();
+             return sim.run(spec.program, *sched, p);
+           }});
     }
-    const std::chrono::duration<double> phase =
-        std::chrono::steady_clock::now() - phase_start;
-    out << "  " << se.label << ": done (" << Table::num(phase.count(), 2)
-        << "s)\n";
   }
+
+  SweepOutcome outcome = run_sweep(spec.id, cells, sweep, &out);
+
+  // Graceful degradation: completed cells are published either way; failed
+  // cells get a machine-readable report next to the CSV (and any stale
+  // report from an earlier degraded run is removed on full success).
+  const std::string report = spec.out_dir + "/" + spec.id + ".failures.json";
+  if (!outcome.failures.empty()) {
+    write_file_atomic(report, failure_report_json(spec.id, outcome));
+  } else {
+    std::error_code ec;
+    std::filesystem::remove(report, ec);
+  }
+
+  result.results = std::move(outcome.results);
+  result.failures = std::move(outcome.failures);
+  result.cells_total = outcome.cells_total;
+  result.cells_resumed = outcome.cells_resumed;
 
   const std::string csv = spec.out_dir + "/" + spec.id + ".csv";
   out << result.completion_table().to_ascii();
   write_figure_csv(result, csv);
-  out << "(csv: " << csv << ")\n\n";
+  out << "(csv: " << csv << ")\n";
+  if (!result.failures.empty())
+    out << "(" << result.failures.size() << " of " << result.cells_total
+        << " cells failed — report: " << report << ")\n";
+  out << "\n";
   return result;
 }
 

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "machines/machine_config.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/machine_sim.hpp"
 #include "util/table.hpp"
@@ -47,9 +48,15 @@ struct FigureSpec {
 struct FigureResult {
   FigureSpec spec() = delete;  // (avoid accidental copies of the program)
   std::string id;
-  /// results[scheduler_label][P] = simulation result.
+  /// results[scheduler_label][P] = simulation result (completed cells).
   std::map<std::string, std::map<int, SimResult>> results;
   double serial_time = 0.0;
+  /// Cells that produced no result (timeout, retries exhausted, invariant
+  /// break, sweep abort); empty on a fully successful sweep. The CSV and
+  /// completion table cover the completed cells regardless.
+  std::vector<CellFailure> failures;
+  int cells_total = 0;
+  int cells_resumed = 0;  ///< cells loaded from a sweep checkpoint
 
   double time(const std::string& label, int p) const;
   /// Completion-time table: rows = P, one column per scheduler.
@@ -59,8 +66,16 @@ struct FigureResult {
 };
 
 /// Runs the sweep; prints progress and the final table to `out`, writes
-/// CSV to bench_results/<id>.csv.
+/// CSV to bench_results/<id>.csv. The default overload runs serially with
+/// no checkpointing (the legacy behavior); the SweepOptions overload runs
+/// every (scheduler, P) cell through the crash-safe sweep runner —
+/// parallel across `jobs` threads, per-cell deadline/retry, checkpointed
+/// under `checkpoint_dir` — with a bit-identical merged result. Failed
+/// cells land in FigureResult::failures and (machine-readably) in
+/// <out_dir>/<id>.failures.json; completed cells are written regardless.
 FigureResult run_figure(const FigureSpec& spec, std::ostream& out);
+FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
+                        const SweepOptions& sweep);
 
 /// Writes one long-format CSV (figure, scheduler, procs, time, speedup,
 /// busy, sync, comm, idle, misses, steals) for downstream plotting.

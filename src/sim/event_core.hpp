@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "util/cancel.hpp"
 #include "util/check.hpp"
 
 namespace afs {
@@ -28,6 +29,12 @@ class EventCore {
  public:
   /// (time, processor); min-heap order with processor id breaking ties.
   using Event = std::pair<double, int>;
+
+  /// Attaches a cooperative cancellation token (not owned; null detaches).
+  /// Every pop() polls it and throws CancelledError once it fires — the
+  /// deadline/abort hook the sweep runner uses to bound a cell's wall
+  /// clock without touching simulated state.
+  void set_cancel(const CancelToken* token) { cancel_ = token; }
 
   /// Starts a new loop: one event per processor at its start time, and all
   /// completion clocks cleared.
@@ -60,9 +67,13 @@ class EventCore {
   bool empty() const { return heap_.empty(); }
   std::size_t size() const { return heap_.size(); }
 
-  /// Removes and returns the globally earliest event.
+  /// Removes and returns the globally earliest event. Throws
+  /// CancelledError when an attached cancellation token has fired.
   Event pop() {
     AFS_DCHECK(!heap_.empty());
+    if (cancel_ != nullptr && cancel_->cancelled())
+      throw CancelledError(
+          "simulation cancelled at event boundary (deadline or sweep abort)");
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>{});
     const Event e = heap_.back();
     heap_.pop_back();
@@ -100,6 +111,7 @@ class EventCore {
  private:
   std::vector<Event> heap_;   // binary min-heap via std::*_heap
   std::vector<double> done_;  // completion clock per processor
+  const CancelToken* cancel_ = nullptr;  // not owned; see set_cancel()
 };
 
 }  // namespace afs

@@ -205,6 +205,7 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
 
   SimResult result;
   MetricsFanout m(result, options_.trace);
+  events_.set_cancel(options_.cancel);
   pert_.reset(options_.perturb, p);
   memory_.reset(config_, p, &pert_);
   sync_.reset(config_, sched, p, &pert_);

@@ -78,6 +78,13 @@ struct SimOptions {
   /// the standard JSONL implementation. Null: tracing disabled, no cost.
   MetricsSink* trace = nullptr;
 
+  /// Optional cooperative cancellation token (not owned; must outlive the
+  /// simulator). Polled at every event boundary; when it fires, run()
+  /// throws CancelledError and leaves no partial result behind. This is
+  /// how the sweep runner (runtime/sweep_runner.hpp) enforces per-cell
+  /// wall-clock deadlines. Null: never cancelled, no cost.
+  const CancelToken* cancel = nullptr;
+
   /// Throws CheckFailure (naming the offending field and value) when any
   /// option is inconsistent with itself or with `config`. Called by the
   /// MachineSim constructor after the start_delays shim is folded in.

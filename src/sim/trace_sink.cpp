@@ -1,8 +1,12 @@
 #include "sim/trace_sink.hpp"
 
 #include <cstdio>
+#include <iostream>
 #include <sstream>
 #include <stdexcept>
+#include <utility>
+
+#include "util/atomic_file.hpp"
 
 namespace afs {
 namespace {
@@ -43,8 +47,25 @@ std::string num(double v) {
 JsonlTraceSink::JsonlTraceSink(std::ostream& out) : out_(&out) {}
 
 JsonlTraceSink::JsonlTraceSink(const std::string& path)
-    : file_(path), out_(&file_) {
+    : file_(path + ".tmp"), out_(&file_), final_path_(path) {
   if (!file_) throw std::runtime_error("cannot open trace file: " + path);
+}
+
+void JsonlTraceSink::finalize() {
+  if (final_path_.empty()) return;
+  const std::string path = std::exchange(final_path_, std::string());
+  file_.flush();
+  if (!file_) throw std::runtime_error("trace write failed: " + path);
+  file_.close();
+  commit_file_atomic(path + ".tmp", path);
+}
+
+JsonlTraceSink::~JsonlTraceSink() {
+  try {
+    finalize();
+  } catch (const std::exception& e) {
+    std::cerr << "trace finalize failed: " << e.what() << "\n";
+  }
 }
 
 void JsonlTraceSink::line(const std::string& body) {

@@ -39,9 +39,20 @@ class JsonlTraceSink : public MetricsSink {
   /// Streams to `out` (not owned; must outlive the sink).
   explicit JsonlTraceSink(std::ostream& out);
 
-  /// Opens `path` for writing (truncates). Throws std::runtime_error when
-  /// the file cannot be opened; parent directories are not created.
+  /// Streams to `path + ".tmp"` (truncates), published to `path` by
+  /// finalize() — so a crash mid-trace never leaves a truncated file
+  /// under the advertised name, only the clearly-partial .tmp. Throws
+  /// std::runtime_error when the file cannot be opened; parent
+  /// directories are not created.
   explicit JsonlTraceSink(const std::string& path);
+
+  /// Path mode only: flushes, fsyncs and renames the temp file onto the
+  /// final path. Idempotent; called by the destructor if not already
+  /// (destructor swallows publication errors — call explicitly to see
+  /// them). No-op for the ostream constructor.
+  void finalize();
+
+  ~JsonlTraceSink() override;
 
   std::int64_t lines_written() const { return lines_; }
 
@@ -66,8 +77,9 @@ class JsonlTraceSink : public MetricsSink {
  private:
   void line(const std::string& body);
 
-  std::ofstream file_;   // used by the path constructor
-  std::ostream* out_;    // always valid
+  std::ofstream file_;       // used by the path constructor
+  std::ostream* out_;        // always valid
+  std::string final_path_;   // non-empty = path mode, not yet finalized
   std::int64_t lines_ = 0;
 };
 

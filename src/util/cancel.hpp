@@ -1,0 +1,88 @@
+// Cooperative cancellation for long-running simulations.
+//
+// A CancelToken is a cheap, thread-safe "should I keep going?" flag with
+// two optional extras: a wall-clock deadline (checked lazily, a throttled
+// steady_clock read every kClockStride-th poll so polling stays ~free on
+// the event hot path) and a parent token (a sweep-level token that cancels
+// every cell derived from it at once).
+//
+// The simulator polls the token at event boundaries (EventCore::pop) and
+// raises CancelledError when it fires; the sweep runner (runtime/
+// sweep_runner.hpp) turns that into a structured per-cell failure instead
+// of aborting the whole sweep. Cancellation is cooperative: a simulation
+// that never pops an event (e.g. a fully analytic loop charged in O(1))
+// can overrun its deadline until the next boundary.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <stdexcept>
+
+namespace afs {
+
+/// Raised by the engine when a CancelToken fires mid-simulation. Derives
+/// from runtime_error, not CheckFailure: a deadline is an environmental
+/// condition, not a broken invariant.
+class CancelledError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CancelToken {
+ public:
+  CancelToken() = default;
+  /// A child token: fires when `parent` fires (or on its own deadline /
+  /// explicit cancel). `parent` is not owned and must outlive the child.
+  explicit CancelToken(const CancelToken* parent) : parent_(parent) {}
+
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  /// Arms a wall-clock deadline. Call before sharing the token with the
+  /// running simulation (the deadline fields themselves are not atomic).
+  void set_deadline(std::chrono::steady_clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+
+  /// Arms a deadline `seconds` of wall clock from now.
+  void set_timeout(double seconds) {
+    set_deadline(std::chrono::steady_clock::now() +
+                 std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                     std::chrono::duration<double>(seconds)));
+  }
+
+  /// Explicitly fires the token. Safe from any thread.
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+
+  /// True once the token has fired (explicitly, via the parent, or by
+  /// passing its deadline). Latches: once true, always true.
+  bool cancelled() const noexcept {
+    if (cancelled_.load(std::memory_order_relaxed)) return true;
+    if (parent_ != nullptr && parent_->cancelled()) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    if (has_deadline_ &&
+        (tick_.fetch_add(1, std::memory_order_relaxed) % kClockStride) == 0 &&
+        std::chrono::steady_clock::now() >= deadline_) {
+      cancelled_.store(true, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  /// Deadline polls read the clock on the first call and then every
+  /// kClockStride-th call; in between, a poll is two relaxed atomic ops.
+  static constexpr std::uint32_t kClockStride = 1024;
+
+  mutable std::atomic<bool> cancelled_{false};
+  mutable std::atomic<std::uint32_t> tick_{0};
+  bool has_deadline_ = false;
+  std::chrono::steady_clock::time_point deadline_{};
+  const CancelToken* parent_ = nullptr;
+};
+
+}  // namespace afs

@@ -1,11 +1,10 @@
 #include "util/table.hpp"
 
 #include <algorithm>
-#include <filesystem>
-#include <fstream>
 #include <iomanip>
 #include <sstream>
 
+#include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
 namespace afs {
@@ -68,11 +67,9 @@ std::string Table::to_csv() const {
 }
 
 void Table::write_csv(const std::string& path) const {
-  const std::filesystem::path p(path);
-  if (p.has_parent_path()) std::filesystem::create_directories(p.parent_path());
-  std::ofstream out(p);
-  AFS_CHECK_MSG(out.good(), "cannot open " << path);
-  out << to_csv();
+  // Crash-safe publication: a reader (or a resumed sweep) never sees a
+  // half-written CSV — the file appears complete or not at all.
+  write_file_atomic(path, to_csv());
 }
 
 }  // namespace afs

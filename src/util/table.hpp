@@ -27,7 +27,10 @@ class Table {
   /// Renders as RFC-4180-ish CSV (no quoting needed for our content).
   std::string to_csv() const;
 
-  /// Writes CSV to `path`, creating parent directories if needed.
+  /// Writes CSV to `path` atomically (temp file + fsync + rename),
+  /// creating parent directories if needed: a crash mid-write never
+  /// leaves a truncated CSV behind. Throws std::runtime_error on I/O
+  /// failure.
   void write_csv(const std::string& path) const;
 
   std::size_t row_count() const { return rows_.size(); }

@@ -108,6 +108,59 @@ TEST(BenchCli, ErrorNamesTheBadToken) {
   EXPECT_NE(p.error.find("'zap'"), std::string::npos) << p.error;
 }
 
+TEST(BenchCli, DefaultsLeaveSweepRunnerOff) {
+  const Parse p = parse({});
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.cli.jobs, 1);
+  EXPECT_FALSE(p.cli.resume);
+  EXPECT_EQ(p.cli.cell_timeout, 0.0);
+  EXPECT_EQ(p.cli.sweep_timeout, 0.0);
+  EXPECT_FALSE(p.cli.runner_flags_set());
+}
+
+TEST(BenchCli, ParsesSweepRunnerFlags) {
+  const Parse p = parse(
+      {"--jobs=4", "--resume", "--cell-timeout=2.5", "--sweep-timeout=600"});
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.cli.jobs, 4);
+  EXPECT_TRUE(p.cli.resume);
+  EXPECT_EQ(p.cli.cell_timeout, 2.5);
+  EXPECT_EQ(p.cli.sweep_timeout, 600.0);
+  EXPECT_TRUE(p.cli.runner_flags_set());
+}
+
+TEST(BenchCli, RejectsMalformedJobs) {
+  for (const char* bad :
+       {"--jobs=", "--jobs=0", "--jobs=-2", "--jobs=257", "--jobs=two",
+        "--jobs=4x"}) {
+    const Parse p = parse({bad});
+    EXPECT_FALSE(p.ok) << bad;
+    EXPECT_NE(p.error.find("--jobs"), std::string::npos)
+        << bad << " -> " << p.error;
+  }
+}
+
+TEST(BenchCli, RejectsMalformedTimeouts) {
+  for (const char* bad :
+       {"--cell-timeout=", "--cell-timeout=0", "--cell-timeout=-1",
+        "--cell-timeout=abc", "--cell-timeout=1s", "--sweep-timeout=0",
+        "--sweep-timeout=1e9"}) {
+    const Parse p = parse({bad});
+    EXPECT_FALSE(p.ok) << bad;
+    EXPECT_NE(p.error.find("timeout"), std::string::npos)
+        << bad << " -> " << p.error;
+  }
+}
+
+TEST(BenchCli, TraceRequiresSerialJobs) {
+  // The JSONL trace sink is one shared stream; refuse the combination
+  // instead of interleaving records from parallel cells.
+  const Parse p = parse({"--trace", "--jobs=2"});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--trace"), std::string::npos) << p.error;
+  ASSERT_TRUE(parse({"--trace", "--jobs=1"}).ok);
+}
+
 TEST(BenchCli, CsvPathJoinsOutDir) {
   BenchCli cli;
   cli.out_dir = "/tmp/results";
