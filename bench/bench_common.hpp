@@ -81,27 +81,44 @@ struct BenchCli {
   std::vector<int> procs;                 ///< empty = the figure's own sweep
   std::string out_dir = "bench_results";  ///< CSV / trace destination
   bool trace = false;                     ///< write <out_dir>/<id>.trace.jsonl
+  bool time_phases = false;  ///< collect engine phase timers; write
+                             ///< <out_dir>/<id>.phases.json
+  bool no_batch = false;     ///< A/B: disable iteration batching
+  bool no_memory_fast_path = false;  ///< A/B: disable the exclusive-
+                                     ///< residency memory fast path
   int jobs = 1;                ///< sweep-runner worker threads
   bool resume = false;         ///< reload checkpointed cells
   double cell_timeout = 0.0;   ///< seconds per cell attempt; 0 = unlimited
   double sweep_timeout = 0.0;  ///< seconds for the whole sweep; 0 = unlimited
+  int cell_retries = -1;       ///< re-attempts per cell; -1 = runner default
 
   /// True when any sweep-runner flag deviates from its default.
   bool runner_flags_set() const {
-    return jobs != 1 || resume || cell_timeout > 0.0 || sweep_timeout > 0.0;
+    return jobs != 1 || resume || cell_timeout > 0.0 || sweep_timeout > 0.0 ||
+           cell_retries >= 0;
   }
 };
 
 inline void print_usage(const char* argv0, std::ostream& out) {
   out << "usage: " << argv0
-      << " [--procs=1,2,4] [--out-dir=DIR] [--trace]\n"
+      << " [--procs=1,2,4] [--out-dir=DIR] [--trace] [--time-phases]\n"
+      << "       [--no-batch] [--no-memory-fast-path]\n"
       << "       [--jobs=N] [--resume] [--cell-timeout=S] [--sweep-timeout=S]\n"
+      << "       [--cell-retries=N]\n"
       << "  --procs=LIST   comma-separated processor counts overriding the\n"
       << "                 figure's standard sweep\n"
       << "  --out-dir=DIR  directory for CSV output (default bench_results)\n"
       << "  --trace        also stream a JSONL event trace per run\n"
       << "                 (see docs/SIMULATOR.md, \"Trace schema\");\n"
       << "                 requires --jobs=1\n"
+      << "  --time-phases  collect the engine's host wall-clock phase\n"
+      << "                 breakdown and write <out-dir>/<id>.phases.json\n"
+      << "                 (simulated results stay bit-identical; see\n"
+      << "                 tools/phase_report.py)\n"
+      << "  --no-batch     disable iteration batching (A/B check; results\n"
+      << "                 are bit-identical, only slower)\n"
+      << "  --no-memory-fast-path  disable the memory system's exclusive-\n"
+      << "                 residency fast path (A/B check; bit-identical)\n"
       << "  --jobs=N       run independent (scheduler, P) sweep cells on N\n"
       << "                 threads (default 1 = serial; results identical)\n"
       << "  --resume       reload finished cells from the sweep checkpoint\n"
@@ -109,7 +126,10 @@ inline void print_usage(const char* argv0, std::ostream& out) {
       << "  --cell-timeout=S  per-cell wall-clock deadline in seconds\n"
       << "  --sweep-timeout=S sweep-wide wall-clock deadline in seconds\n"
       << "                 (timed-out cells are reported, not fatal —\n"
-      << "                  see docs/SWEEP_RUNNER.md)\n";
+      << "                  see docs/SWEEP_RUNNER.md)\n"
+      << "  --cell-retries=N  re-attempts after a cell's first failed try\n"
+      << "                 (default " << SweepOptions{}.max_retries
+      << "; 0 disables retries)\n";
 }
 
 /// Pure parser behind parse_cli, exposed so tests can drive it without a
@@ -142,6 +162,24 @@ inline bool parse_cli_args(const std::vector<std::string>& args, BenchCli& cli,
       return true;
     } else if (arg == "--trace") {
       cli.trace = true;
+    } else if (arg == "--time-phases") {
+      cli.time_phases = true;
+    } else if (arg == "--no-batch") {
+      cli.no_batch = true;
+    } else if (arg == "--no-memory-fast-path") {
+      cli.no_memory_fast_path = true;
+    } else if (arg.rfind("--cell-retries=", 0) == 0) {
+      const std::string tok = arg.substr(15);
+      char* end = nullptr;
+      errno = 0;
+      const long v = std::strtol(tok.c_str(), &end, 10);
+      if (tok.empty() || end == tok.c_str() || *end != '\0' ||
+          errno == ERANGE || v < 0 || v > 100) {
+        error = "bad --cell-retries value '" + tok +
+                "' (need an integer in 0..100)";
+        return false;
+      }
+      cli.cell_retries = static_cast<int>(v);
     } else if (arg.rfind("--out-dir=", 0) == 0) {
       cli.out_dir = arg.substr(10);
       if (cli.out_dir.empty()) {
@@ -276,6 +314,9 @@ inline int run_and_report(
   const BenchCli cli = parse_cli(argc, argv);
   if (!cli.procs.empty()) spec.procs = cli.procs;
   spec.out_dir = cli.out_dir;
+  if (cli.time_phases) spec.sim_options.time_phases = true;
+  if (cli.no_batch) spec.sim_options.batch_iterations = false;
+  if (cli.no_memory_fast_path) spec.sim_options.memory_fast_path = false;
 
   // Every CLI run checkpoints under <out-dir>/.sweep/<id> so a killed
   // sweep is resumable with --resume even when the first invocation never
@@ -284,6 +325,7 @@ inline int run_and_report(
   sweep.jobs = cli.jobs;
   sweep.cell_timeout = cli.cell_timeout;
   sweep.sweep_timeout = cli.sweep_timeout;
+  if (cli.cell_retries >= 0) sweep.max_retries = cli.cell_retries;
   sweep.resume = cli.resume;
   sweep.checkpoint_dir = cli.out_dir + "/.sweep/" + spec.id;
 

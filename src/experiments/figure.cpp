@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <sstream>
 
 #include "sched/registry.hpp"
 #include "util/atomic_file.hpp"
@@ -117,11 +118,59 @@ FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
   out << result.completion_table().to_ascii();
   write_figure_csv(result, csv);
   out << "(csv: " << csv << ")\n";
+  if (spec.sim_options.time_phases) {
+    const std::string phases = spec.out_dir + "/" + spec.id + ".phases.json";
+    write_phases_json(result, phases);
+    out << "(phase timers: " << phases << ")\n";
+  }
   if (!result.failures.empty())
     out << "(" << result.failures.size() << " of " << result.cells_total
         << " cells failed — report: " << report << ")\n";
   out << "\n";
   return result;
+}
+
+void write_phases_json(const FigureResult& result, const std::string& path) {
+  std::ostringstream os;
+  os.setf(std::ios::fixed);
+  os.precision(6);
+  const auto emit = [&os](const EnginePhaseTimers& t, int cells,
+                          int untimed) {
+    os << "{\"cells_timed\": " << cells << ", \"cells_untimed\": " << untimed
+       << ", \"total_s\": " << t.total << ", \"scheduler_s\": " << t.scheduler
+       << ", \"work_s\": " << t.work << ", \"footprint_s\": " << t.footprint
+       << ", \"memory_s\": " << t.memory
+       << ", \"event_core_other_s\": " << t.event_core_other()
+       << ", \"memory_accesses\": " << t.memory_accesses << "}";
+  };
+
+  EnginePhaseTimers sweep_total;
+  int sweep_cells = 0, sweep_untimed = 0;
+  os << "{\n  \"id\": \"" << result.id << "\",\n  \"schedulers\": {\n";
+  bool first = true;
+  for (const auto& [label, by_p] : result.results) {
+    EnginePhaseTimers agg;
+    int cells = 0, untimed = 0;
+    for (const auto& [p, r] : by_p) {
+      if (r.timers.collected()) {
+        agg += r.timers;
+        ++cells;
+      } else {
+        ++untimed;
+      }
+    }
+    sweep_total += agg;
+    sweep_cells += cells;
+    sweep_untimed += untimed;
+    if (!first) os << ",\n";
+    first = false;
+    os << "    \"" << label << "\": ";
+    emit(agg, cells, untimed);
+  }
+  os << "\n  },\n  \"sweep\": ";
+  emit(sweep_total, sweep_cells, sweep_untimed);
+  os << "\n}\n";
+  write_file_atomic(path, os.str());
 }
 
 void write_figure_csv(const FigureResult& result, const std::string& path) {

@@ -81,4 +81,12 @@ FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
 /// busy, sync, comm, idle, misses, steals) for downstream plotting.
 void write_figure_csv(const FigureResult& result, const std::string& path);
 
+/// Writes the engine's host wall-clock phase breakdown (one aggregate per
+/// scheduler plus a sweep-wide total) as JSON. Only meaningful for runs
+/// with SimOptions::time_phases set; cells without collected timers (e.g.
+/// resumed from a checkpoint, which never stores host timings) are
+/// skipped and counted in "cells_untimed". Render with
+/// tools/phase_report.py.
+void write_phases_json(const FigureResult& result, const std::string& path);
+
 }  // namespace afs

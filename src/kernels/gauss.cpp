@@ -61,6 +61,7 @@ LoopProgram GaussKernel::program(std::int64_t n, double work_per_element) {
     spec.work = [active, work_per_element](std::int64_t) {
       return active * work_per_element;
     };
+    spec.uniform_work = active * work_per_element;
     spec.footprint = [e, active](std::int64_t idx,
                                  std::vector<BlockAccess>& out) {
       out.push_back({static_cast<std::int64_t>(e), active, false});  // pivot row

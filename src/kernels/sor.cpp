@@ -62,6 +62,7 @@ LoopProgram SorKernel::program(std::int64_t n, int epochs,
   spec.work = [n, work_per_element](std::int64_t) {
     return static_cast<double>(n) * work_per_element;
   };
+  spec.uniform_work = static_cast<double>(n) * work_per_element;
   spec.footprint = [n](std::int64_t j, std::vector<BlockAccess>& out) {
     const double row_units = static_cast<double>(n);
     if (j > 0) out.push_back({j - 1, row_units, false});

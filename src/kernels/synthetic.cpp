@@ -106,6 +106,7 @@ LoopProgram balanced_program(std::int64_t n, double unit) {
   ParallelLoopSpec spec;
   spec.n = n;
   spec.work = uniform_cost(unit);
+  spec.uniform_work = unit;
   spec.work_sum = [unit](std::int64_t b, std::int64_t e) {
     return static_cast<double>(e - b) * unit;
   };

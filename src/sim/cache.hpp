@@ -13,10 +13,14 @@
 // intrusive doubly-linked list over a slot vector with a free list —
 // several residency/sharer probes happen per simulated access, and the
 // straightforward unordered_map + std::list version spent ~25% of a big
-// sweep's wall clock on hashing and node allocation. Determinism note: no
-// behavior may depend on hash-table or allocator order — eviction order
-// comes from the LRU chain, and invalidation order from the processor-id
-// loop in MemorySystem.
+// sweep's wall clock on hashing and node allocation. Each line also
+// carries an exclusivity hint (excl == true implies the directory lists
+// this processor as the block's sole sharer) so MemorySystem's
+// exclusive-residency fast path can answer "is this write a coherence
+// no-op?" from the residency probe alone, without a directory lookup.
+// Determinism note: no behavior may depend on hash-table or allocator
+// order — eviction order comes from the LRU chain, and invalidation order
+// from the processor-id loop in MemorySystem.
 #pragma once
 
 #include <cstdint>
@@ -35,8 +39,13 @@ class Directory {
     const std::uint64_t* m = map_.find(block);
     return m == nullptr ? 0 : *m;
   }
-  void add_sharer(std::int64_t block, int proc) {
-    map_[block] |= bit(proc);
+  /// Registers `proc` as a sharer. Returns the resulting sharer mask so
+  /// callers that need it (read-miss exclusivity maintenance) pay one map
+  /// probe instead of a separate sharers() lookup.
+  std::uint64_t add_sharer(std::int64_t block, int proc) {
+    std::uint64_t& m = map_[block];
+    m |= bit(proc);
+    return m;
   }
   void remove_sharer(std::int64_t block, int proc) {
     std::uint64_t* m = map_.find(block);
@@ -75,6 +84,13 @@ class ProcCache {
 
   bool contains(std::int64_t block) const { return index_.contains(block); }
 
+  /// Residency-probe outcome, with the coherence state the fast path needs.
+  enum class Hit : std::uint8_t {
+    kMiss,       ///< not resident
+    kShared,     ///< resident; other processors may hold copies
+    kExclusive,  ///< resident and this processor is the sole sharer
+  };
+
   /// The engine's hit path: one probe — if resident, marks the block
   /// most-recently used and returns true.
   bool access_hit(std::int64_t block) {
@@ -82,6 +98,68 @@ class ProcCache {
     if (slot == nullptr) return false;
     move_to_front(*slot);
     return true;
+  }
+
+  /// Like access_hit (same single probe, same LRU relink) but also reports
+  /// whether the resident line is exclusively owned, so a write hit on an
+  /// exclusive line can skip the directory entirely. Before the index
+  /// lookup it probes the two most-recently-used lines directly: loop
+  /// kernels touch the same couple of blocks every iteration (pivot row +
+  /// own row alternate at the front of the chain), and catching them there
+  /// skips the hash probe while leaving the LRU state bit-identical.
+  Hit access_hit_state(std::int64_t block) {
+    if (head_ != kNil) {
+      const Line& h = lines_[static_cast<std::size_t>(head_)];
+      if (h.block == block)  // already MRU: move_to_front is a no-op
+        return h.excl ? Hit::kExclusive : Hit::kShared;
+      const std::int32_t s2 = h.next;
+      if (s2 != kNil) {
+        const Line& l2 = lines_[static_cast<std::size_t>(s2)];
+        if (l2.block == block) {
+          const bool excl = l2.excl;
+          move_to_front(s2);
+          return excl ? Hit::kExclusive : Hit::kShared;
+        }
+      }
+    }
+    const std::int32_t* slot = index_.find(block);
+    if (slot == nullptr) return Hit::kMiss;
+    move_to_front(*slot);
+    return lines_[static_cast<std::size_t>(*slot)].excl ? Hit::kExclusive
+                                                        : Hit::kShared;
+  }
+
+  /// Marks a resident block as exclusively owned. Caller's invariant: the
+  /// directory lists this processor as the block's only sharer.
+  /// Precondition: contains(block).
+  void set_exclusive(std::int64_t block) {
+    const std::int32_t* slot = index_.find(block);
+    AFS_DCHECK(slot != nullptr);
+    lines_[static_cast<std::size_t>(*slot)].excl = true;
+  }
+
+  /// Marks the most-recently-used line exclusive without an index lookup.
+  /// Caller's invariant: the last probe or insert on this cache touched
+  /// `block` (so it sits at the LRU head) and the directory lists this
+  /// processor as the block's only sharer.
+  void set_exclusive_front(std::int64_t block) {
+    AFS_DCHECK(head_ != kNil &&
+               lines_[static_cast<std::size_t>(head_)].block == block);
+    (void)block;
+    lines_[static_cast<std::size_t>(head_)].excl = true;
+  }
+
+  /// Downgrades a resident block to shared (another processor gained a
+  /// copy). No-op when the block is not resident here.
+  void clear_exclusive(std::int64_t block) {
+    const std::int32_t* slot = index_.find(block);
+    if (slot != nullptr) lines_[static_cast<std::size_t>(*slot)].excl = false;
+  }
+
+  /// Test/debug view of the exclusivity hint; false when not resident.
+  bool exclusive(std::int64_t block) const {
+    const std::int32_t* slot = index_.find(block);
+    return slot != nullptr && lines_[static_cast<std::size_t>(*slot)].excl;
   }
 
   /// Marks the block most-recently used. Precondition: contains(block).
@@ -93,12 +171,14 @@ class ProcCache {
 
   /// Inserts a block, evicting LRU blocks as needed; each eviction is
   /// reported so the caller can update the directory. A block larger than
-  /// the whole cache is "streamed": it evicts everything and is not kept.
+  /// the whole cache is "streamed": it can never fit, so it bypasses the
+  /// cache entirely — resident blocks stay put — and is not kept.
   /// Returns whether the block became resident.
   template <typename OnEvict>
   bool insert(std::int64_t block, double size, OnEvict&& on_evict) {
     if (!enabled()) return false;
     AFS_DCHECK(!contains(block));
+    if (size > capacity_) return false;  // streamed, never resident
     while (used_ + size > capacity_ && tail_ != kNil) {
       const Line& victim = lines_[static_cast<std::size_t>(tail_)];
       used_ -= victim.size;
@@ -106,11 +186,11 @@ class ProcCache {
       index_.erase(victim.block);
       unlink_tail();
     }
-    if (size > capacity_) return false;  // streamed, never resident
     const std::int32_t slot = alloc_slot();
     Line& line = lines_[static_cast<std::size_t>(slot)];
     line.block = block;
     line.size = size;
+    line.excl = false;  // a fresh copy is shared until a write upgrades it
     link_front(slot);
     index_[block] = slot;
     used_ += size;
@@ -148,6 +228,7 @@ class ProcCache {
     double size = 0.0;
     std::int32_t prev = kNil;
     std::int32_t next = kNil;
+    bool excl = false;  ///< directory lists this proc as the sole sharer
   };
 
   std::int32_t alloc_slot() {

@@ -85,6 +85,25 @@ class EventCore {
     std::push_heap(heap_.begin(), heap_.end(), std::greater<>{});
   }
 
+  /// Fused push-then-pop: inserts (t, proc) and removes the globally
+  /// earliest event in one motion. Exactly equivalent to push() followed
+  /// by pop() — the heap holds the same event multiset afterwards, and
+  /// (time, processor-id) is a strict total order, so every later pop
+  /// drains identically — but costs at most one top-down sift instead of
+  /// a sift-up plus a full pop. This is the engine's steady-state heap
+  /// operation: a processor that no longer leads swaps itself for the
+  /// current leader. Polls the cancellation token exactly like pop().
+  Event push_pop(double t, int proc) {
+    if (cancel_ != nullptr && cancel_->cancelled())
+      throw CancelledError(
+          "simulation cancelled at event boundary (deadline or sweep abort)");
+    const Event e(t, proc);
+    if (heap_.empty() || !(heap_.front() < e)) return e;
+    const Event out = heap_.front();
+    sift_down_from_root(e);
+    return out;
+  }
+
   /// True when a processor at time `t` would still be popped before every
   /// queued event — i.e. it may continue executing without a heap
   /// round-trip. (`proc` is not in the heap when this is asked.)
@@ -92,6 +111,15 @@ class EventCore {
     if (heap_.empty()) return true;
     const Event& top = heap_.front();
     return t < top.first || (t == top.first && proc < top.second);
+  }
+
+  /// The earliest queued event — the other-processor horizon an inline
+  /// execution run must not cross. Valid while the heap is untouched (an
+  /// inline run neither pushes nor pops, so the engine may hoist this out
+  /// of its iteration loop). Precondition: !empty().
+  const Event& top() const {
+    AFS_DCHECK(!heap_.empty());
+    return heap_.front();
   }
 
   /// Records that `proc` drained the scheduler at time `t`.
@@ -109,6 +137,23 @@ class EventCore {
   }
 
  private:
+  /// Places `e` at the root and restores min-heap order top-down,
+  /// maintaining the same parent<=child invariant the std::*_heap calls
+  /// keep (min-heap under operator<).
+  void sift_down_from_root(const Event& e) {
+    std::size_t i = 0;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t c = 2 * i + 1;
+      if (c >= n) break;
+      if (c + 1 < n && heap_[c + 1] < heap_[c]) ++c;
+      if (!(heap_[c] < e)) break;
+      heap_[i] = heap_[c];
+      i = c;
+    }
+    heap_[i] = e;
+  }
+
   std::vector<Event> heap_;   // binary min-heap via std::*_heap
   std::vector<double> done_;  // completion clock per processor
   const CancelToken* cancel_ = nullptr;  // not owned; see set_cancel()

@@ -1,6 +1,7 @@
 #include "sim/machine_sim.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 #include "util/check.hpp"
 #include "util/rng.hpp"
@@ -15,6 +16,14 @@ struct ChunkState {
   std::int64_t first = 0;
   double exec_start = 0.0;
 };
+
+// Phase-timer plumbing (SimOptions::time_phases). The untimed engine
+// instantiation never touches any of this.
+using Clock = std::chrono::steady_clock;
+
+inline double dsec(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
 
 }  // namespace
 
@@ -55,6 +64,16 @@ double MachineSim::ideal_serial_time(const LoopProgram& program) const {
 void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
                           int p, const std::vector<double>& start,
                           MetricsFanout& m) {
+  if (options_.time_phases)
+    run_loop_impl<true>(spec, sched, p, start, m);
+  else
+    run_loop_impl<false>(spec, sched, p, start, m);
+}
+
+template <bool kTimed>
+void MachineSim::run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched,
+                               int p, const std::vector<double>& start,
+                               MetricsFanout& m) {
   sched.start_loop(spec.n, p);
 
   // Fault checks run only when a fault family can alter execution flow
@@ -71,8 +90,15 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
   }
 
   std::vector<ChunkState> pending(static_cast<std::size_t>(p));
-  std::vector<BlockAccess> accesses;
   const bool batch = options_.batch_iterations;
+  // Horizon hoisting is sound only off the shared-link machines; constant
+  // for the whole run, so resolved here rather than per event.
+  const bool hoist = !memory_.serialized_link();
+  // Uniform-work loops (Gauss, SOR) charge a precomputed per-iteration
+  // cost instead of an indirect CostFn call each iteration; the kernel
+  // guarantees the same value, so the accounting is bit-identical.
+  const bool uniform = spec.uniform_work > 0.0;
+  const double uniform_w = spec.uniform_work * config_.work_unit_time;
   std::int64_t executed = 0;  // iterations actually run (fault accounting)
 
   // Granularity: one event per *iteration* of a loop with a data
@@ -88,18 +114,29 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
   // executing inline, eliminating the heap round-trip without reordering
   // anything. Footprint-free chunks go further and always coalesce to one
   // event: they touch no shared resource, so no interleaving with other
-  // processors can observe or affect them (docs/SIMULATOR.md proves both
-  // cases). Chunks with an analytic work_sum are charged in O(1) as
-  // before (this is what makes Table 2's 2e8-iteration loop tractable).
+  // processors can observe or affect them. Footprint chunks run in a
+  // horizon-batched inner loop — the heap is untouched during an inline
+  // run, so on switch interconnects the other-processor horizon is read
+  // once per pop instead of once per iteration (docs/SIMULATOR.md proves
+  // all three cases). Chunks with an analytic work_sum are charged in O(1)
+  // as before (this is what makes Table 2's 2e8-iteration loop tractable).
   //
   // Fault checks (death, transient stalls) happen at iteration/chunk
   // boundaries, which both batching modes visit at identical clock values;
   // the coalescing path below repeats them per iteration so the injected
   // schedule — and therefore the SimResult — is the same either way.
-  while (!events_.empty()) {
-    auto [t, proc] = events_.pop();
+  // Steady-state heap traffic uses the fused EventCore::push_pop — a
+  // processor that stops leading swaps itself for the current leader in
+  // one sift instead of a push plus a pop. Same event multiset, same
+  // total order, bit-identical drain.
+  bool draining = !events_.empty();
+  EventCore::Event cur = draining ? events_.pop() : EventCore::Event{};
+  while (draining) {
+    double t = cur.first;
+    const int proc = cur.second;
     ChunkState& mine = pending[static_cast<std::size_t>(proc)];
     bool active = true;
+    bool yielded = false;  // inner loop already proved !leads
 
     for (;;) {
       if (faulty) {
@@ -107,7 +144,14 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
           // Permanent loss: the processor stops at this boundary. Its
           // in-flight chunk is abandoned (the iterations are folded into
           // the end-of-loop abandoned count); queued work it owned is left
-          // for the survivors to steal or drain.
+          // for the survivors to steal or drain. If it died mid-chunk, the
+          // per-iteration on_work records already narrated
+          // [first, range.begin) — close them with a truncated chunk
+          // record so trace consumers see every executed iteration inside
+          // exactly one chunk record. Both batching modes reach this
+          // boundary at the same clock, so the record is identical.
+          if (!mine.range.empty() && mine.range.begin > mine.first)
+            m.on_chunk(proc, mine.first, mine.range.begin, mine.exec_start, t);
           pert_.mark_lost(proc, t);
           m.on_proc_lost(proc, t);
           mine.range = IterRange{};
@@ -119,8 +163,11 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
       }
 
       if (mine.range.empty()) {
+        Clock::time_point ph{};
+        if constexpr (kTimed) ph = Clock::now();
         const Grab g = sched.next(proc);
         if (g.done()) {
+          if constexpr (kTimed) timers_.scheduler += dsec(ph, Clock::now());
           events_.finish(proc, t);
           m.on_proc_done(proc, t);
           active = false;
@@ -130,12 +177,14 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
         const double t_sync0 = t;
         t = sync_.charge(g, t);
         m.on_grab(proc, g, t_sync0, t);
+        if constexpr (kTimed) timers_.scheduler += dsec(ph, Clock::now());
         if (faulty && g.kind == GrabKind::kRemote && pert_.lost(g.queue))
           m.on_fault_steal(proc, g.queue, g.range.size());
 
         if (!spec.footprint && spec.work_sum) {
           // Analytic chunk: charged in one step (atomic with respect to
           // faults — boundaries are before the grab and after the chunk).
+          if constexpr (kTimed) ph = Clock::now();
           const double w =
               spec.work_sum(g.range.begin, g.range.end) * config_.work_unit_time;
           m.on_work(proc, w);
@@ -143,6 +192,7 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
           const double te = t + w;
           m.on_chunk(proc, g.range.begin, g.range.end, t, te);
           t = te;
+          if constexpr (kTimed) timers_.work += dsec(ph, Clock::now());
         } else {
           mine.range = g.range;
           mine.first = g.range.begin;
@@ -153,8 +203,13 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
         // this event (no shared-resource interaction to serialize). Under
         // fault injection each iteration still hits the same boundary
         // checks the unbatched path performs.
+        Clock::time_point ph{};
+        if constexpr (kTimed) ph = Clock::now();
         while (!mine.range.empty()) {
-          const double w = spec.work(mine.range.begin++) * config_.work_unit_time;
+          const double w =
+              uniform ? uniform_w
+                      : spec.work(mine.range.begin) * config_.work_unit_time;
+          ++mine.range.begin;
           m.on_work(proc, w);
           t += w;
           ++executed;
@@ -165,18 +220,93 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
         }
         if (mine.range.empty())
           m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
+        if constexpr (kTimed) timers_.work += dsec(ph, Clock::now());
+      } else if (batch && !faulty) {
+        // Horizon-batched footprint execution: the chunk's iterations —
+        // memory accesses included — run inline until the chunk drains or
+        // this processor would no longer be popped next. The event heap is
+        // untouched for the whole inline run (no push/pop/finish until we
+        // break), so on a switch interconnect the other-processor horizon
+        // (EventCore::top) is hoisted out of the loop; the serialized-link
+        // machines keep the original path's per-iteration leads() probe.
+        // Both predicates are the same comparison against the same
+        // unmoving heap top, so results are bit-identical either way.
+        const bool bounded = !events_.empty();
+        double horizon_t = 0.0;
+        int horizon_p = 0;
+        if (hoist && bounded) {
+          const EventCore::Event& top = events_.top();
+          horizon_t = top.first;
+          horizon_p = top.second;
+        }
+        for (;;) {
+          Clock::time_point ph{};
+          if constexpr (kTimed) ph = Clock::now();
+          const std::int64_t i = mine.range.begin++;
+          const double w =
+              uniform ? uniform_w : spec.work(i) * config_.work_unit_time;
+          m.on_work(proc, w);
+          t += w;
+          ++executed;
+          if constexpr (kTimed) {
+            const auto n = Clock::now();
+            timers_.work += dsec(ph, n);
+            ph = n;
+          }
+          plan_.clear();
+          spec.footprint(i, plan_);
+          if constexpr (kTimed) {
+            const auto n = Clock::now();
+            timers_.footprint += dsec(ph, n);
+            ph = n;
+          }
+          for (const BlockAccess& a : plan_) t = memory_.access(proc, a, t, m);
+          if constexpr (kTimed) {
+            timers_.memory += dsec(ph, Clock::now());
+            timers_.memory_accesses += static_cast<std::int64_t>(plan_.size());
+          }
+          if (mine.range.empty()) {
+            m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
+            break;  // chunk done — the outer check decides on a regrab
+          }
+          const bool leads =
+              hoist ? (!bounded || t < horizon_t ||
+                       (t == horizon_t && proc < horizon_p))
+                    : events_.leads(t, proc);
+          if (!leads) {
+            yielded = true;  // skip the redundant bottom leads() probe
+            break;
+          }
+        }
+        if (yielded) break;
       } else {
-        // --- execute one iteration ---
+        // --- execute one iteration (unbatched, or fault-checked) ---
+        Clock::time_point ph{};
+        if constexpr (kTimed) ph = Clock::now();
         const std::int64_t i = mine.range.begin++;
-        const double w = spec.work(i) * config_.work_unit_time;
+        const double w =
+            uniform ? uniform_w : spec.work(i) * config_.work_unit_time;
         m.on_work(proc, w);
         t += w;
         ++executed;
+        if constexpr (kTimed) {
+          const auto n = Clock::now();
+          timers_.work += dsec(ph, n);
+          ph = n;
+        }
         if (spec.footprint) {
-          accesses.clear();
-          spec.footprint(i, accesses);
-          for (const BlockAccess& a : accesses)
-            t = memory_.access(proc, a, t, m);
+          plan_.clear();
+          spec.footprint(i, plan_);
+          if constexpr (kTimed) {
+            const auto n = Clock::now();
+            timers_.footprint += dsec(ph, n);
+            ph = n;
+          }
+          for (const BlockAccess& a : plan_) t = memory_.access(proc, a, t, m);
+          if constexpr (kTimed) {
+            timers_.memory += dsec(ph, Clock::now());
+            timers_.memory_accesses += static_cast<std::int64_t>(plan_.size());
+          }
         }
         if (mine.range.empty())
           m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
@@ -185,7 +315,13 @@ void MachineSim::run_loop(const ParallelLoopSpec& spec, Scheduler& sched,
       if (!batch || !events_.leads(t, proc)) break;
     }
 
-    if (active) events_.push(t, proc);
+    if (active) {
+      cur = events_.push_pop(t, proc);
+    } else if (!events_.empty()) {
+      cur = events_.pop();
+    } else {
+      draining = false;
+    }
   }
 
   if (faulty) {
@@ -207,10 +343,15 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
   MetricsFanout m(result, options_.trace);
   events_.set_cancel(options_.cancel);
   pert_.reset(options_.perturb, p);
-  memory_.reset(config_, p, &pert_);
+  memory_.reset(config_, p, &pert_, options_.memory_fast_path);
   sync_.reset(config_, sched, p, &pert_);
   sched.reset_stats();
   m.on_run_begin(config_, program.name, sched.name(), p);
+
+  timers_ = EnginePhaseTimers{};
+  if (plan_.capacity() == 0) plan_.reserve(8);
+  Clock::time_point run_t0{};
+  if (options_.time_phases) run_t0 = Clock::now();
 
   Xoshiro256 jitter_rng(options_.jitter_seed);
   double now = 0.0;
@@ -272,6 +413,10 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
 
   result.sched_stats = sched.stats();
   m.on_run_end(now);
+  if (options_.time_phases) {
+    timers_.total = dsec(run_t0, Clock::now());
+    result.timers = timers_;
+  }
   return result;
 }
 

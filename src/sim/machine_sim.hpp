@@ -70,8 +70,25 @@ struct SimOptions {
   /// of a grabbed chunk execute without event-heap round-trips whenever
   /// that provably cannot change the serialization order — the processor
   /// still leads every queued event, or the loop has no data footprint at
-  /// all. Results are identical either way; off exists for A/B tests.
+  /// all. Footprint loops run in a horizon-batched inner loop (scratch
+  /// access plan hoisted out of the iteration; on switch interconnects the
+  /// heap-top horizon is hoisted too). Results are identical either way;
+  /// off exists for A/B tests.
   bool batch_iterations = true;
+
+  /// MemorySystem exclusive-residency fast path (on by default): accesses
+  /// that hit a resident — and, for writes, exclusively-owned — block are
+  /// charged from the single residency probe, skipping the directory
+  /// bookkeeping the full MSI path would no-op through. Bit-identical
+  /// results either way; off exists for A/B tests (see
+  /// docs/SIMULATOR.md, "Memory system").
+  bool memory_fast_path = true;
+
+  /// Collect the host wall-clock phase breakdown into SimResult::timers
+  /// (scheduler / work / footprint / memory / event-core shares). Off by
+  /// default: the instrumented engine is noticeably slower (a timer read
+  /// brackets every phase), though simulated results stay bit-identical.
+  bool time_phases = false;
 
   /// Optional trace observer (not owned; must outlive the simulator).
   /// Every simulated event is narrated into it — see trace_sink.hpp for
@@ -114,8 +131,17 @@ class MachineSim {
  private:
   /// Executes one parallel loop starting at per-processor times `start`;
   /// leaves per-processor completion times in events_.completion_times().
+  /// Dispatches on SimOptions::time_phases to the kTimed instantiation.
   void run_loop(const ParallelLoopSpec& spec, Scheduler& sched, int p,
                 const std::vector<double>& start, MetricsFanout& m);
+
+  /// The actual engine loop. kTimed brackets every phase with a
+  /// steady_clock read into timers_; the untimed instantiation compiles
+  /// the instrumentation away entirely (if constexpr), so the default
+  /// path pays nothing.
+  template <bool kTimed>
+  void run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched, int p,
+                     const std::vector<double>& start, MetricsFanout& m);
 
   MachineConfig config_;
   SimOptions options_;
@@ -123,6 +149,10 @@ class MachineSim {
   MemorySystem memory_;
   SyncModel sync_;
   PerturbationModel pert_;
+  /// Reusable access-plan scratch, hoisted out of the per-iteration loop
+  /// so footprint() fills pre-sized storage instead of a fresh vector.
+  std::vector<BlockAccess> plan_;
+  EnginePhaseTimers timers_;  ///< accumulates while time_phases is set
 };
 
 }  // namespace afs

@@ -1,73 +1,20 @@
 #include "sim/memory_system.hpp"
 
-#include "sim/perturbation.hpp"
-
 namespace afs {
 
 void MemorySystem::reset(const MachineConfig& config, int p,
-                         PerturbationModel* pert) {
+                         PerturbationModel* pert, bool fast_path) {
   cache_capacity_ = config.cache_capacity;
   miss_latency_ = config.miss_latency;
   transfer_unit_time_ = config.transfer_unit_time;
   invalidate_time_ = config.invalidate_time;
   serialized_link_ = config.interconnect != Interconnect::kSwitch;
+  fast_path_ = fast_path;
   pert_ = (pert && pert->affects_memory()) ? pert : nullptr;
 
   directory_.clear();
   caches_.assign(static_cast<std::size_t>(p), ProcCache(cache_capacity_));
   shared_link_.reset();
-}
-
-double MemorySystem::access(int proc, const BlockAccess& a, double t,
-                            MetricsFanout& m) {
-  ProcCache& cache = caches_[static_cast<std::size_t>(proc)];
-  if (!cache.enabled()) return t;  // cache-less machine: cost folded into work
-
-  bool resident = cache.access_hit(a.block);
-  if (resident) {
-    m.on_hit(proc, a, t);
-  } else {
-    // Miss: move the block over the interconnect.
-    const double t0 = t;
-    double occupancy = a.size * transfer_unit_time_;
-    double latency = miss_latency_;
-    if (pert_) {
-      occupancy *= pert_->link_factor(t);
-      latency += pert_->miss_spike(proc);
-    }
-    if (serialized_link_) {
-      t = shared_link_.acquire(t, occupancy) + latency;
-    } else {
-      t += latency + occupancy;
-    }
-    m.on_miss(proc, a, t0, t);
-    // A block larger than the cache streams through without becoming
-    // resident; only register a sharer for copies that actually exist.
-    resident = cache.insert(a.block, a.size, [&](std::int64_t evicted) {
-      directory_.remove_sharer(evicted, proc);
-    });
-    if (resident) directory_.add_sharer(a.block, proc);
-  }
-
-  if (a.write) {
-    const std::uint64_t others = directory_.make_exclusive(a.block, proc);
-    if (others != 0) {
-      int copies = 0;
-      for (int q = 0; q < static_cast<int>(caches_.size()); ++q) {
-        if (others & Directory::bit(q)) {
-          caches_[static_cast<std::size_t>(q)].invalidate(a.block);
-          ++copies;
-        }
-      }
-      const double t0 = t;
-      t += invalidate_time_;
-      m.on_invalidate(proc, a.block, copies, t0, t);
-    }
-    // A streamed (cache-bypassing) write leaves no copy; drop the
-    // directory entry we just created if the cache did not keep it.
-    if (!resident) directory_.remove_sharer(a.block, proc);
-  }
-  return t;
 }
 
 }  // namespace afs

@@ -9,6 +9,40 @@
 
 namespace afs {
 
+/// Host wall-clock phase breakdown of one engine run, in seconds.
+/// Collected only when SimOptions::time_phases is set; all-zero otherwise.
+/// This measures the simulator itself, not the simulated machine: the
+/// fields are excluded from sweep checkpoints and from every determinism
+/// comparison (a timed run still produces bit-identical simulated
+/// results). The instrumentation inflates exactly the phases it brackets,
+/// so read the *fractions*, not the absolute sums.
+struct EnginePhaseTimers {
+  double total = 0.0;      ///< MachineSim::run wall clock
+  double scheduler = 0.0;  ///< Scheduler::next + SyncModel::charge (grabs)
+  double work = 0.0;       ///< work() cost-function calls + busy accounting
+  double footprint = 0.0;  ///< footprint() calls filling the access plan
+  double memory = 0.0;     ///< MemorySystem::access
+  std::int64_t memory_accesses = 0;  ///< access() calls timed into `memory`
+
+  bool collected() const { return total > 0.0; }
+
+  /// Event-heap and engine-control time: everything `total` covers that
+  /// no bracketed phase explains. Meaningful only when collected().
+  double event_core_other() const {
+    return total - scheduler - work - footprint - memory;
+  }
+
+  EnginePhaseTimers& operator+=(const EnginePhaseTimers& o) {
+    total += o.total;
+    scheduler += o.scheduler;
+    work += o.work;
+    footprint += o.footprint;
+    memory += o.memory;
+    memory_accesses += o.memory_accesses;
+    return *this;
+  }
+};
+
 struct SimResult {
   /// Total simulated time across all epochs and barriers (time units).
   double makespan = 0.0;
@@ -42,6 +76,11 @@ struct SimResult {
 
   SyncStats sched_stats;  ///< the scheduler's own accounting (Tables 3-5)
 
+  /// Host wall-clock phase breakdown (opt-in via SimOptions::time_phases;
+  /// all-zero otherwise). Not simulated state: never checkpointed, never
+  /// part of a determinism comparison.
+  EnginePhaseTimers timers;
+
   /// Parallel speedup helper: serial_time / makespan.
   double speedup_vs(double serial_time) const {
     return makespan > 0.0 ? serial_time / makespan : 0.0;
@@ -74,6 +113,7 @@ struct SimResult {
     for (std::size_t q = 0; q < o.sched_stats.queues.size(); ++q)
       sched_stats.queues[q] += o.sched_stats.queues[q];
     sched_stats.loops += o.sched_stats.loops;
+    timers += o.timers;
     return *this;
   }
 };

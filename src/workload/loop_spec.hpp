@@ -34,6 +34,14 @@ struct ParallelLoopSpec {
   CostFn work;          ///< Abstract compute units per iteration (never null).
   FootprintFn footprint;  ///< Null for memory-less loops (L4, synthetics).
 
+  /// Optional: when > 0, every iteration costs exactly this many compute
+  /// units and `work` is guaranteed to return it for every i. The engine
+  /// then charges iterations without the per-iteration indirect call — an
+  /// epoch of Gauss or SOR makes tens of millions of them per sweep. The
+  /// kernel must precompute the value with the same expression its `work`
+  /// lambda evaluates so results stay bit-identical either way.
+  double uniform_work = 0.0;
+
   /// Optional analytic sum of work over [b, e). When present and the loop
   /// has no footprint, the simulator charges whole chunks in O(1), which
   /// makes the 200-million-iteration loop of Table 2 simulable.

@@ -152,6 +152,42 @@ TEST(BenchCli, RejectsMalformedTimeouts) {
   }
 }
 
+TEST(BenchCli, DefaultsLeaveEngineTogglesAlone) {
+  const Parse p = parse({});
+  ASSERT_TRUE(p.ok);
+  EXPECT_FALSE(p.cli.time_phases);
+  EXPECT_FALSE(p.cli.no_batch);
+  EXPECT_FALSE(p.cli.no_memory_fast_path);
+  EXPECT_EQ(p.cli.cell_retries, -1);  // -1 = keep SweepOptions default
+}
+
+TEST(BenchCli, ParsesEngineToggles) {
+  const Parse p =
+      parse({"--time-phases", "--no-batch", "--no-memory-fast-path"});
+  ASSERT_TRUE(p.ok);
+  EXPECT_TRUE(p.cli.time_phases);
+  EXPECT_TRUE(p.cli.no_batch);
+  EXPECT_TRUE(p.cli.no_memory_fast_path);
+}
+
+TEST(BenchCli, ParsesCellRetries) {
+  const Parse p = parse({"--cell-retries=0"});
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.cli.cell_retries, 0);
+  EXPECT_TRUE(p.cli.runner_flags_set());
+  EXPECT_EQ(parse({"--cell-retries=5"}).cli.cell_retries, 5);
+}
+
+TEST(BenchCli, RejectsMalformedCellRetries) {
+  for (const char* bad : {"--cell-retries=", "--cell-retries=-1",
+                          "--cell-retries=101", "--cell-retries=two"}) {
+    const Parse p = parse({bad});
+    EXPECT_FALSE(p.ok) << bad;
+    EXPECT_NE(p.error.find("--cell-retries"), std::string::npos)
+        << bad << " -> " << p.error;
+  }
+}
+
 TEST(BenchCli, TraceRequiresSerialJobs) {
   // The JSONL trace sink is one shared stream; refuse the combination
   // instead of interleaving records from parallel cells.

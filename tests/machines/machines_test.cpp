@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/check.hpp"
+
 namespace afs {
 namespace {
 
@@ -51,6 +53,18 @@ TEST(Machines, Tc2000TrendRatios) {
   const double ratio_before = b.miss_latency / b.work_unit_time;
   const double ratio_after = t.miss_latency / t.work_unit_time;
   EXPECT_GT(ratio_after / ratio_before, 15.0);
+}
+
+TEST(Machines, ProcessorCountBoundaryIs64) {
+  // The Directory packs sharer sets into a 64-bit mask, so 64 processors
+  // is the exact architectural ceiling: 64 must validate, 65 must not.
+  MachineConfig m = ksr1();
+  m.max_processors = 64;
+  EXPECT_NO_THROW(m.validate());
+  m.max_processors = 65;
+  EXPECT_THROW(m.validate(), CheckFailure);
+  m.max_processors = 0;
+  EXPECT_THROW(m.validate(), CheckFailure);
 }
 
 TEST(Machines, AllConfigsInternallyConsistent) {

@@ -54,14 +54,67 @@ TEST(ProcCache, TouchRefreshesRecency) {
   EXPECT_TRUE(c.contains(1));
 }
 
-TEST(ProcCache, LargeBlockEvictsAllAndStreams) {
+// Regression: a block larger than the whole cache can never fit, so it
+// must stream through WITHOUT evicting anything — the old code drained
+// the entire cache first and only then discovered the block could not be
+// kept, destroying every resident line for nothing.
+TEST(ProcCache, LargeBlockStreamsWithoutEvicting) {
   ProcCache c(20.0);
   std::vector<std::int64_t> evicted;
   c.insert(1, 10.0, collect(evicted));
-  c.insert(99, 50.0, collect(evicted));  // bigger than the cache
-  EXPECT_EQ(evicted, (std::vector<std::int64_t>{1}));
+  c.insert(2, 10.0, collect(evicted));
+  EXPECT_FALSE(c.insert(99, 50.0, collect(evicted)));  // bigger than cache
+  EXPECT_TRUE(evicted.empty());  // resident blocks stay put
+  EXPECT_TRUE(c.contains(1));
+  EXPECT_TRUE(c.contains(2));
   EXPECT_FALSE(c.contains(99));
-  EXPECT_DOUBLE_EQ(c.used(), 0.0);
+  EXPECT_DOUBLE_EQ(c.used(), 20.0);
+}
+
+// A block exactly as large as the cache is not streamed: it fits, at the
+// cost of evicting everything else (the boundary the short-circuit must
+// not move).
+TEST(ProcCache, CapacitySizedBlockStillFits) {
+  ProcCache c(20.0);
+  std::vector<std::int64_t> evicted;
+  c.insert(1, 10.0, collect(evicted));
+  EXPECT_TRUE(c.insert(99, 20.0, collect(evicted)));
+  EXPECT_EQ(evicted, (std::vector<std::int64_t>{1}));
+  EXPECT_TRUE(c.contains(99));
+  EXPECT_DOUBLE_EQ(c.used(), 20.0);
+}
+
+// ------------------------------------------------------ exclusivity hint --
+
+TEST(ProcCache, ExclusivityHintSetAndCleared) {
+  ProcCache c(100.0);
+  std::vector<std::int64_t> evicted;
+  c.insert(7, 10.0, collect(evicted));
+  EXPECT_FALSE(c.exclusive(7));  // fresh copies start shared
+  EXPECT_EQ(c.access_hit_state(7), ProcCache::Hit::kShared);
+  c.set_exclusive_front(7);
+  EXPECT_TRUE(c.exclusive(7));
+  EXPECT_EQ(c.access_hit_state(7), ProcCache::Hit::kExclusive);
+  c.clear_exclusive(7);
+  EXPECT_FALSE(c.exclusive(7));
+  c.clear_exclusive(42);  // absent block: no-op
+  EXPECT_EQ(c.access_hit_state(42), ProcCache::Hit::kMiss);
+}
+
+// The MRU-2 shortcut inside access_hit_state must keep the LRU chain
+// bit-identical to the plain find + relink: probe a block sitting second
+// from the front and check the eviction order afterwards.
+TEST(ProcCache, AccessHitStateRefreshesRecencyFromSecondSlot) {
+  ProcCache c(30.0);
+  std::vector<std::int64_t> evicted;
+  c.insert(1, 10.0, collect(evicted));
+  c.insert(2, 10.0, collect(evicted));
+  c.insert(3, 10.0, collect(evicted));  // chain (MRU..LRU): 3 2 1
+  EXPECT_EQ(c.access_hit_state(2), ProcCache::Hit::kShared);  // head->next
+  // chain now: 2 3 1 — inserting forces 1 out first, then 3.
+  c.insert(4, 20.0, collect(evicted));
+  EXPECT_EQ(evicted, (std::vector<std::int64_t>{1, 3}));
+  EXPECT_TRUE(c.contains(2));
 }
 
 TEST(ProcCache, InvalidateRemovesAndFreesSpace) {

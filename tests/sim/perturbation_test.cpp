@@ -12,6 +12,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -21,6 +23,7 @@
 #include "machines/machines.hpp"
 #include "sched/registry.hpp"
 #include "sim/machine_sim.hpp"
+#include "sim/trace_sink.hpp"
 #include "util/check.hpp"
 
 namespace afs {
@@ -311,6 +314,68 @@ TEST(Perturbation, StaticReportsAbandonedWork) {
   EXPECT_EQ(r.stolen_under_fault, 0);  // STATIC has nothing to steal with
   EXPECT_GT(r.abandoned_iterations, 0);
   EXPECT_TRUE(check_time_identity(r, 4));
+}
+
+TEST(Perturbation, MidChunkDeathEmitsTruncatedChunkRecord) {
+  // A processor dying mid-chunk used to vanish from the trace: its
+  // executed iterations were narrated per-iteration but never closed with
+  // a chunk record, so chunk-level consumers undercounted. The engine now
+  // emits a truncated [first, current) chunk record at the death boundary
+  // — a trace-only change (SimResult and CSV goldens are untouched), and
+  // byte-identical between the batched and unbatched engines.
+  const LoopProgram prog = GaussKernel::program(256);
+  const SimResult plain =
+      run_perturbed(quiet(iris()), prog, "STATIC", 4, PerturbationConfig{});
+  PerturbationConfig pc;
+  pc.losses.push_back({0, 0.3 * plain.makespan});  // lands mid-allotment
+
+  auto traced = [&](bool batch, std::string* text) {
+    std::ostringstream out;
+    JsonlTraceSink sink(out);
+    SimOptions opts;
+    opts.perturb = pc;
+    opts.batch_iterations = batch;
+    opts.trace = &sink;
+    MachineSim sim(quiet(iris()), opts);
+    auto sched = make_scheduler("STATIC");
+    const SimResult r = sim.run(prog, *sched, 4);
+    *text = out.str();
+    return r;
+  };
+
+  std::string batched_trace, unbatched_trace;
+  const SimResult a = traced(true, &batched_trace);
+  const SimResult b = traced(false, &unbatched_trace);
+  expect_identical(a, b, "mid-chunk death");
+  EXPECT_EQ(batched_trace, unbatched_trace);
+  ASSERT_EQ(a.lost_processor_count, 1);
+  ASSERT_GT(a.abandoned_iterations, 0);  // really died holding a chunk
+
+  // Conservation over the trace: every iteration of every epoch is either
+  // narrated inside exactly one chunk record or counted as abandoned.
+  // The dead processor's partially-executed chunk sits on that boundary —
+  // its executed prefix is covered only by the truncated record (without
+  // it the narrated side comes up short by exactly those iterations).
+  std::int64_t narrated = 0, total_n = 0;
+  std::istringstream in(batched_trace);
+  for (std::string line; std::getline(in, line);) {
+    if (line.find("\"ev\":\"chunk\"") != std::string::npos) {
+      const auto bpos = line.find("\"begin\":");
+      const auto epos = line.find("\"end\":");
+      ASSERT_NE(bpos, std::string::npos) << line;
+      ASSERT_NE(epos, std::string::npos) << line;
+      narrated += std::stoll(line.substr(epos + 6)) -
+                  std::stoll(line.substr(bpos + 8));
+    } else if (line.find("\"ev\":\"loop_begin\"") != std::string::npos) {
+      const auto npos = line.find("\"n\":");
+      ASSERT_NE(npos, std::string::npos) << line;
+      total_n += std::stoll(line.substr(npos + 4));
+    }
+  }
+  EXPECT_EQ(narrated + a.abandoned_iterations, total_n);
+  // SimResult::iterations counts *grabbed* work, so it exceeds the
+  // narrated (executed) side by the dead processor's in-flight remainder.
+  EXPECT_LT(narrated, a.iterations);
 }
 
 TEST(Perturbation, CentralQueueDrainsNaturallyOnLoss) {
