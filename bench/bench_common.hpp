@@ -7,7 +7,8 @@
 //
 //   --procs=1,2,4     override the processor sweep (figures only)
 //   --out-dir=DIR     write CSVs (and traces) under DIR [bench_results]
-//   --trace           also write a JSONL event trace per figure run
+//   --trace           also write an event trace per (scheduler, P) cell
+//   --trace-format=F  trace encoding: jsonl | binary (implies --trace)
 //   --jobs=N          run (scheduler, P) cells on N threads [1]
 //   --resume          reload finished cells from the sweep checkpoint
 //   --cell-timeout=S  wall-clock deadline (seconds) per cell attempt
@@ -37,6 +38,7 @@
 #include "runtime/sweep_runner.hpp"
 #include "sched/registry.hpp"
 #include "sim/trace_sink.hpp"
+#include "trace/trace_record.hpp"
 
 namespace afs::bench {
 
@@ -80,7 +82,9 @@ inline std::vector<SchedulerEntry> ksr_schedulers() {
 struct BenchCli {
   std::vector<int> procs;                 ///< empty = the figure's own sweep
   std::string out_dir = "bench_results";  ///< CSV / trace destination
-  bool trace = false;                     ///< write <out_dir>/<id>.trace.jsonl
+  bool trace = false;  ///< write one trace per (scheduler, P) cell under
+                       ///< <out_dir> (see trace_cell_path)
+  TraceFormat trace_format = TraceFormat::kJsonl;  ///< encoding when tracing
   bool time_phases = false;  ///< collect engine phase timers; write
                              ///< <out_dir>/<id>.phases.json
   bool no_batch = false;     ///< A/B: disable iteration batching
@@ -101,16 +105,20 @@ struct BenchCli {
 
 inline void print_usage(const char* argv0, std::ostream& out) {
   out << "usage: " << argv0
-      << " [--procs=1,2,4] [--out-dir=DIR] [--trace] [--time-phases]\n"
-      << "       [--no-batch] [--no-memory-fast-path]\n"
+      << " [--procs=1,2,4] [--out-dir=DIR] [--trace] [--trace-format=F]\n"
+      << "       [--time-phases] [--no-batch] [--no-memory-fast-path]\n"
       << "       [--jobs=N] [--resume] [--cell-timeout=S] [--sweep-timeout=S]\n"
       << "       [--cell-retries=N]\n"
       << "  --procs=LIST   comma-separated processor counts overriding the\n"
       << "                 figure's standard sweep\n"
       << "  --out-dir=DIR  directory for CSV output (default bench_results)\n"
-      << "  --trace        also stream a JSONL event trace per run\n"
+      << "  --trace        also stream an event trace per (scheduler, P)\n"
+      << "                 cell to <out-dir>/<id>.p<P>.<scheduler>.*\n"
       << "                 (see docs/SIMULATOR.md, \"Trace schema\");\n"
-      << "                 requires --jobs=1\n"
+      << "                 composes with --jobs/--resume\n"
+      << "  --trace-format=F  trace encoding: jsonl (default) or binary\n"
+      << "                 (.cctrace, ~10x smaller; implies --trace; render\n"
+      << "                 either with tools/trace_report)\n"
       << "  --time-phases  collect the engine's host wall-clock phase\n"
       << "                 breakdown and write <out-dir>/<id>.phases.json\n"
       << "                 (simulated results stay bit-identical; see\n"
@@ -162,6 +170,18 @@ inline bool parse_cli_args(const std::vector<std::string>& args, BenchCli& cli,
       return true;
     } else if (arg == "--trace") {
       cli.trace = true;
+    } else if (arg.rfind("--trace-format=", 0) == 0) {
+      const std::string tok = arg.substr(15);
+      if (tok == "jsonl") {
+        cli.trace_format = TraceFormat::kJsonl;
+      } else if (tok == "binary") {
+        cli.trace_format = TraceFormat::kBinary;
+      } else {
+        error = "bad --trace-format value '" + tok +
+                "' (need jsonl or binary)";
+        return false;
+      }
+      cli.trace = true;  // choosing an encoding is asking for a trace
     } else if (arg == "--time-phases") {
       cli.time_phases = true;
     } else if (arg == "--no-batch") {
@@ -232,11 +252,6 @@ inline bool parse_cli_args(const std::vector<std::string>& args, BenchCli& cli,
       error = "unknown argument '" + arg + "'";
       return false;
     }
-  }
-  if (cli.trace && cli.jobs > 1) {
-    error = "--trace requires --jobs=1 (the JSONL trace sink is a single "
-            "shared writer; parallel cells would interleave its records)";
-    return false;
   }
   return true;
 }
@@ -329,26 +344,12 @@ inline int run_and_report(
   sweep.resume = cli.resume;
   sweep.checkpoint_dir = cli.out_dir + "/.sweep/" + spec.id;
 
-  std::unique_ptr<JsonlTraceSink> trace;
-  if (cli.trace) {
-    const std::string path = cli.out_dir + "/" + spec.id + ".trace.jsonl";
-    try {
-      std::filesystem::create_directories(cli.out_dir);
-      trace = std::make_unique<JsonlTraceSink>(path);
-    } catch (const std::exception& e) {
-      std::cerr << argv[0] << ": cannot open trace " << path << ": "
-                << e.what() << "\n";
-      return EXIT_FAILURE;
-    }
-    spec.sim_options.trace = trace.get();
-    std::cout << "(tracing to " << path << ")\n";
-  }
-  const int rc = run_and_report(spec, sweep, shapes);
-  if (trace) {
-    trace->finalize();  // publish <id>.trace.jsonl (was streaming to .tmp)
-    std::cout << "(trace: " << trace->lines_written() << " events)\n";
-  }
-  return rc;
+  // Tracing is per sweep cell (each cell constructs, finalizes, or
+  // abandons its own sink inside run_figure), which is what lets --trace
+  // compose with --jobs=N and --resume.
+  if (cli.trace) spec.trace_format = cli.trace_format;
+
+  return run_and_report(spec, sweep, shapes);
 }
 
 /// Bespoke tables whose rows feed each other (e.g. tab7's fault-free

@@ -2,9 +2,12 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <memory>
 #include <sstream>
 
 #include "sched/registry.hpp"
+#include "sim/trace_sink.hpp"
+#include "trace/binary_sink.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
 
@@ -74,6 +77,12 @@ FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
     result.serial_time = sim.ideal_serial_time(spec.program);
   }
 
+  if (spec.trace_format != TraceFormat::kNone) {
+    std::filesystem::create_directories(spec.out_dir);
+    out << "(tracing per cell to " << spec.out_dir << "/" << spec.id
+        << ".p<P>.<scheduler>" << trace_extension(spec.trace_format) << ")\n";
+  }
+
   // One sweep cell per (scheduler, P): a fresh simulator and scheduler per
   // cell, so results depend only on the cell's own inputs and the merged
   // sweep is bit-identical whether cells run serially, in parallel, or are
@@ -89,9 +98,30 @@ FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
           {se.label, p, [&spec, &se, p](const CancelToken& token) {
              SimOptions options = spec.sim_options;
              options.cancel = &token;
+             // Each cell owns its trace writer, so tracing composes with
+             // parallel sweeps; the trace is published atomically only
+             // when the cell completes (a failed or cancelled attempt
+             // leaves no partial file, and a retry starts clean).
+             std::unique_ptr<FileTraceSink> trace;
+             if (spec.trace_format != TraceFormat::kNone) {
+               const std::string path = trace_cell_path(
+                   spec.out_dir, spec.id, se.label, p, spec.trace_format);
+               if (spec.trace_format == TraceFormat::kBinary)
+                 trace = std::make_unique<BinaryTraceSink>(path);
+               else
+                 trace = std::make_unique<JsonlTraceSink>(path);
+               options.trace = trace.get();
+             }
              MachineSim sim(spec.machine, options);
              auto sched = se.make();
-             return sim.run(spec.program, *sched, p);
+             try {
+               SimResult r = sim.run(spec.program, *sched, p);
+               if (trace) trace->finalize();
+               return r;
+             } catch (...) {
+               if (trace) trace->abandon();
+               throw;
+             }
            }});
     }
   }

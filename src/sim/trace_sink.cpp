@@ -60,6 +60,13 @@ void JsonlTraceSink::finalize() {
   commit_file_atomic(path + ".tmp", path);
 }
 
+void JsonlTraceSink::abandon() {
+  if (final_path_.empty()) return;
+  const std::string path = std::exchange(final_path_, std::string());
+  file_.close();
+  std::remove((path + ".tmp").c_str());
+}
+
 JsonlTraceSink::~JsonlTraceSink() {
   try {
     finalize();

@@ -34,7 +34,25 @@
 
 namespace afs {
 
-class JsonlTraceSink : public MetricsSink {
+/// A MetricsSink that streams to a file with crash-safe publication:
+/// records go to `<path>.tmp`, and the final name appears only when
+/// finalize() commits it (fsync + rename). The sweep harness writes one
+/// such sink per (scheduler, P) cell — finalize() on success, abandon()
+/// on failure — so parallel cells never interleave records, a crashed
+/// cell never publishes a partial trace, and a resumed sweep never
+/// truncates a completed one.
+class FileTraceSink : public MetricsSink {
+ public:
+  /// Publishes the temp file onto the final path. Idempotent.
+  virtual void finalize() = 0;
+
+  /// Discards the trace: closes and removes the temp file without ever
+  /// touching the final path. Idempotent; finalize() afterwards is a
+  /// no-op. Never throws (failure cleanup must be safe in catch blocks).
+  virtual void abandon() = 0;
+};
+
+class JsonlTraceSink : public FileTraceSink {
  public:
   /// Streams to `out` (not owned; must outlive the sink).
   explicit JsonlTraceSink(std::ostream& out);
@@ -50,7 +68,12 @@ class JsonlTraceSink : public MetricsSink {
   /// final path. Idempotent; called by the destructor if not already
   /// (destructor swallows publication errors — call explicitly to see
   /// them). No-op for the ostream constructor.
-  void finalize();
+  void finalize() override;
+
+  /// Path mode only: closes and unlinks the temp file; the final path is
+  /// never created (or, on a re-run, keeps its previous complete
+  /// contents). No-op for the ostream constructor.
+  void abandon() override;
 
   ~JsonlTraceSink() override;
 

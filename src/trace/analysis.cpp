@@ -1,0 +1,170 @@
+#include "trace/analysis.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+#include "trace/trace_reader.hpp"
+
+namespace afs {
+namespace {
+
+// Affinity accounting materializes one int per iteration; cap it so a
+// pathological trace with a multi-billion-iteration loop degrades to
+// "no score" instead of exhausting memory.
+constexpr std::int64_t kMaxAffinityN = std::int64_t{1} << 26;
+
+std::int64_t matrix_sum(const std::vector<std::vector<std::int64_t>>& m) {
+  std::int64_t total = 0;
+  for (const auto& row : m)
+    for (std::int64_t v : row) total += v;
+  return total;
+}
+
+}  // namespace
+
+std::int64_t TraceAnalysis::remote_steals() const {
+  return matrix_sum(steal_iters);
+}
+
+std::int64_t TraceAnalysis::fault_steals() const {
+  return matrix_sum(fault_steal_iters);
+}
+
+std::vector<TraceAnalysis> analyze_trace(
+    const std::vector<TraceRecord>& records) {
+  std::vector<TraceAnalysis> out;
+
+  bool in_run = false;
+  TraceAnalysis run;
+  // Iteration -> executing processor, for the previous and current epoch.
+  // -1 marks "not executed" (or affinity accounting disabled by the cap).
+  std::vector<int> prev_owner;
+  std::vector<int> cur_owner;
+  bool affinity_enabled = true;
+
+  const auto require_run = [&](const TraceRecord& r) {
+    if (!in_run)
+      throw std::runtime_error("trace event " +
+                               std::string(to_string(r.ev)) +
+                               " outside run_begin..run_end");
+  };
+  const auto proc_of = [&](int proc) -> ProcBreakdown& {
+    if (proc < 0 || proc >= static_cast<int>(run.procs.size()))
+      throw std::runtime_error("trace references processor " +
+                               std::to_string(proc) + " of " +
+                               std::to_string(run.procs.size()));
+    return run.procs[static_cast<std::size_t>(proc)];
+  };
+
+  for (const TraceRecord& r : records) {
+    if (r.ev == TraceEv::kRunBegin) {
+      if (in_run)
+        throw std::runtime_error("run_begin inside an unfinished run");
+      in_run = true;
+      run = TraceAnalysis{};
+      run.machine = r.machine;
+      run.program = r.program;
+      run.scheduler = r.scheduler;
+      run.p = r.p;
+      run.procs.assign(static_cast<std::size_t>(std::max(r.p, 0)),
+                       ProcBreakdown{});
+      run.steal_iters.assign(
+          run.procs.size(),
+          std::vector<std::int64_t>(run.procs.size(), 0));
+      run.fault_steal_iters = run.steal_iters;
+      prev_owner.clear();
+      cur_owner.clear();
+      affinity_enabled = true;
+      ++run.records;
+      continue;
+    }
+    require_run(r);
+    ++run.records;
+
+    switch (r.ev) {
+      case TraceEv::kLoopBegin: {
+        ++run.epochs;
+        run.total_iterations += r.n;
+        prev_owner.swap(cur_owner);
+        if (r.n > kMaxAffinityN) affinity_enabled = false;
+        if (affinity_enabled)
+          cur_owner.assign(static_cast<std::size_t>(r.n), -1);
+        else
+          cur_owner.clear();
+        break;
+      }
+      case TraceEv::kGrab: {
+        ProcBreakdown& pb = proc_of(r.proc);
+        pb.sync += r.t1 - r.t0;
+        if (r.kind == GrabKind::kRemote && r.queue >= 0 &&
+            r.queue < static_cast<int>(run.procs.size()))
+          run.steal_iters[static_cast<std::size_t>(r.proc)]
+                         [static_cast<std::size_t>(r.queue)] +=
+              r.end - r.begin;
+        break;
+      }
+      case TraceEv::kChunk: {
+        ProcBreakdown& pb = proc_of(r.proc);
+        pb.exec += r.t1 - r.t0;
+        pb.iterations += r.end - r.begin;
+        ++pb.chunks;
+        run.executed_iterations += r.end - r.begin;
+        if (affinity_enabled) {
+          const auto lo = static_cast<std::size_t>(std::max<std::int64_t>(
+              r.begin, 0));
+          const auto hi = static_cast<std::size_t>(std::min<std::int64_t>(
+              r.end, static_cast<std::int64_t>(cur_owner.size())));
+          for (std::size_t i = lo; i < hi; ++i) {
+            cur_owner[i] = r.proc;
+            if (i < prev_owner.size() && prev_owner[i] >= 0) {
+              ++run.scored_iterations;
+              if (prev_owner[i] == r.proc) ++run.affine_iterations;
+            }
+          }
+        }
+        break;
+      }
+      case TraceEv::kMiss:
+      case TraceEv::kInval:
+        proc_of(r.proc).memory += r.t1 - r.t0;
+        break;
+      case TraceEv::kStall:
+        proc_of(r.proc).stall += r.t1 - r.t0;
+        break;
+      case TraceEv::kFaultSteal:
+        if (r.proc >= 0 && r.proc < static_cast<int>(run.procs.size()) &&
+            r.queue >= 0 && r.queue < static_cast<int>(run.procs.size()))
+          run.fault_steal_iters[static_cast<std::size_t>(r.proc)]
+                               [static_cast<std::size_t>(r.queue)] += r.n;
+        break;
+      case TraceEv::kAbandoned:
+        run.abandoned_iterations += r.n;
+        break;
+      case TraceEv::kRunEnd: {
+        run.makespan = r.t0;
+        for (ProcBreakdown& pb : run.procs)
+          pb.idle = std::max(0.0, run.makespan - pb.exec - pb.sync - pb.stall);
+        in_run = false;
+        out.push_back(std::move(run));
+        run = TraceAnalysis{};
+        break;
+      }
+      case TraceEv::kDone:
+      case TraceEv::kLost:
+      case TraceEv::kLoopEnd:
+      case TraceEv::kBarrier:
+        break;  // no aggregate beyond what the events above capture
+      case TraceEv::kRunBegin:
+        break;  // handled before the switch
+    }
+  }
+  if (in_run) throw std::runtime_error("trace ends without run_end");
+  return out;
+}
+
+std::vector<TraceAnalysis> analyze_trace_file(const std::string& path) {
+  return analyze_trace(read_trace(path));
+}
+
+}  // namespace afs

@@ -1,0 +1,234 @@
+#include "trace/binary_sink.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <stdexcept>
+#include <utility>
+
+#include "util/atomic_file.hpp"
+
+namespace afs {
+namespace {
+
+constexpr std::size_t kFlushThreshold = 1 << 16;
+
+std::uint64_t bits_of(double v) {
+  std::uint64_t b;
+  std::memcpy(&b, &v, sizeof b);
+  return b;
+}
+
+}  // namespace
+
+BinaryTraceSink::BinaryTraceSink(std::ostream& out) : out_(&out) {
+  buf_.append(reinterpret_cast<const char*>(kMagic), sizeof kMagic);
+  bytes_ += static_cast<std::int64_t>(sizeof kMagic);
+}
+
+BinaryTraceSink::BinaryTraceSink(const std::string& path)
+    : file_(path + ".tmp", std::ios::binary | std::ios::trunc),
+      out_(&file_),
+      final_path_(path) {
+  if (!file_) throw std::runtime_error("cannot open trace file: " + path);
+  buf_.append(reinterpret_cast<const char*>(kMagic), sizeof kMagic);
+  bytes_ += static_cast<std::int64_t>(sizeof kMagic);
+}
+
+void BinaryTraceSink::finalize() {
+  flush_buffer();
+  if (final_path_.empty()) return;
+  const std::string path = std::exchange(final_path_, std::string());
+  file_.flush();
+  if (!file_) throw std::runtime_error("trace write failed: " + path);
+  file_.close();
+  commit_file_atomic(path + ".tmp", path);
+}
+
+void BinaryTraceSink::abandon() {
+  if (final_path_.empty()) return;
+  const std::string path = std::exchange(final_path_, std::string());
+  file_.close();
+  std::remove((path + ".tmp").c_str());
+}
+
+BinaryTraceSink::~BinaryTraceSink() {
+  try {
+    finalize();
+  } catch (const std::exception& e) {
+    std::cerr << "trace finalize failed: " << e.what() << "\n";
+  }
+}
+
+void BinaryTraceSink::flush_buffer() {
+  if (buf_.empty()) return;
+  out_->write(buf_.data(), static_cast<std::streamsize>(buf_.size()));
+  buf_.clear();
+}
+
+void BinaryTraceSink::op(TraceEv ev) {
+  put_u8(static_cast<std::uint8_t>(ev));
+  ++records_;
+  if (buf_.size() >= kFlushThreshold) flush_buffer();
+}
+
+void BinaryTraceSink::put_u8(std::uint8_t b) {
+  buf_.push_back(static_cast<char>(b));
+  ++bytes_;
+}
+
+void BinaryTraceSink::put_varint(std::uint64_t v) {
+  while (v >= 0x80) {
+    put_u8(static_cast<std::uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  put_u8(static_cast<std::uint8_t>(v));
+}
+
+void BinaryTraceSink::put_svarint(std::int64_t v) {
+  // Zigzag: 0, -1, 1, -2, ... -> 0, 1, 2, 3, ...
+  put_varint((static_cast<std::uint64_t>(v) << 1) ^
+             static_cast<std::uint64_t>(v >> 63));
+}
+
+void BinaryTraceSink::put_time(double t) {
+  const std::uint64_t b = bits_of(t);
+  put_varint(b ^ prev_time_bits_);
+  prev_time_bits_ = b;
+}
+
+void BinaryTraceSink::put_value(double v) {
+  const std::uint64_t b = bits_of(v);
+  put_varint(b ^ prev_value_bits_);
+  prev_value_bits_ = b;
+}
+
+std::uint64_t BinaryTraceSink::intern(const std::string& s) {
+  const auto it = interned_.find(s);
+  if (it != interned_.end()) return it->second;
+  const std::uint64_t id = interned_.size();
+  interned_.emplace(s, id);
+  put_u8(0);  // string-definition opcode (not counted as a record)
+  put_varint(id);
+  put_varint(s.size());
+  buf_.append(s);
+  bytes_ += static_cast<std::int64_t>(s.size());
+  return id;
+}
+
+void BinaryTraceSink::on_run_begin(const MachineConfig& m,
+                                   const std::string& program,
+                                   const std::string& scheduler, int p) {
+  // Definitions for any new strings go out before the record's opcode,
+  // so the reader has resolved every id by the time it decodes the body.
+  const std::uint64_t machine_id = intern(m.name);
+  const std::uint64_t program_id = intern(program);
+  const std::uint64_t scheduler_id = intern(scheduler);
+  op(TraceEv::kRunBegin);
+  put_varint(machine_id);
+  put_varint(program_id);
+  put_varint(scheduler_id);
+  put_varint(static_cast<std::uint64_t>(p));
+}
+
+void BinaryTraceSink::on_loop_begin(int epoch, std::int64_t n, int p) {
+  op(TraceEv::kLoopBegin);
+  put_varint(static_cast<std::uint64_t>(epoch));
+  put_varint(static_cast<std::uint64_t>(n));
+  put_varint(static_cast<std::uint64_t>(p));
+}
+
+void BinaryTraceSink::on_grab(int proc, const Grab& g, double t0, double t1) {
+  op(TraceEv::kGrab);
+  put_varint(static_cast<std::uint64_t>(proc));
+  put_u8(static_cast<std::uint8_t>(g.kind));
+  put_svarint(g.queue);
+  put_svarint(g.range.begin);
+  put_svarint(g.range.end);
+  put_time(t0);
+  put_time(t1);
+}
+
+void BinaryTraceSink::on_chunk(int proc, std::int64_t begin, std::int64_t end,
+                               double t0, double t1) {
+  op(TraceEv::kChunk);
+  put_varint(static_cast<std::uint64_t>(proc));
+  put_svarint(begin);
+  put_svarint(end);
+  put_time(t0);
+  put_time(t1);
+}
+
+void BinaryTraceSink::on_miss(int proc, const BlockAccess& a, double t0,
+                              double t1) {
+  op(TraceEv::kMiss);
+  put_varint(static_cast<std::uint64_t>(proc));
+  put_svarint(a.block);
+  put_value(a.size);
+  put_time(t0);
+  put_time(t1);
+}
+
+void BinaryTraceSink::on_invalidate(int proc, std::int64_t block, int copies,
+                                    double t0, double t1) {
+  op(TraceEv::kInval);
+  put_varint(static_cast<std::uint64_t>(proc));
+  put_svarint(block);
+  put_varint(static_cast<std::uint64_t>(copies));
+  put_time(t0);
+  put_time(t1);
+}
+
+void BinaryTraceSink::on_proc_done(int proc, double t) {
+  op(TraceEv::kDone);
+  put_varint(static_cast<std::uint64_t>(proc));
+  put_time(t);
+}
+
+void BinaryTraceSink::on_stall(int proc, double t0, double t1) {
+  op(TraceEv::kStall);
+  put_varint(static_cast<std::uint64_t>(proc));
+  put_time(t0);
+  put_time(t1);
+}
+
+void BinaryTraceSink::on_proc_lost(int proc, double t) {
+  op(TraceEv::kLost);
+  put_varint(static_cast<std::uint64_t>(proc));
+  put_time(t);
+}
+
+void BinaryTraceSink::on_fault_steal(int thief, int victim_queue,
+                                     std::int64_t iters) {
+  op(TraceEv::kFaultSteal);
+  put_varint(static_cast<std::uint64_t>(thief));
+  put_svarint(victim_queue);
+  put_varint(static_cast<std::uint64_t>(iters));
+}
+
+void BinaryTraceSink::on_abandoned(std::int64_t iters) {
+  op(TraceEv::kAbandoned);
+  put_varint(static_cast<std::uint64_t>(iters));
+}
+
+void BinaryTraceSink::on_loop_end(int epoch, double end) {
+  op(TraceEv::kLoopEnd);
+  put_varint(static_cast<std::uint64_t>(epoch));
+  put_time(end);
+}
+
+void BinaryTraceSink::on_barrier(int epoch, double cost, double total) {
+  op(TraceEv::kBarrier);
+  put_varint(static_cast<std::uint64_t>(epoch));
+  put_value(cost);
+  put_time(total);
+}
+
+void BinaryTraceSink::on_run_end(double makespan) {
+  op(TraceEv::kRunEnd);
+  put_time(makespan);
+  flush_buffer();
+  out_->flush();
+}
+
+}  // namespace afs

@@ -1,0 +1,301 @@
+#include "trace/gantt.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "trace/analysis.hpp"
+
+namespace afs {
+namespace {
+
+const char* kind_color(GrabKind k) {
+  switch (k) {
+    case GrabKind::kLocal: return "#3f9e4d";    // green: affinity hit
+    case GrabKind::kCentral: return "#4a7fd9";  // blue: central queue
+    case GrabKind::kRemote: return "#e8912d";   // orange: stolen work
+    case GrabKind::kStatic: return "#8a8a8a";   // gray: static assignment
+    case GrabKind::kNone: break;
+  }
+  return "#c4c4c4";
+}
+
+constexpr const char* kStallColor = "#d64545";
+
+std::string html_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string fmt(double v, int prec = 1) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", prec, v);
+  return buf;
+}
+
+struct Rect {
+  double x0 = 0;
+  double x1 = 0;
+  const char* color = nullptr;
+};
+
+/// Appends [x0,x1] to the lane, merging with the previous rectangle when
+/// the color matches and the gap is below half a pixel.
+void add_rect(std::vector<Rect>& lane, double x0, double x1,
+              const char* color) {
+  if (x1 < x0) std::swap(x0, x1);
+  if (!lane.empty() && lane.back().color == color &&
+      x0 - lane.back().x1 < 0.5) {
+    lane.back().x1 = std::max(lane.back().x1, x1);
+    return;
+  }
+  lane.push_back({x0, x1, color});
+}
+
+struct Arrow {
+  double x = 0;
+  int from_proc = 0;
+  int to_proc = 0;
+  bool fault = false;  // fault-recovery reassignment (dashed) vs steal
+};
+
+struct Marker {  // processor loss
+  double x = 0;
+  int proc = 0;
+};
+
+void render_run(std::ostringstream& os,
+                const std::vector<TraceRecord>& records, std::size_t begin,
+                std::size_t end, const TraceAnalysis& a, int run_index,
+                const GanttOptions& opt) {
+  const int p = std::max(a.p, 1);
+  const double left = 70, right = 20, top = 28;
+  const double plot_w = std::max(100.0, opt.width - left - right);
+  const double lane_h = opt.lane_height, lane_gap = 4;
+  const double height = top + p * (lane_h + lane_gap) + 24;
+  const double span = a.makespan > 0 ? a.makespan : 1.0;
+  const auto x_of = [&](double t) { return left + t / span * plot_w; };
+  const auto lane_y = [&](int proc) { return top + proc * (lane_h + lane_gap); };
+
+  std::vector<std::vector<Rect>> lanes(static_cast<std::size_t>(p));
+  std::vector<GrabKind> last_kind(static_cast<std::size_t>(p),
+                                  GrabKind::kNone);
+  std::vector<Arrow> arrows;
+  std::vector<Marker> losses;
+  double clock = 0;  // latest timestamp seen, for timeless fault events
+  int elided_arrows = 0;
+
+  const auto in_lane = [&](int proc) { return proc >= 0 && proc < p; };
+  for (std::size_t i = begin; i < end; ++i) {
+    const TraceRecord& r = records[i];
+    switch (r.ev) {
+      case TraceEv::kGrab:
+        clock = std::max(clock, r.t1);
+        if (!in_lane(r.proc)) break;
+        last_kind[static_cast<std::size_t>(r.proc)] = r.kind;
+        if (r.kind == GrabKind::kRemote && in_lane(r.queue)) {
+          if (static_cast<int>(arrows.size()) < opt.max_arrows)
+            arrows.push_back({x_of(r.t0), r.queue, r.proc, false});
+          else
+            ++elided_arrows;
+        }
+        break;
+      case TraceEv::kChunk:
+        clock = std::max(clock, r.t1);
+        if (in_lane(r.proc))
+          add_rect(lanes[static_cast<std::size_t>(r.proc)], x_of(r.t0),
+                   x_of(r.t1),
+                   kind_color(last_kind[static_cast<std::size_t>(r.proc)]));
+        break;
+      case TraceEv::kStall:
+        clock = std::max(clock, r.t1);
+        if (in_lane(r.proc))
+          add_rect(lanes[static_cast<std::size_t>(r.proc)], x_of(r.t0),
+                   x_of(r.t1), kStallColor);
+        break;
+      case TraceEv::kLost:
+        clock = std::max(clock, r.t0);
+        if (in_lane(r.proc)) losses.push_back({x_of(r.t0), r.proc});
+        break;
+      case TraceEv::kFaultSteal:
+        // No timestamp of its own: recovery happens at the simulator's
+        // current time, which the surrounding events pin down.
+        if (in_lane(r.proc) && in_lane(r.queue)) {
+          if (static_cast<int>(arrows.size()) < opt.max_arrows)
+            arrows.push_back({x_of(clock), r.queue, r.proc, true});
+          else
+            ++elided_arrows;
+        }
+        break;
+      case TraceEv::kMiss:
+      case TraceEv::kInval:
+      case TraceEv::kDone:
+      case TraceEv::kLoopEnd:
+      case TraceEv::kBarrier:
+      case TraceEv::kRunEnd:
+        clock = std::max(clock, std::max(r.t0, r.t1));
+        break;
+      case TraceEv::kRunBegin:
+      case TraceEv::kLoopBegin:
+      case TraceEv::kAbandoned:
+        break;
+    }
+  }
+
+  os << "<h2>Run " << run_index << ": " << html_escape(a.scheduler)
+     << " &middot; " << html_escape(a.program) << " on "
+     << html_escape(a.machine) << " &middot; P=" << a.p << "</h2>\n";
+  os << "<p>makespan " << fmt(a.makespan) << " &middot; affinity score "
+     << fmt(a.affinity_score(), 3) << " &middot; stolen iterations "
+     << a.remote_steals() << " &middot; fault-reassigned "
+     << a.fault_steals() << " &middot; conservation "
+     << (a.conserved() ? "OK" : "VIOLATED") << "</p>\n";
+
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << opt.width
+     << "\" height=\"" << fmt(height, 0) << "\" viewBox=\"0 0 " << opt.width
+     << " " << fmt(height, 0) << "\">\n";
+  os << "<defs><marker id=\"arr" << run_index
+     << "\" viewBox=\"0 0 6 6\" refX=\"5\" refY=\"3\" markerWidth=\"6\" "
+        "markerHeight=\"6\" orient=\"auto\"><path d=\"M0,0 L6,3 L0,6 z\" "
+        "fill=\"#333\"/></marker></defs>\n";
+
+  // Time axis: quarter ticks.
+  for (int tick = 0; tick <= 4; ++tick) {
+    const double t = span * tick / 4.0;
+    const double x = x_of(t);
+    os << "<line x1=\"" << fmt(x) << "\" y1=\"" << fmt(top - 6) << "\" x2=\""
+       << fmt(x) << "\" y2=\"" << fmt(height - 20) << "\" stroke=\"#ddd\"/>"
+       << "<text x=\"" << fmt(x) << "\" y=\"" << fmt(top - 10)
+       << "\" font-size=\"10\" text-anchor=\"middle\" fill=\"#666\">"
+       << fmt(t) << "</text>\n";
+  }
+
+  for (int proc = 0; proc < p; ++proc) {
+    const double y = lane_y(proc);
+    os << "<text x=\"" << fmt(left - 8) << "\" y=\""
+       << fmt(y + lane_h * 0.7)
+       << "\" font-size=\"11\" text-anchor=\"end\" fill=\"#333\">P" << proc
+       << "</text>\n";
+    os << "<rect x=\"" << fmt(left) << "\" y=\"" << fmt(y) << "\" width=\""
+       << fmt(plot_w) << "\" height=\"" << fmt(lane_h)
+       << "\" fill=\"#f4f4f4\"/>\n";
+    for (const Rect& rc : lanes[static_cast<std::size_t>(proc)]) {
+      const double w = std::max(rc.x1 - rc.x0, 0.75);
+      os << "<rect x=\"" << fmt(rc.x0, 2) << "\" y=\"" << fmt(y + 1)
+         << "\" width=\"" << fmt(w, 2) << "\" height=\"" << fmt(lane_h - 2)
+         << "\" fill=\"" << rc.color << "\"/>\n";
+    }
+  }
+
+  for (const Arrow& ar : arrows) {
+    const double y0 = lane_y(ar.from_proc) + lane_h / 2;
+    const double y1 = lane_y(ar.to_proc) + lane_h / 2;
+    os << "<line class=\"" << (ar.fault ? "fault-arrow" : "steal-arrow")
+       << "\" x1=\"" << fmt(ar.x, 2) << "\" y1=\"" << fmt(y0) << "\" x2=\""
+       << fmt(ar.x, 2) << "\" y2=\"" << fmt(y1)
+       << "\" stroke=\"#333\" stroke-width=\"1\""
+       << (ar.fault ? " stroke-dasharray=\"3,2\"" : "") << " marker-end=\"url(#arr"
+       << run_index << ")\"/>\n";
+  }
+  for (const Marker& m : losses) {
+    os << "<text class=\"lost-marker\" x=\"" << fmt(m.x, 2) << "\" y=\""
+       << fmt(lane_y(m.proc) + lane_h * 0.75)
+       << "\" font-size=\"13\" font-weight=\"bold\" text-anchor=\"middle\" "
+          "fill=\"#b00020\">&#x2715;</text>\n";
+  }
+  os << "</svg>\n";
+  if (elided_arrows > 0)
+    os << "<p class=\"note\">" << elided_arrows
+       << " steal arrows beyond the first " << opt.max_arrows
+       << " elided for readability.</p>\n";
+
+  os << "<table><tr><th>proc</th><th>busy</th><th>memory</th><th>sync</th>"
+        "<th>stall</th><th>idle</th><th>util%</th><th>iters</th>"
+        "<th>chunks</th></tr>\n";
+  for (int proc = 0; proc < static_cast<int>(a.procs.size()); ++proc) {
+    const ProcBreakdown& pb = a.procs[static_cast<std::size_t>(proc)];
+    const double util =
+        a.makespan > 0 ? 100.0 * pb.exec / a.makespan : 0.0;
+    os << "<tr><td>P" << proc << "</td><td>" << fmt(pb.busy()) << "</td><td>"
+       << fmt(pb.memory) << "</td><td>" << fmt(pb.sync) << "</td><td>"
+       << fmt(pb.stall) << "</td><td>" << fmt(pb.idle) << "</td><td>"
+       << fmt(util) << "</td><td>" << pb.iterations << "</td><td>"
+       << pb.chunks << "</td></tr>\n";
+  }
+  os << "</table>\n";
+}
+
+}  // namespace
+
+std::string render_gantt_html(const std::vector<TraceRecord>& records,
+                              const std::string& title,
+                              const GanttOptions& options) {
+  const std::vector<TraceAnalysis> runs = analyze_trace(records);
+
+  std::ostringstream os;
+  os << "<!DOCTYPE html>\n<html lang=\"en\">\n<head>\n"
+        "<meta charset=\"utf-8\">\n<title>"
+     << html_escape(title)
+     << "</title>\n<style>\n"
+        "body{font-family:system-ui,sans-serif;margin:24px;color:#222}\n"
+        "h1{font-size:20px}h2{font-size:15px;margin-bottom:4px}\n"
+        "p{font-size:13px;color:#444;margin-top:2px}\n"
+        ".note{color:#888;font-style:italic}\n"
+        "table{border-collapse:collapse;font-size:12px;margin:8px 0 24px}\n"
+        "td,th{border:1px solid #ccc;padding:2px 8px;text-align:right}\n"
+        "th{background:#f0f0f0}\n"
+        ".legend span{display:inline-block;margin-right:14px;font-size:12px}\n"
+        ".legend i{display:inline-block;width:12px;height:12px;"
+        "margin-right:4px;vertical-align:-2px}\n"
+        "</style>\n</head>\n<body>\n<h1>"
+     << html_escape(title) << "</h1>\n";
+
+  os << "<div class=\"legend\">"
+     << "<span><i style=\"background:" << kind_color(GrabKind::kLocal)
+     << "\"></i>local grab</span>"
+     << "<span><i style=\"background:" << kind_color(GrabKind::kCentral)
+     << "\"></i>central grab</span>"
+     << "<span><i style=\"background:" << kind_color(GrabKind::kRemote)
+     << "\"></i>remote steal</span>"
+     << "<span><i style=\"background:" << kind_color(GrabKind::kStatic)
+     << "\"></i>static</span>"
+     << "<span><i style=\"background:" << kStallColor
+     << "\"></i>stall</span>"
+     << "<span>&#x2715; processor lost</span>"
+     << "<span>&darr; solid arrow: steal &middot; dashed: fault "
+        "reassignment</span></div>\n";
+
+  // Map each analysis back to its record span: runs are delimited by
+  // run_begin records in order.
+  std::size_t run_index = 0;
+  std::size_t span_begin = 0;
+  for (std::size_t i = 0; i <= records.size(); ++i) {
+    const bool boundary =
+        i == records.size() || records[i].ev == TraceEv::kRunBegin;
+    if (!boundary) continue;
+    if (i > span_begin && run_index < runs.size()) {
+      render_run(os, records, span_begin, i, runs[run_index],
+                 static_cast<int>(run_index), options);
+      ++run_index;
+    }
+    span_begin = i;
+  }
+  if (runs.empty()) os << "<p class=\"note\">Trace contains no runs.</p>\n";
+
+  os << "</body>\n</html>\n";
+  return os.str();
+}
+
+}  // namespace afs

@@ -1,0 +1,35 @@
+// Self-contained HTML/SVG Gantt rendering of a decoded trace: one
+// horizontal lane per processor, chunk rectangles colored by how the
+// work was grabbed (local queue, central queue, remote steal, static),
+// stall overlays, steal arrows from victim lane to thief lane, and
+// fault markers for processor losses and fault-recovery reassignments.
+//
+// The output is a single standalone HTML document (inline CSS + SVG, no
+// external assets or scripts) so it can be opened from a CI artifact or
+// attached to a bug report as-is. Adjacent same-colored rectangles that
+// would land within half a pixel of each other are merged, bounding the
+// element count by the plot width rather than the chunk count.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "trace/trace_record.hpp"
+
+namespace afs {
+
+struct GanttOptions {
+  int width = 1280;        ///< total document width in px
+  int lane_height = 26;    ///< per-processor lane height in px
+  int max_arrows = 400;    ///< steal arrows drawn per run before eliding
+};
+
+/// Renders every run in `records` as a timeline section plus a summary
+/// table (utilization breakdown, steal totals, affinity score). `title`
+/// is shown as the document heading. Throws std::runtime_error on
+/// sequences analyze_trace() rejects.
+std::string render_gantt_html(const std::vector<TraceRecord>& records,
+                              const std::string& title,
+                              const GanttOptions& options = {});
+
+}  // namespace afs

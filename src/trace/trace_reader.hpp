@@ -1,0 +1,70 @@
+// TraceReader: one decoding API over both trace encodings.
+//
+// Opens a trace file (or istream), sniffs the format from the first
+// bytes — the .cctrace magic "CCTR" versus a JSONL '{' — and iterates
+// TraceRecords until end of stream. Both sinks serialize the exact same
+// event sequence, and both decoders here reconstruct every double
+// losslessly (JSONL prints precision-17 decimals, the binary format
+// stores bit patterns), so the two decodings of one run compare equal
+// record-for-record — the property tests/trace/trace_equivalence_test.cpp
+// enforces.
+//
+// Malformed input (bad magic, unknown opcode/ev, truncated record,
+// dangling string reference, unparsable JSON field) throws
+// std::runtime_error with the offending record index; a clean EOF at a
+// record boundary ends iteration normally.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "trace/trace_record.hpp"
+
+namespace afs {
+
+class TraceReader {
+ public:
+  /// Opens `path` and sniffs the format. Throws std::runtime_error when
+  /// the file cannot be opened or starts with neither format's prefix.
+  explicit TraceReader(const std::string& path);
+
+  /// Reads from `in` (not owned; must outlive the reader). Sniffs the
+  /// format from the stream's first bytes.
+  explicit TraceReader(std::istream& in);
+
+  /// Decodes the next record into `rec`. Returns false at a clean end of
+  /// stream; throws on malformed input.
+  bool next(TraceRecord& rec);
+
+  TraceFormat format() const { return format_; }
+  std::int64_t records_read() const { return records_; }
+
+ private:
+  void sniff();
+  bool next_binary(TraceRecord& rec);
+  bool next_jsonl(TraceRecord& rec);
+  [[noreturn]] void fail(const std::string& what) const;
+
+  std::uint8_t read_u8();
+  std::uint64_t read_varint();
+  std::int64_t read_svarint();
+  double read_time();
+  double read_value();
+
+  std::ifstream file_;  // used by the path constructor
+  std::istream* in_;    // always valid
+  TraceFormat format_ = TraceFormat::kNone;
+  std::vector<std::string> strings_;  // binary intern table
+  std::uint64_t prev_time_bits_ = 0;
+  std::uint64_t prev_value_bits_ = 0;
+  std::int64_t records_ = 0;
+  std::string context_;  // path or "<stream>", for error messages
+};
+
+/// Convenience: decodes the whole file into a vector.
+std::vector<TraceRecord> read_trace(const std::string& path);
+
+}  // namespace afs

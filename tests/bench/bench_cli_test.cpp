@@ -188,13 +188,45 @@ TEST(BenchCli, RejectsMalformedCellRetries) {
   }
 }
 
-TEST(BenchCli, TraceRequiresSerialJobs) {
-  // The JSONL trace sink is one shared stream; refuse the combination
-  // instead of interleaving records from parallel cells.
-  const Parse p = parse({"--trace", "--jobs=2"});
-  ASSERT_FALSE(p.ok);
-  EXPECT_NE(p.error.find("--trace"), std::string::npos) << p.error;
-  ASSERT_TRUE(parse({"--trace", "--jobs=1"}).ok);
+TEST(BenchCli, TraceComposesWithParallelJobs) {
+  // Traces are per (scheduler, P) cell — each cell owns its writer — so
+  // the old "--trace requires --jobs=1" restriction is gone.
+  const Parse p = parse({"--trace", "--jobs=4"});
+  ASSERT_TRUE(p.ok) << p.error;
+  EXPECT_TRUE(p.cli.trace);
+  EXPECT_EQ(p.cli.jobs, 4);
+  EXPECT_EQ(p.cli.trace_format, TraceFormat::kJsonl);
+}
+
+TEST(BenchCli, ParsesTraceFormat) {
+  EXPECT_EQ(parse({"--trace", "--trace-format=binary"}).cli.trace_format,
+            TraceFormat::kBinary);
+  EXPECT_EQ(parse({"--trace-format=jsonl"}).cli.trace_format,
+            TraceFormat::kJsonl);
+  // Choosing an encoding is asking for a trace.
+  const Parse p = parse({"--trace-format=binary"});
+  ASSERT_TRUE(p.ok);
+  EXPECT_TRUE(p.cli.trace);
+  EXPECT_EQ(p.cli.trace_format, TraceFormat::kBinary);
+}
+
+TEST(BenchCli, RejectsMalformedTraceFormat) {
+  for (const char* bad :
+       {"--trace-format=", "--trace-format=csv", "--trace-format=BINARY"}) {
+    const Parse p = parse({bad});
+    EXPECT_FALSE(p.ok) << bad;
+    EXPECT_NE(p.error.find("--trace-format"), std::string::npos)
+        << bad << " -> " << p.error;
+  }
+}
+
+TEST(BenchCli, TraceCellPathSanitizesLabel) {
+  EXPECT_EQ(trace_cell_path("/tmp/out", "fig15", "CHUNK(8)", 4,
+                            TraceFormat::kBinary),
+            "/tmp/out/fig15.p4.CHUNK_8_.cctrace");
+  EXPECT_EQ(
+      trace_cell_path("out", "fig04", "AFS", 57, TraceFormat::kJsonl),
+      "out/fig04.p57.AFS.trace.jsonl");
 }
 
 TEST(BenchCli, CsvPathJoinsOutDir) {

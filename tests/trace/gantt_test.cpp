@@ -1,0 +1,118 @@
+// render_gantt_html: the timeline must be a standalone, structurally
+// sound HTML document containing the per-processor lanes, steal arrows,
+// and fault markers the records call for — and user-supplied strings
+// must be escaped, never spliced raw into markup.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "kernels/gauss.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+#include "trace/binary_sink.hpp"
+#include "trace/gantt.hpp"
+#include "trace/trace_reader.hpp"
+
+#include <sstream>
+
+namespace afs {
+namespace {
+
+int count_of(const std::string& hay, const std::string& needle) {
+  int n = 0;
+  for (std::size_t pos = hay.find(needle); pos != std::string::npos;
+       pos = hay.find(needle, pos + needle.size()))
+    ++n;
+  return n;
+}
+
+std::vector<TraceRecord> crafted_trace() {
+  std::vector<TraceRecord> recs;
+  recs.push_back({.ev = TraceEv::kRunBegin, .machine = "m", .program = "prog",
+                  .scheduler = "AFS", .p = 2});
+  recs.push_back({.ev = TraceEv::kLoopBegin, .p = 2, .epoch = 0, .n = 10});
+  recs.push_back({.ev = TraceEv::kGrab, .proc = 0, .kind = GrabKind::kLocal,
+                  .queue = 0, .begin = 0, .end = 6, .t0 = 0.0, .t1 = 0.5});
+  recs.push_back({.ev = TraceEv::kChunk, .proc = 0, .begin = 0, .end = 6,
+                  .t0 = 0.5, .t1 = 6.0});
+  recs.push_back({.ev = TraceEv::kGrab, .proc = 1, .kind = GrabKind::kRemote,
+                  .queue = 0, .begin = 6, .end = 10, .t0 = 1.0, .t1 = 1.5});
+  recs.push_back({.ev = TraceEv::kChunk, .proc = 1, .begin = 6, .end = 10,
+                  .t0 = 1.5, .t1 = 5.5});
+  recs.push_back({.ev = TraceEv::kStall, .proc = 1, .t0 = 5.5, .t1 = 7.0});
+  recs.push_back({.ev = TraceEv::kLost, .proc = 1, .t0 = 7.0});
+  recs.push_back(
+      {.ev = TraceEv::kFaultSteal, .proc = 0, .queue = 1, .n = 0});
+  recs.push_back({.ev = TraceEv::kLoopEnd, .epoch = 0, .t0 = 8.0});
+  recs.push_back({.ev = TraceEv::kRunEnd, .t0 = 8.0});
+  return recs;
+}
+
+TEST(Gantt, RendersStandaloneDocumentWithArrowsAndMarkers) {
+  const std::string html =
+      render_gantt_html(crafted_trace(), "crafted cell");
+
+  EXPECT_EQ(html.rfind("<!DOCTYPE html>", 0), 0u);
+  EXPECT_NE(html.find("</html>"), std::string::npos);
+  EXPECT_NE(html.find("<svg"), std::string::npos);
+  EXPECT_NE(html.find("</svg>"), std::string::npos);
+  // No external assets or scripts: the file must stand alone.
+  EXPECT_EQ(html.find("<script"), std::string::npos);
+  EXPECT_EQ(html.find("http://"), html.find("http://www.w3.org"));
+
+  // Two processor lanes, labeled.
+  EXPECT_NE(html.find(">P0</text>"), std::string::npos);
+  EXPECT_NE(html.find(">P1</text>"), std::string::npos);
+
+  // One remote grab -> one steal arrow; one fault reassignment -> one
+  // dashed arrow; one loss -> one marker.
+  EXPECT_EQ(count_of(html, "steal-arrow"), 1);
+  EXPECT_EQ(count_of(html, "fault-arrow"), 1);
+  EXPECT_EQ(count_of(html, "lost-marker"), 1);
+  EXPECT_NE(html.find("stroke-dasharray"), std::string::npos);
+
+  // Balanced tags for the structural elements a viewer would trip on.
+  EXPECT_EQ(count_of(html, "<svg"), count_of(html, "</svg>"));
+  EXPECT_EQ(count_of(html, "<table"), count_of(html, "</table>"));
+  EXPECT_EQ(count_of(html, "<h2"), count_of(html, "</h2>"));
+}
+
+TEST(Gantt, EscapesUserStrings) {
+  std::vector<TraceRecord> recs = crafted_trace();
+  recs[0].scheduler = "CHUNK(<7>&\"x\")";
+  const std::string html =
+      render_gantt_html(recs, "title <b>&\"quoted\"</b>");
+  EXPECT_EQ(html.find("<b>"), std::string::npos);
+  EXPECT_NE(html.find("title &lt;b&gt;&amp;&quot;quoted&quot;&lt;/b&gt;"),
+            std::string::npos);
+  EXPECT_NE(html.find("CHUNK(&lt;7&gt;&amp;&quot;x&quot;)"),
+            std::string::npos);
+}
+
+TEST(Gantt, RendersRealSimulatedRun) {
+  std::ostringstream out;
+  {
+    BinaryTraceSink sink(out);
+    SimOptions opts;
+    opts.trace = &sink;
+    MachineSim sim(iris(), opts);
+    auto sched = make_scheduler("AFS");
+    sim.run(GaussKernel::program(32), *sched, 4);
+  }
+  std::istringstream in(out.str());
+  TraceReader reader(in);
+  std::vector<TraceRecord> records;
+  for (TraceRecord rec; reader.next(rec);) records.push_back(rec);
+
+  const std::string html = render_gantt_html(records, "gauss32 AFS P=4");
+  EXPECT_NE(html.find("AFS"), std::string::npos);
+  EXPECT_NE(html.find(">P3</text>"), std::string::npos);
+  EXPECT_NE(html.find("affinity score"), std::string::npos);
+  EXPECT_GT(count_of(html, "<rect"), 4);  // lanes + actual chunks
+  EXPECT_EQ(count_of(html, "<svg"), 1);
+}
+
+}  // namespace
+}  // namespace afs
