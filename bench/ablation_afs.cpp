@@ -1,132 +1,5 @@
-// Ablations for the design choices DESIGN.md calls out (beyond the paper's
-// evaluated configurations):
-//   (a) k sweep           — §3's sync-vs-balance trade-off, measured;
-//   (b) steal fraction    — 1/P (paper) vs 1/2 (greedy stealing);
-//   (c) cache capacity    — §2.1's eviction discussion: affinity's benefit
-//                           disappears when the working set stops fitting;
-//   (d) AFS vs AFS-LE     — the §4.3 last-executed variant under a
-//                           persistently imbalanced workload.
-#include <iostream>
+// Thin shim: the experiment lives in src/experiments/ under id "ablation_afs"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run ablation_afs`.
+#include "experiments/shim.hpp"
 
-#include "bench_common.hpp"
-#include "kernels/sor.hpp"
-#include "kernels/synthetic.hpp"
-#include "kernels/transitive_closure.hpp"
-#include "sim/machine_sim.hpp"
-#include "util/table.hpp"
-#include "workload/graphs.hpp"
-
-int main(int argc, char** argv) {
-  using namespace afs;
-  const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  bench::warn_runner_flags_serial(cli, argv[0]);
-  std::cout << "== ablation: AFS design choices (Iris model) ==\n\n";
-
-  // (a) k sweep on a head-heavy imbalanced loop: larger k = finer local
-  // chunks = better balance at the cost of more local queue operations.
-  {
-    std::cout << "-- (a) AFS k sweep, transitive closure skewed 320/640 --\n";
-    const auto prog =
-        TransitiveClosureKernel::program(clique_graph(640, 320));
-    MachineSim sim(iris());
-    Table t({"k", "time", "local grabs", "steals"});
-    for (const char* spec : {"AFS(k=1)", "AFS(k=2)", "AFS(k=4)", "AFS"}) {
-      auto sched = make_scheduler(spec);
-      const SimResult r = sim.run(prog, *sched, 8);
-      t.add_row({sched->name(), Table::num(r.makespan, 0),
-                 Table::num(r.local_grabs), Table::num(r.remote_grabs)});
-    }
-    std::cout << t.to_ascii();
-    t.write_csv(bench::csv_path(cli, "ablation_k"));
-  }
-
-  // (b) steal fraction.
-  {
-    std::cout << "\n-- (b) AFS steal fraction, same workload --\n";
-    const auto prog =
-        TransitiveClosureKernel::program(clique_graph(640, 320));
-    MachineSim sim(iris());
-    Table t({"steal", "time", "steals", "iters stolen"});
-    for (const char* spec : {"AFS", "AFS(steal=2)", "AFS(steal=4)"}) {
-      auto sched = make_scheduler(spec);
-      const SimResult r = sim.run(prog, *sched, 8);
-      std::int64_t stolen = 0;
-      for (const auto& q : r.sched_stats.queues) stolen += q.iters_remote;
-      t.add_row({sched->name(), Table::num(r.makespan, 0),
-                 Table::num(r.remote_grabs), Table::num(stolen)});
-    }
-    std::cout << t.to_ascii();
-    t.write_csv(bench::csv_path(cli, "ablation_steal"));
-  }
-
-  // (c) cache capacity sweep: shrink the Iris caches until the SOR working
-  // set stops fitting; AFS's advantage over GSS should collapse.
-  {
-    std::cout << "\n-- (c) cache capacity sweep, SOR N=512, P=8 --\n";
-    const auto prog = SorKernel::program(512, 8);
-    Table t({"capacity (rows/proc)", "AFS", "GSS", "GSS/AFS"});
-    for (double rows_per_proc : {128.0, 64.0, 32.0, 8.0, 2.0}) {
-      MachineConfig m = iris();
-      m.cache_capacity = rows_per_proc * 512.0;
-      MachineSim sim(m);
-      auto afs = make_scheduler("AFS");
-      auto gss = make_scheduler("GSS");
-      const double ta = sim.run(prog, *afs, 8).makespan;
-      const double tg = sim.run(prog, *gss, 8).makespan;
-      t.add_row({Table::num(rows_per_proc, 0), Table::num(ta, 0),
-                 Table::num(tg, 0), Table::num(tg / ta, 2)});
-    }
-    std::cout << t.to_ascii();
-    t.write_csv(bench::csv_path(cli, "ablation_cache"));
-    std::cout << "(SOR needs 64 rows/processor at P=8: below that, "
-                 "affinity has nothing to preserve)\n";
-  }
-
-  // (d) AFS vs AFS-LE: persistent imbalance means AFS re-steals the same
-  // iterations every epoch; AFS-LE seeds queues with last epoch's actual
-  // execution and steals less after the first epoch. Shown on both the
-  // skewed transitive closure and §4.3's motivating case — a slowly
-  // drifting hotspot.
-  {
-    std::cout << "\n-- (d) deterministic vs last-executed seeding, P=8 --\n";
-    MachineSim sim(iris());
-    Table t({"workload", "variant", "time", "steals", "local grabs"});
-    const auto tc = TransitiveClosureKernel::program(clique_graph(640, 320));
-    const auto drift = drifting_hotspot_program(
-        /*n=*/2048, /*epochs=*/64, /*width=*/256, /*speed=*/4.0,
-        /*heavy=*/50.0, /*light=*/1.0, /*row_units=*/64.0);
-    for (const auto* prog : {&tc, &drift}) {
-      for (const char* spec : {"AFS", "AFS-LE"}) {
-        auto sched = make_scheduler(spec);
-        const SimResult r = sim.run(*prog, *sched, 8);
-        t.add_row({prog->name, sched->name(), Table::num(r.makespan, 0),
-                   Table::num(r.remote_grabs), Table::num(r.local_grabs)});
-      }
-    }
-    std::cout << t.to_ascii();
-    t.write_csv(bench::csv_path(cli, "ablation_le"));
-    std::cout << "(AFS-LE should steal far less on the drifting hotspot, at\n"
-                 " the price of fragmented queues — §4.3's predicted trade)\n";
-  }
-
-  // (e) victim selection: the paper's full scan vs the randomized probing
-  // it recommends for large machines, at KSR scale.
-  {
-    std::cout << "\n-- (e) victim selection at scale, TC 1024 on KSR-1, "
-                 "P=57 --\n";
-    const auto prog = TransitiveClosureKernel::program(clique_graph(1024, 409));
-    MachineSim sim(ksr1());
-    Table t({"variant", "time", "steals"});
-    for (const char* spec : {"AFS", "AFS-RAND(2)", "AFS-RAND(4)", "WS"}) {
-      auto sched = make_scheduler(spec);
-      const SimResult r = sim.run(prog, *sched, 57);
-      t.add_row({sched->name(), Table::num(r.makespan, 0),
-                 Table::num(r.remote_grabs)});
-    }
-    std::cout << t.to_ascii();
-    t.write_csv(bench::csv_path(cli, "ablation_victim"));
-  }
-
-  std::cout << "\n(csv: " << cli.out_dir << "/ablation_*.csv)\n";
-  return 0;
-}
+int main(int argc, char** argv) { return afs::shim_main("ablation_afs", argc, argv); }

@@ -1,34 +1,5 @@
-// Figure 3: SOR (N = 512) on the Iris under all eight schedulers.
-// Paper shape: SS worst (sync overhead); GSS/FACTORING/TRAPEZOID a middle
-// cluster (communication-bound); STATIC and AFS comparable to BEST-STATIC.
-#include "bench_common.hpp"
-#include "kernels/sor.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig03"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig03`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig03";
-  spec.title = "SOR on the Iris (N=512, 8 sweeps)";
-  spec.machine = iris();
-  spec.program = SorKernel::program(512, 8);
-  spec.procs = bench::iris_procs();
-  spec.schedulers = bench::iris_schedulers();
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, comparable(r, "AFS", "STATIC", 8, 0.25),
-                       "AFS ~ STATIC at P=8");
-    ok &= report_shape(out, comparable(r, "AFS", "BEST-STATIC", 8, 0.25),
-                       "AFS ~ BEST-STATIC at P=8");
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 8, 1.2),
-                       "AFS beats GSS by >1.2x at P=8");
-    ok &= report_shape(out, beats(r, "GSS", "SS", 8, 1.05),
-                       "SS is the worst dynamic scheduler at P=8");
-    ok &= report_shape(
-        out,
-        r.time("MOD-FACTORING", 8) <= r.time("FACTORING", 8) &&
-            r.time("MOD-FACTORING", 8) >= r.time("AFS", 8) * 0.95,
-        "MOD-FACTORING lies between AFS and FACTORING");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig03", argc, argv); }

@@ -1,32 +1,5 @@
-// Figure 4: Gaussian elimination (N = 768) on the Iris.
-// Paper shape: schedulers that ignore affinity saturate the bus and cannot
-// use more than ~2 processors; AFS/STATIC track BEST-STATIC and use all 8,
-// a factor ~3 over the traditional dynamic algorithms.
-#include "bench_common.hpp"
-#include "kernels/gauss.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig04"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig04`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig04";
-  spec.title = "Gaussian elimination on the Iris (N=768)";
-  spec.machine = iris();
-  spec.program = GaussKernel::program(768);
-  spec.procs = bench::iris_procs();
-  spec.schedulers = bench::iris_schedulers();
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, effective_processors(r, "GSS") <= 4,
-                       "GSS cannot effectively use more than a few processors");
-    ok &= report_shape(out, effective_processors(r, "AFS") >= 7,
-                       "AFS effectively uses all 8 processors");
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 8, 2.0),
-                       "AFS ~3x better than GSS at P=8 (>=2x required)");
-    ok &= report_shape(out, comparable(r, "AFS", "BEST-STATIC", 8, 0.30),
-                       "AFS close to BEST-STATIC at P=8");
-    ok &= report_shape(out, beats(r, "MOD-FACTORING", "FACTORING", 6, 1.2),
-                       "MOD-FACTORING much better than FACTORING at P=6");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig04", argc, argv); }

@@ -1,46 +1,5 @@
-// Figure 5: transitive closure on a random 512-node graph (~8% of edges)
-// on the Iris. Load averages out across iterations, so affinity dominates:
-// AFS, STATIC and MOD-FACTORING beat GSS/FACTORING/SS/TRAPEZOID.
-#include "bench_common.hpp"
-#include "kernels/transitive_closure.hpp"
-#include "sched/static_scheduler.hpp"
-#include "workload/graphs.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig05"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig05`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  const auto graph = random_graph(512, 0.08, 1992);
-  const auto trace = std::make_shared<std::vector<std::vector<std::uint8_t>>>(
-      TransitiveClosureKernel::active_trace(graph));
-
-  FigureSpec spec;
-  spec.id = "fig05";
-  spec.title = "Transitive closure on the Iris (random 512-node graph, 8% edges)";
-  spec.machine = iris();
-  spec.program = TransitiveClosureKernel::program(graph);
-  spec.procs = bench::iris_procs();
-  spec.schedulers = bench::iris_schedulers();
-  // BEST-STATIC's oracle knows the input: per-epoch costs from the trace.
-  const std::int64_t n = graph.rows();
-  spec.schedulers.back() = entry("BEST-STATIC", [trace, n] {
-    return std::make_unique<BestStaticScheduler>(
-        EpochCostProvider([trace, n](int epoch) {
-          return IterationCostFn([trace, epoch, n](std::int64_t j) {
-            return (*trace)[static_cast<std::size_t>(epoch)]
-                           [static_cast<std::size_t>(j)]
-                       ? static_cast<double>(n)
-                       : 1.0;
-          });
-        }));
-  });
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 8, 1.15),
-                       "AFS beats GSS at P=8");
-    ok &= report_shape(out, beats(r, "STATIC", "FACTORING", 8, 1.1),
-                       "STATIC beats FACTORING at P=8 (load averages out)");
-    ok &= report_shape(out, beats(r, "MOD-FACTORING", "TRAPEZOID", 8, 1.0),
-                       "MOD-FACTORING at least matches TRAPEZOID at P=8");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig05", argc, argv); }

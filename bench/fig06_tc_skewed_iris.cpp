@@ -1,52 +1,5 @@
-// Figure 6: transitive closure on the skewed input (640 nodes, 320-node
-// clique, no other edges) on the Iris. First real load imbalance: STATIC
-// degrades, GSS is worst of all (its first chunk holds 2/P of the work),
-// FACTORING/TRAPEZOID balance better, AFS and MOD-FACTORING add affinity
-// on top (<=15% better), and BEST-STATIC — which knows the input — wins.
-#include "bench_common.hpp"
-#include "kernels/transitive_closure.hpp"
-#include "sched/static_scheduler.hpp"
-#include "workload/graphs.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig06"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig06`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  const auto graph = clique_graph(640, 320);
-  const auto trace = std::make_shared<std::vector<std::vector<std::uint8_t>>>(
-      TransitiveClosureKernel::active_trace(graph));
-
-  FigureSpec spec;
-  spec.id = "fig06";
-  spec.title = "Transitive closure on the Iris (640 nodes, 320-node clique)";
-  spec.machine = iris();
-  spec.program = TransitiveClosureKernel::program(graph);
-  spec.procs = bench::iris_procs();
-  spec.schedulers = bench::iris_schedulers();
-  const std::int64_t n = graph.rows();
-  spec.schedulers.back() = entry("BEST-STATIC", [trace, n] {
-    return std::make_unique<BestStaticScheduler>(
-        EpochCostProvider([trace, n](int epoch) {
-          return IterationCostFn([trace, epoch, n](std::int64_t j) {
-            return (*trace)[static_cast<std::size_t>(epoch)]
-                           [static_cast<std::size_t>(j)]
-                       ? static_cast<double>(n)
-                       : 1.0;
-          });
-        }));
-  });
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, beats(r, "FACTORING", "GSS", 8, 1.0),
-                       "GSS worst-in-class: FACTORING beats it at P=8");
-    ok &= report_shape(out, beats(r, "TRAPEZOID", "GSS", 8, 1.0),
-                       "TRAPEZOID beats GSS at P=8");
-    ok &= report_shape(out, beats(r, "AFS", "STATIC", 8, 1.1),
-                       "STATIC suffers from the input skew");
-    ok &= report_shape(out, beats(r, "AFS", "FACTORING", 8, 1.0) &&
-                               !beats(r, "AFS", "FACTORING", 8, 1.30),
-                       "AFS beats FACTORING but by <=~15-30%");
-    ok &= report_shape(out, beats(r, "BEST-STATIC", "AFS", 8, 1.0),
-                       "BEST-STATIC (knows the input) beats AFS");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig06", argc, argv); }

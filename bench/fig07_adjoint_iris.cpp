@@ -1,39 +1,5 @@
-// Figure 7: adjoint convolution (N = 75 -> 5625 iterations) on the Iris.
-// No affinity, strong linearly-decreasing imbalance: FACTORING,
-// MOD-FACTORING, TRAPEZOID and AFS balance best; GSS and the static
-// methods front-load too much work; SS pays sync per iteration.
-#include "bench_common.hpp"
-#include "kernels/adjoint_convolution.hpp"
-#include "sched/static_scheduler.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig07"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig07`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig07";
-  spec.title = "Adjoint convolution on the Iris (N=75)";
-  spec.machine = iris();
-  spec.program = AdjointConvolutionKernel::program(75);
-  spec.procs = bench::iris_procs();
-  spec.schedulers = bench::iris_schedulers();
-  // BEST-STATIC's oracle: the (N^2 - i) cost law.
-  spec.schedulers.back() = entry("BEST-STATIC", [] {
-    return std::make_unique<BestStaticScheduler>(
-        AdjointConvolutionKernel::cost(75));
-  });
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, beats(r, "FACTORING", "GSS", 8, 1.1),
-                       "FACTORING beats GSS (GSS front-loads work)");
-    ok &= report_shape(out, beats(r, "TRAPEZOID", "STATIC", 8, 1.2),
-                       "TRAPEZOID beats naive STATIC");
-    ok &= report_shape(out, comparable(r, "AFS", "FACTORING", 8, 0.20),
-                       "AFS among the best balancers");
-    // SS's per-iteration sync hurts less here than in the paper's other
-    // kernels because adjoint iterations are huge; it still trails the
-    // balanced schedulers (the paper does not rank SS vs GSS in Fig. 7).
-    ok &= report_shape(out, beats(r, "FACTORING", "SS", 8, 1.01),
-                       "SS pays a visible sync penalty vs FACTORING");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig07", argc, argv); }

@@ -1,37 +1,5 @@
-// Figure 8: adjoint convolution with reverse-index scheduling on the Iris.
-// Executing the cheap tail first makes the potential imbalance (one O(N)
-// iteration at the end) negligible vs. the O(N^2/P) total: all schedulers
-// except SS become comparable.
-#include "bench_common.hpp"
-#include "kernels/adjoint_convolution.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig08"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig08`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig08";
-  spec.title = "Adjoint convolution, reverse index order, on the Iris (N=75)";
-  spec.machine = iris();
-  spec.program = AdjointConvolutionKernel::program(75);
-  spec.procs = bench::iris_procs();
-  spec.schedulers = {entry("REV:SS"), entry("REV:GSS"), entry("REV:FACTORING"),
-                     entry("REV:TRAPEZOID"), entry("REV:AFS"),
-                     entry("REV:STATIC")};
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, comparable(r, "REV:GSS", "REV:FACTORING", 8, 0.15),
-                       "reverse GSS ~ reverse FACTORING");
-    ok &= report_shape(out, comparable(r, "REV:GSS", "REV:TRAPEZOID", 8, 0.15),
-                       "reverse GSS ~ reverse TRAPEZOID");
-    ok &= report_shape(out, comparable(r, "REV:AFS", "REV:GSS", 8, 0.15),
-                       "reverse AFS ~ reverse GSS");
-    ok &= report_shape(out, beats(r, "REV:GSS", "REV:SS", 8, 1.0),
-                       "SS still pays its per-iteration sync");
-    // Reversal permutes execution order but not STATIC's fixed partition,
-    // so STATIC's imbalance survives — reversal only rescues the dynamic
-    // schedulers.
-    ok &= report_shape(out, beats(r, "REV:GSS", "REV:STATIC", 8, 1.5),
-                       "reversal does not rescue STATIC's fixed partition");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig08", argc, argv); }

@@ -1,32 +1,5 @@
-// Figure 9: the L4 hybrid benchmark on the Iris. No memory accesses, mild
-// randomized imbalance: all schedulers perform about the same, dynamic
-// ones a bit better than STATIC, SS clearly the worst.
-#include "bench_common.hpp"
-#include "kernels/l4.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig09"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig09`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  L4Kernel l4;  // the paper's 50 outer iterations
-
-  FigureSpec spec;
-  spec.id = "fig09";
-  spec.title = "L4 hybrid benchmark on the Iris";
-  spec.machine = iris();
-  spec.program = l4.program();
-  spec.procs = bench::iris_procs();
-  spec.schedulers = {entry("STATIC"), entry("SS"),        entry("GSS"),
-                     entry("FACTORING"), entry("TRAPEZOID"), entry("AFS")};
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, comparable(r, "AFS", "GSS", 8, 0.15),
-                       "AFS ~ GSS (no affinity to exploit)");
-    ok &= report_shape(out, comparable(r, "FACTORING", "TRAPEZOID", 8, 0.15),
-                       "FACTORING ~ TRAPEZOID");
-    ok &= report_shape(out, beats(r, "GSS", "SS", 8, 1.1),
-                       "SS clearly the worst");
-    ok &= report_shape(out, comparable(r, "GSS", "STATIC", 8, 0.20),
-                       "STATIC within ~20% of the dynamic schedulers");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig09", argc, argv); }

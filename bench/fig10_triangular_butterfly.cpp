@@ -1,28 +1,5 @@
-// Figure 10: triangular workload (cost(i) = N - i, N = 5000) on the
-// Butterfly. Theorem 3.3 says chunks of 1/(2P) of the remaining work
-// balance this loop: TRAPEZOID starts exactly there and matches AFS;
-// GSS's first chunk (1/P of iterations = 2/P of work) lags.
-#include "bench_common.hpp"
-#include "kernels/synthetic.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig10"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig10`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig10";
-  spec.title = "Triangular workload on the Butterfly (N=5000)";
-  spec.machine = butterfly1();
-  spec.program = triangular_program(5000);
-  spec.procs = bench::butterfly_procs();
-  spec.schedulers = bench::butterfly_schedulers();
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, comparable(r, "AFS", "TRAPEZOID", 48, 0.15),
-                       "AFS ~ TRAPEZOID at P=48");
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 48, 1.05),
-                       "both beat GSS at P=48");
-    ok &= report_shape(out, beats(r, "TRAPEZOID", "GSS", 32, 1.02),
-                       "TRAPEZOID beats GSS at P=32");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig10", argc, argv); }

@@ -1,36 +1,5 @@
-// Figure 11: decreasing parabolic workload (cost(i) = (N-i)^2, N = 200) on
-// the Butterfly. Theorem 3.3 demands chunks of 1/(3P): AFS's N/P^2 grabs
-// qualify, TRAPEZOID's 1/(2P) start is slightly too big, GSS is worst —
-// except near P=50, where TRAPEZOID's first chunk is within one iteration
-// of the optimum and it converges to AFS (the paper calls this out).
-#include "bench_common.hpp"
-#include "kernels/synthetic.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig11"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig11`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig11";
-  spec.title = "Decreasing parabolic workload on the Butterfly (N=200)";
-  spec.machine = butterfly1();
-  spec.program = parabolic_program(200);
-  spec.procs = bench::butterfly_procs();
-  spec.schedulers = bench::butterfly_schedulers();
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 16, 1.05),
-                       "AFS beats GSS at P=16");
-    ok &= report_shape(out, beats(r, "TRAPEZOID", "GSS", 16, 1.0),
-                       "TRAPEZOID between AFS and GSS at P=16");
-    ok &= report_shape(out, !beats(r, "TRAPEZOID", "AFS", 16, 1.0) ||
-                                comparable(r, "AFS", "TRAPEZOID", 16, 0.10),
-                       "AFS at least matches TRAPEZOID at P=16");
-    // The paper's aside: near P~50, TRAPEZOID's first chunk comes within
-    // one iteration of Theorem 3.3's optimum and its gap to AFS narrows.
-    const double gap16 = r.time("TRAPEZOID", 16) / r.time("AFS", 16);
-    const double gap56 = r.time("TRAPEZOID", 56) / r.time("AFS", 56);
-    ok &= report_shape(out, gap56 < gap16 && gap56 <= 1.30,
-                       "TRAPEZOID's gap to AFS narrows toward P~50-56");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig11", argc, argv); }

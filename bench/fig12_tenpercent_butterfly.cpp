@@ -1,28 +1,5 @@
-// Figure 12: first 10% of 50000 iterations cost 100 units, the rest 1 unit
-// (the transitive-closure-like imbalance), on the Butterfly. A processor
-// taking more than 1/(10P) of the iterations gets >1/P of the work: AFS's
-// small distributed chunks win clearly over TRAPEZOID and GSS.
-#include "bench_common.hpp"
-#include "kernels/synthetic.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig12"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig12`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig12";
-  spec.title = "Head-heavy workload on the Butterfly (N=50000, 10% @ 100x)";
-  spec.machine = butterfly1();
-  spec.program = head_heavy_program(50000);
-  spec.procs = bench::butterfly_procs();
-  spec.schedulers = bench::butterfly_schedulers();
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 48, 1.10),
-                       "AFS clearly superior to GSS at P=48");
-    ok &= report_shape(out, beats(r, "AFS", "TRAPEZOID", 48, 1.05),
-                       "AFS clearly superior to TRAPEZOID at P=48");
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 16, 1.05),
-                       "advantage visible already at P=16");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig12", argc, argv); }

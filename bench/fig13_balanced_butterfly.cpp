@@ -1,28 +1,5 @@
-// Figure 13: a simple balanced loop on the Butterfly, where every work
-// queue is non-local: with affinity, distributed queues and load balance
-// all factored out, the remaining differences are pure synchronization
-// overhead — and GSS, TRAPEZOID and AFS come out comparable.
-#include "bench_common.hpp"
-#include "kernels/synthetic.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig13"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig13`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig13";
-  spec.title = "Balanced loop on the Butterfly (N=1e6, sync overhead only)";
-  spec.machine = butterfly1();
-  spec.program = balanced_program(1'000'000, 100.0);
-  spec.procs = bench::butterfly_procs();
-  spec.schedulers = bench::butterfly_schedulers();
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    for (int p : {8, 32, 56}) {
-      ok &= report_shape(out, comparable(r, "AFS", "GSS", p, 0.10),
-                         "AFS ~ GSS at P=" + std::to_string(p));
-      ok &= report_shape(out, comparable(r, "AFS", "TRAPEZOID", p, 0.10),
-                         "AFS ~ TRAPEZOID at P=" + std::to_string(p));
-    }
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig13", argc, argv); }

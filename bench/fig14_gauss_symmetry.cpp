@@ -1,29 +1,5 @@
-// Figure 14: Gaussian elimination (256 x 256) on the Sequent Symmetry,
-// whose processors are ~30x slower than the Iris's while its bus is
-// slightly faster: communication is cheap relative to compute, so AFS's
-// affinity is worth little (AFS ~ GSS) and TRAPEZOID trails 10-15% from
-// its load imbalance (expensive iterations, few processors).
-#include "bench_common.hpp"
-#include "kernels/gauss.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig14"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig14`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig14";
-  spec.title = "Gaussian elimination on the Sequent Symmetry (N=256)";
-  spec.machine = symmetry();
-  spec.program = GaussKernel::program(256);
-  spec.procs = bench::iris_procs();
-  spec.schedulers = {entry("AFS"), entry("GSS"), entry("TRAPEZOID")};
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, comparable(r, "AFS", "GSS", 8, 0.10),
-                       "AFS ~ GSS on the Symmetry (communication is cheap)");
-    ok &= report_shape(out, beats(r, "GSS", "TRAPEZOID", 8, 1.015),
-                       "TRAPEZOID trails (load imbalance, expensive iterations)");
-    ok &= report_shape(out, !beats(r, "GSS", "TRAPEZOID", 8, 1.30),
-                       "...but only by a modest margin (paper: 10-15%)");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig14", argc, argv); }

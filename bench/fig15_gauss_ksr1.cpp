@@ -1,36 +1,5 @@
-// Figure 15: Gaussian elimination (1024 x 1024) on the KSR-1.
-// Paper shape: AFS best by ~3.7x over FACTORING/GSS and ~2.8x over
-// TRAPEZOID at scale; TRAPEZOID beats FACTORING/GSS because sync is
-// expensive on the KSR; MOD-FACTORING is good on few processors but
-// degrades past ~12-15 as fluctuations destroy its affinity.
-#include "bench_common.hpp"
-#include "kernels/gauss.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig15"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig15`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig15";
-  spec.title = "Gaussian elimination on the KSR-1 (N=1024)";
-  spec.machine = ksr1();
-  spec.program = GaussKernel::program(1024);
-  spec.procs = bench::ksr_procs();
-  spec.schedulers = bench::ksr_schedulers();
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, beats(r, "AFS", "FACTORING", 57, 2.0),
-                       "AFS >2x over FACTORING at P=57 (paper: 3.7x)");
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 57, 2.0),
-                       "AFS >2x over GSS at P=57");
-    ok &= report_shape(out, beats(r, "AFS", "TRAPEZOID", 57, 1.7),
-                       "AFS >1.7x over TRAPEZOID at P=57 (paper: 2.8x)");
-    ok &= report_shape(out, beats(r, "TRAPEZOID", "GSS", 57, 1.0),
-                       "TRAPEZOID beats GSS (fewest sync ops, costly sync)");
-    ok &= report_shape(out, comparable(r, "MOD-FACTORING", "AFS", 4, 0.5) &&
-                               beats(r, "AFS", "MOD-FACTORING", 57, 1.3),
-                       "MOD-FACTORING OK at small P, degrades at scale");
-    ok &= report_shape(out, comparable(r, "AFS", "STATIC", 57, 0.25),
-                       "AFS ~ STATIC (almost no load imbalance in Gauss)");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig15", argc, argv); }

@@ -1,41 +1,5 @@
-// Figure 16: transitive closure (1024 nodes, 40% of them a clique) on the
-// KSR-1. Paper shape: the non-affinity dynamic schedulers cannot exploit
-// more than ~12 processors; TRAPEZOID degrades most gracefully among
-// them; AFS best, though its margin is smaller than for Gauss because the
-// input's imbalance forces some affinity-destroying reassignment.
-#include "bench_common.hpp"
-#include "kernels/transitive_closure.hpp"
-#include "workload/graphs.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig16"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig16`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  const auto graph = clique_graph(1024, 409);  // 40% clique
-
-  FigureSpec spec;
-  spec.id = "fig16";
-  spec.title = "Transitive closure on the KSR-1 (1024 nodes, 40% clique)";
-  spec.machine = ksr1();
-  spec.program = TransitiveClosureKernel::program(graph);
-  spec.procs = bench::ksr_procs();
-  spec.schedulers = {entry("AFS"), entry("TRAPEZOID"), entry("FACTORING"),
-                     entry("GSS"), entry("MOD-FACTORING")};
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    // "Cannot exploit more than ~12 processors": past P=12 the central
-    // schedulers gain at most a sliver (<1.5x for 4.75x more processors)
-    // while AFS keeps scaling (>2x over the same range).
-    ok &= report_shape(out, r.time("GSS", 12) / r.time("GSS", 57) < 1.5,
-                       "GSS gains <1.5x from P=12 to P=57");
-    ok &= report_shape(out,
-                       r.time("FACTORING", 12) / r.time("FACTORING", 57) < 1.5,
-                       "FACTORING gains <1.5x from P=12 to P=57");
-    ok &= report_shape(out, r.time("AFS", 12) / r.time("AFS", 57) > 2.0,
-                       "AFS still gains >2x from P=12 to P=57");
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 57, 1.3),
-                       "AFS clearly best at P=57");
-    ok &= report_shape(out, beats(r, "TRAPEZOID", "FACTORING", 57, 1.0),
-                       "TRAPEZOID degrades most gracefully of the central trio");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig16", argc, argv); }

@@ -1,33 +1,5 @@
-// Figure 17: SOR (1024 x 1024, 128 sweeps) on the KSR-1. SOR's inner loop
-// contains a floating-point division, implemented in software on the
-// KSR-1: computation is so expensive that preserving affinity buys little
-// — AFS/STATIC/MOD-FACTORING win, but not by much. We model the software
-// division by raising SOR's per-element work on this machine.
-#include "bench_common.hpp"
-#include "kernels/sor.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "fig17"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run fig17`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  FigureSpec spec;
-  spec.id = "fig17";
-  spec.title = "SOR on the KSR-1 (N=1024, 128 sweeps, software FP divide)";
-  spec.machine = ksr1();
-  // 20 work units per element instead of the Iris's 5: the software
-  // divide multiplies per-element cost (the paper's stated anomaly cause).
-  spec.program = SorKernel::program(1024, 128, 20.0);
-  spec.procs = bench::ksr_procs();
-  spec.schedulers = bench::ksr_schedulers();
-
-  return bench::run_and_report(argc, argv, spec, [](const FigureResult& r, std::ostream& out) {
-    bool ok = true;
-    ok &= report_shape(out, beats(r, "AFS", "GSS", 57, 1.0),
-                       "AFS still best at P=57");
-    ok &= report_shape(out, !beats(r, "AFS", "GSS", 57, 2.0),
-                       "...but NOT by a large factor (compute dominates)");
-    ok &= report_shape(out, comparable(r, "AFS", "STATIC", 57, 0.15),
-                       "AFS ~ STATIC");
-    ok &= report_shape(out, comparable(r, "AFS", "MOD-FACTORING", 57, 0.35),
-                       "MOD-FACTORING close behind");
-    return ok;
-  });
-}
+int main(int argc, char** argv) { return afs::shim_main("fig17", argc, argv); }

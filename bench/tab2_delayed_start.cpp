@@ -1,80 +1,5 @@
-// Table 2: execution time of a simple balanced loop (200M iterations, no
-// memory accesses) on the Iris, with one of 8 processors delayed by
-// 0.0625N .. 0.25N iterations' worth of time. Paper shape: GSS, TRAPEZOID,
-// FACTORING and AFS(k=P) are all equivalent (finish within one iteration);
-// AFS(k=2) is the worst but within ~10%.
-#include <iostream>
+// Thin shim: the experiment lives in src/experiments/ under id "tab2"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run tab2`.
+#include "experiments/shim.hpp"
 
-#include "bench_common.hpp"
-#include "kernels/synthetic.hpp"
-#include "sched/bounds.hpp"
-#include "sim/machine_sim.hpp"
-#include "util/table.hpp"
-
-int main(int argc, char** argv) {
-  using namespace afs;
-  const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  bench::warn_runner_flags_serial(cli, argv[0]);
-  const std::int64_t n = 200'000'000;
-  const int p = 8;
-  const std::vector<double> delays{0.0625, 0.125, 0.1875, 0.2031, 0.2187, 0.25};
-  const std::vector<std::string> specs{"GSS", "TRAPEZOID", "FACTORING",
-                                       "AFS(k=2)", "AFS"};
-
-  std::cout << "== tab2: balanced loop (N=2e8) with one delayed processor, "
-               "Iris model ==\n";
-  MachineConfig machine = iris();
-  machine.epoch_jitter = 0.0;  // the delay is the experiment's only skew
-
-  Table table({"delay", "GSS", "TRAPEZOID", "FACTORING", "AFS(k=2)",
-               "AFS(k=P)"});
-  bool all_close = true;
-  double worst_k2_ratio = 0.0;
-  double worst_k2_excess = 0.0;  // absolute time excess over the row's best
-  for (double frac : delays) {
-    std::vector<std::string> row{Table::num(frac, 4) + "N"};
-    double best = 1e300;
-    std::vector<double> times;
-    for (const auto& spec : specs) {
-      // The delayed start is expressed through the fault-injection model:
-      // one initial stall on processor 0 (accounted as stall_time).
-      SimOptions opts;
-      opts.perturb.start_delays.assign(p, 0.0);
-      opts.perturb.start_delays[0] = frac * static_cast<double>(n);
-      MachineSim sim(machine, opts);
-      auto sched = make_scheduler(spec);
-      const double t = sim.run(balanced_program(n), *sched, p).makespan;
-      times.push_back(t);
-      best = std::min(best, t);
-    }
-    for (std::size_t i = 0; i < times.size(); ++i) {
-      row.push_back(Table::num(times[i], 0));
-      const double ratio = times[i] / best;
-      if (specs[i] == "AFS(k=2)") {
-        worst_k2_ratio = std::max(worst_k2_ratio, ratio);
-        worst_k2_excess = std::max(worst_k2_excess, times[i] - best);
-      } else if (ratio > 1.02) {
-        all_close = false;
-      }
-    }
-    table.add_row(std::move(row));
-  }
-  std::cout << table.to_ascii();
-  table.write_csv(bench::csv_path(cli, "tab2"));
-  std::cout << "(csv: " << bench::csv_path(cli, "tab2") << ")\n";
-
-  report_shape(std::cout, all_close,
-               "GSS/TRAPEZOID/FACTORING/AFS(k=P) within ~2% of each other");
-  // AFS(k=2)'s excess must respect the Theorem 3.2 imbalance bound
-  // N(P-k)/(P(P-1)k)+1 iterations. (The paper measured ~10% on the real
-  // Iris; our worst case is larger because the simulator's zero-jitter
-  // schedule hits the theorem's adversarial alignment exactly —
-  // see EXPERIMENTS.md.)
-  const double bound = afs_imbalance_bound(n, p, 2);
-  report_shape(std::cout, worst_k2_ratio >= 1.0,
-               "AFS(k=2) is the worst variant (measured +" +
-                   Table::num((worst_k2_ratio - 1.0) * 100.0, 1) + "%)");
-  report_shape(std::cout, worst_k2_excess <= bound + 4.0,
-               "AFS(k=2)'s excess respects the Theorem 3.2 bound");
-  return 0;
-}
+int main(int argc, char** argv) { return afs::shim_main("tab2", argc, argv); }

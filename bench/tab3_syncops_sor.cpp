@@ -1,14 +1,5 @@
-// Table 3: synchronization operations per loop for SOR (N = 512).
-// Paper shape: SS = 512 regardless of P; TRAPEZOID fewest of the central
-// algorithms, then GSS, then FACTORING; AFS needs ~0.4-1 remote and
-// ~7-27 local operations per queue.
-#include "kernels/sor.hpp"
-#include "sync_ops_common.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "tab3"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run tab3`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  bench::run_sync_ops_table("tab3", "sync operations per loop, SOR N=512",
-                            SorKernel::program(512, 4),
-                            bench::parse_cli(argc, argv));
-  return 0;
-}
+int main(int argc, char** argv) { return afs::shim_main("tab3", argc, argv); }

@@ -1,16 +1,5 @@
-// Table 4: synchronization operations per loop for transitive closure on
-// the skewed 640-node graph (320-node clique). Paper shape: SS = 640;
-// TRAPEZOID fewest central ops; AFS needs only ~1-2 remote operations per
-// queue per loop despite the heavy input-dependent imbalance.
-#include "kernels/transitive_closure.hpp"
-#include "sync_ops_common.hpp"
-#include "workload/graphs.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "tab4"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run tab4`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  bench::run_sync_ops_table(
-      "tab4", "sync operations per loop, transitive closure (640, skewed)",
-      TransitiveClosureKernel::program(clique_graph(640, 320)),
-      bench::parse_cli(argc, argv));
-  return 0;
-}
+int main(int argc, char** argv) { return afs::shim_main("tab4", argc, argv); }

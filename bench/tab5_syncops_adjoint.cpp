@@ -1,15 +1,5 @@
-// Table 5: synchronization operations for adjoint convolution (N = 75,
-// 5625 iterations, single loop). Paper shape: SS = 5625; TRAPEZOID fewest;
-// AFS does somewhat more ops than TRAPEZOID (spread over P queues) —
-// which §4.6 shows is harmless because sync is <1% of execution time.
-#include "kernels/adjoint_convolution.hpp"
-#include "sync_ops_common.hpp"
+// Thin shim: the experiment lives in src/experiments/ under id "tab5"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run tab5`.
+#include "experiments/shim.hpp"
 
-int main(int argc, char** argv) {
-  using namespace afs;
-  bench::run_sync_ops_table("tab5",
-                            "sync operations, adjoint convolution N=75",
-                            AdjointConvolutionKernel::program(75),
-                            bench::parse_cli(argc, argv));
-  return 0;
-}
+int main(int argc, char** argv) { return afs::shim_main("tab5", argc, argv); }

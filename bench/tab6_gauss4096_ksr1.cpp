@@ -1,61 +1,5 @@
-// §5.3's table: Gaussian elimination on a 4096 x 4096 matrix with 16
-// processors on the KSR-1 — the problem-size scaling check. Paper values
-// (minutes): AFS 20.6, STATIC 20.9, MOD-FACTORING 22.7, FACTORING 47.3,
-// TRAPEZOID 50.7, GSS 73.7. The shape to reproduce: AFS ~ STATIC <
-// MOD-FACTORING << FACTORING < TRAPEZOID < GSS, with AFS >2x over the
-// non-affinity schedulers even at this size.
-#include <iostream>
+// Thin shim: the experiment lives in src/experiments/ under id "tab6"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run tab6`.
+#include "experiments/shim.hpp"
 
-#include "bench_common.hpp"
-#include "kernels/gauss.hpp"
-#include "sim/machine_sim.hpp"
-#include "util/table.hpp"
-
-int main(int argc, char** argv) {
-  using namespace afs;
-  const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  bench::warn_runner_flags_serial(cli, argv[0]);
-  std::cout << "== tab6: Gaussian elimination N=4096, P=16, KSR-1 model ==\n";
-  const auto program = GaussKernel::program(4096);
-  MachineSim sim(ksr1());
-  const double serial = sim.ideal_serial_time(program);
-
-  Table table({"scheduler", "completion time", "vs AFS", "speedup"});
-  std::vector<std::pair<std::string, double>> results;
-  for (const char* spec : {"AFS", "STATIC", "MOD-FACTORING", "FACTORING",
-                           "TRAPEZOID", "GSS"}) {
-    auto sched = make_scheduler(spec);
-    const SimResult r = sim.run(program, *sched, 16);
-    results.emplace_back(spec, r.makespan);
-    std::cout << "  " << spec << ": done\n";
-  }
-  const double afs_time = results.front().second;
-  for (const auto& [spec, t] : results) {
-    table.add_row({spec, Table::num(t, 0), Table::num(t / afs_time, 2),
-                   Table::num(serial / t, 2)});
-  }
-  std::cout << table.to_ascii();
-  table.write_csv(bench::csv_path(cli, "tab6"));
-  std::cout << "(csv: " << bench::csv_path(cli, "tab6") << ")\n";
-
-  auto t = [&](const char* name) {
-    for (const auto& [spec, v] : results)
-      if (spec == name) return v;
-    return 0.0;
-  };
-  report_shape(std::cout, t("AFS") <= t("STATIC") * 1.05,
-               "AFS ~ STATIC (paper: 20.6 vs 20.9 min)");
-  report_shape(std::cout, t("MOD-FACTORING") < t("FACTORING"),
-               "MOD-FACTORING well ahead of FACTORING");
-  // The paper measured 2.3x (FACTORING) to 3.6x (GSS) over AFS at P=16 on
-  // the real KSR-1; our ring model saturates a little later, so the gap at
-  // P=16 is smaller (it reaches ~4x by P=57 — see fig15). The robust
-  // shape: every non-affinity scheduler pays a clear ring penalty while
-  // AFS/STATIC/MOD-FACTORING do not.
-  report_shape(std::cout, t("FACTORING") > 1.2 * t("AFS"),
-               "FACTORING pays a clear ring penalty over AFS (paper: 2.3x)");
-  report_shape(std::cout,
-               t("GSS") > 1.2 * t("AFS") && t("TRAPEZOID") > 1.2 * t("AFS"),
-               "GSS and TRAPEZOID pay it too (paper: 3.6x / 2.5x)");
-  return 0;
-}
+int main(int argc, char** argv) { return afs::shim_main("tab6", argc, argv); }

@@ -1,179 +1,5 @@
-// Table 7 (extension, not in the paper): graceful degradation under
-// deterministic fault injection. For each machine (Iris, Butterfly,
-// KSR-1) and scheduler (AFS, the full central-queue line-up — SS,
-// CHUNK, GSS, FACTORING, TRAPEZOID, TAPER — and STATIC) we run
-// Gaussian elimination
-// unperturbed to get a baseline, then re-run under increasing fault
-// intensity — transient preemption stalls, memory faults (latency spikes +
-// interconnect contention bursts), and a permanent processor loss at 30%
-// of the baseline makespan — and report the slowdown plus the new fault
-// counters (stall share, iterations stolen from the dead processor's
-// queue, abandoned iterations).
-//
-// Unlike the paper-reproduction binaries, this sweep *fails* (nonzero
-// exit) when a resilience invariant breaks:
-//   * every run, perturbed or not, satisfies the extended conservation law
-//     (busy + sync + comm + idle + barrier + stall ~= P * makespan);
-//   * every perturbed run is bit-identical with batching on and off;
-//   * AFS completes under processor loss and drains the dead processor's
-//     queue (stolen_under_fault > 0);
-//   * STATIC reports the dead processor's unexecuted share as
-//     abandoned_iterations > 0.
-#include <cmath>
-#include <iostream>
-#include <string>
-#include <vector>
+// Thin shim: the experiment lives in src/experiments/ under id "tab7"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run tab7`.
+#include "experiments/shim.hpp"
 
-#include "bench_common.hpp"
-#include "kernels/gauss.hpp"
-#include "sim/machine_sim.hpp"
-#include "util/table.hpp"
-
-namespace {
-
-using namespace afs;
-
-/// Bitwise equality of every accumulator the engine produces: the
-/// batching-invariance check under fault injection.
-bool identical(const SimResult& a, const SimResult& b) {
-  return a.makespan == b.makespan && a.busy == b.busy && a.sync == b.sync &&
-         a.comm == b.comm && a.idle == b.idle && a.barrier == b.barrier &&
-         a.stall_time == b.stall_time && a.hits == b.hits &&
-         a.misses == b.misses && a.iterations == b.iterations &&
-         a.remote_grabs == b.remote_grabs &&
-         a.lost_processor_count == b.lost_processor_count &&
-         a.stolen_under_fault == b.stolen_under_fault &&
-         a.abandoned_iterations == b.abandoned_iterations;
-}
-
-struct MachineCase {
-  MachineConfig config;
-  int procs;
-  std::int64_t n;  // Gauss matrix order
-};
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  using namespace afs;
-  const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  bench::warn_runner_flags_serial(cli, argv[0]);
-
-  std::cout << "== tab7: scheduler resilience vs. fault intensity "
-               "(Gauss, deterministic fault injection) ==\n";
-
-  std::vector<MachineCase> machines;
-  {
-    MachineCase iris_case{iris(), 8, 256};
-    iris_case.config.epoch_jitter = 0.0;  // faults are the only skew
-    machines.push_back(iris_case);
-    MachineCase butterfly_case{butterfly1(), 16, 256};
-    butterfly_case.config.epoch_jitter = 0.0;
-    machines.push_back(butterfly_case);
-    MachineCase ksr_case{ksr1(), 16, 256};
-    ksr_case.config.epoch_jitter = 0.0;
-    machines.push_back(ksr_case);
-  }
-  // AFS, every central-queue discipline the registry offers, and STATIC:
-  // the fault model must hold for each queue topology, not just the four
-  // schedulers the original extension sampled.
-  const std::vector<std::string> specs{"AFS",       "SS",
-                                       "CHUNK(8)",  "GSS",
-                                       "FACTORING", "TRAPEZOID",
-                                       "TAPER(1.3)", "STATIC"};
-  const std::vector<std::string> levels{"none", "stall-low", "stall-high",
-                                        "mem-faults", "proc-loss"};
-
-  Table table({"machine", "sched", "fault", "makespan", "slowdown", "stall%",
-               "stolen", "abandoned"});
-  bool conservation_ok = true;
-  bool batching_ok = true;
-  bool afs_loss_ok = false;
-  bool static_loss_ok = false;
-
-  for (const MachineCase& mc : machines) {
-    const LoopProgram program = GaussKernel::program(mc.n);
-    for (const std::string& spec : specs) {
-      double baseline = 0.0;
-      for (const std::string& level : levels) {
-        SimOptions opts;
-        PerturbationConfig& pc = opts.perturb;
-        if (level == "stall-low") {
-          pc.stall_mean_interval = baseline * 0.05;
-          pc.stall_duration = baseline * 0.0025;  // ~5% of time stalled
-        } else if (level == "stall-high") {
-          pc.stall_mean_interval = baseline * 0.02;
-          pc.stall_duration = baseline * 0.004;  // ~20% of time stalled
-        } else if (level == "mem-faults") {
-          pc.mem_spike_prob = 0.1;
-          pc.mem_spike_latency = 5.0 * mc.config.miss_latency;
-          pc.burst_mean_interval = baseline * 0.1;
-          pc.burst_duration = baseline * 0.02;
-          pc.burst_multiplier = 4.0;
-        } else if (level == "proc-loss") {
-          pc.losses.push_back({0, baseline * 0.3});
-        }
-
-        MachineSim sim(mc.config, opts);
-        auto sched = make_scheduler(spec);
-        const SimResult r = sim.run(program, *sched, mc.procs);
-        if (level == "none") baseline = r.makespan;
-
-        if (!check_time_identity(r, mc.procs)) {
-          conservation_ok = false;
-          std::cerr << "conservation violated: " << mc.config.name << " "
-                    << spec << " " << level << " accounted="
-                    << accounted_time(r) << " expected="
-                    << mc.procs * r.makespan << "\n";
-        }
-        if (level != "none") {
-          SimOptions unbatched = opts;
-          unbatched.batch_iterations = false;
-          MachineSim sim_ab(mc.config, unbatched);
-          auto sched_ab = make_scheduler(spec);
-          const SimResult r_ab = sim_ab.run(program, *sched_ab, mc.procs);
-          if (!identical(r, r_ab)) {
-            batching_ok = false;
-            std::cerr << "batching divergence: " << mc.config.name << " "
-                      << spec << " " << level << "\n";
-          }
-        }
-        if (level == "proc-loss" && spec == "AFS" &&
-            r.lost_processor_count == 1 && r.stolen_under_fault > 0)
-          afs_loss_ok = true;
-        if (level == "proc-loss" && spec == "STATIC" &&
-            r.abandoned_iterations > 0)
-          static_loss_ok = true;
-
-        table.add_row(
-            {mc.config.name, spec, level, Table::num(r.makespan, 0),
-             Table::num(baseline > 0.0 ? r.makespan / baseline : 1.0, 3),
-             Table::num(r.makespan > 0.0
-                            ? 100.0 * r.stall_time /
-                                  (mc.procs * r.makespan)
-                            : 0.0,
-                        1),
-             Table::num(r.stolen_under_fault),
-             Table::num(r.abandoned_iterations)});
-      }
-    }
-  }
-
-  std::cout << table.to_ascii();
-  table.write_csv(bench::csv_path(cli, "tab7"));
-  std::cout << "(csv: " << bench::csv_path(cli, "tab7") << ")\n";
-
-  report_shape(std::cout, conservation_ok,
-               "extended conservation (incl. stall_time) holds in every run");
-  report_shape(std::cout, batching_ok,
-               "perturbed runs bit-identical with batching on/off");
-  report_shape(std::cout, afs_loss_ok,
-               "AFS completes processor loss and steals the dead queue "
-               "(stolen_under_fault > 0)");
-  report_shape(std::cout, static_loss_ok,
-               "STATIC reports the dead processor's share as abandoned");
-
-  const bool ok =
-      conservation_ok && batching_ok && afs_loss_ok && static_loss_ok;
-  return ok ? 0 : 1;
-}
+int main(int argc, char** argv) { return afs::shim_main("tab7", argc, argv); }

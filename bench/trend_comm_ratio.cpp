@@ -1,57 +1,5 @@
-// §5.1's architecture-trend argument, made quantitative: as processor
-// speed grows faster than interconnect speed, the payoff of affinity
-// scheduling grows. We run the same Gaussian elimination on (i) the
-// Symmetry model (slow CPUs — the "previous generation"), (ii) the Iris
-// model (the paper's "modern" machine), and (iii) a projected future
-// machine (Iris with 4x faster CPUs, same bus), and report AFS's advantage
-// over GSS on each.
-#include <iostream>
+// Thin shim: the experiment lives in src/experiments/ under id "trend_comm_ratio"
+// (see docs/SWEEP_SERVICE.md). Equivalent to `afs_sweep run trend_comm_ratio`.
+#include "experiments/shim.hpp"
 
-#include "bench_common.hpp"
-#include "kernels/gauss.hpp"
-#include "sim/machine_sim.hpp"
-#include "util/table.hpp"
-
-int main(int argc, char** argv) {
-  using namespace afs;
-  const bench::BenchCli cli = bench::parse_cli(argc, argv);
-  bench::warn_runner_flags_serial(cli, argv[0]);
-  std::cout << "== trend: AFS advantage vs compute/communication ratio ==\n";
-
-  MachineConfig future = iris();
-  future.name = "future(4x cpu)";
-  future.work_unit_time = iris().work_unit_time / 4.0;
-
-  const auto prog = GaussKernel::program(256);
-  Table t({"machine", "comm/compute", "AFS", "GSS", "GSS/AFS"});
-  double prev_adv = 0.0;
-  bool monotone = true;
-  for (const MachineConfig& m : {symmetry(), iris(), future}) {
-    MachineSim sim(m);
-    auto afs = make_scheduler("AFS");
-    auto gss = make_scheduler("GSS");
-    const double ta = sim.run(prog, *afs, 8).makespan;
-    const double tg = sim.run(prog, *gss, 8).makespan;
-    const double ratio = m.transfer_unit_time / m.work_unit_time;
-    const double adv = tg / ta;
-    t.add_row({m.name, Table::num(ratio, 3), Table::num(ta, 0),
-               Table::num(tg, 0), Table::num(adv, 2)});
-    monotone &= adv >= prev_adv * 0.98;
-    prev_adv = adv;
-  }
-  std::cout << t.to_ascii();
-  t.write_csv(bench::csv_path(cli, "trend"));
-  std::cout << "(csv: " << bench::csv_path(cli, "trend") << ")\n";
-  report_shape(std::cout, monotone,
-               "AFS advantage grows with the comm/compute ratio (§5.1)");
-
-  // The TC2000 vs Butterfly I data point quoted in §5.1.
-  const auto b = butterfly1();
-  const auto tc = tc2000();
-  std::cout << "BBN trend check: compute sped up "
-            << Table::num(b.work_unit_time / tc.work_unit_time, 0)
-            << "x, remote access only "
-            << Table::num(b.miss_latency / tc.miss_latency, 1)
-            << "x (paper: 60x vs 3.6x)\n";
-  return 0;
-}
+int main(int argc, char** argv) { return afs::shim_main("trend_comm_ratio", argc, argv); }

@@ -1,9 +1,8 @@
-// Shared plumbing for the paper-reproduction binaries: standard processor
-// sweeps, the scheduler line-ups of each experiment family, a common
-// command-line interface, and a tiny main() wrapper that prints the
-// figure header and shape-check summary.
-//
-// Every figure/table binary accepts the same flags:
+// The shared command-line interface of every reproduction entry point —
+// the per-figure bench binaries (now thin shims) and the afs_sweep batch
+// driver both parse exactly these flags, so `bench_fig04_gauss_iris
+// --jobs=4 --trace` and `afs_sweep run fig04 --jobs=4 --trace` mean the
+// same thing.
 //
 //   --procs=1,2,4     override the processor sweep (figures only)
 //   --out-dir=DIR     write CSVs (and traces) under DIR [bench_results]
@@ -12,73 +11,31 @@
 //   --jobs=N          run (scheduler, P) cells on N threads [1]
 //   --resume          reload finished cells from the sweep checkpoint
 //   --cell-timeout=S  wall-clock deadline (seconds) per cell attempt
+//   --cell-retries=N  re-attempts per cell after the first failed try
 //   --sweep-timeout=S wall-clock deadline for the whole sweep
+//   --store=DIR       serve/fill the content-addressed result store at DIR
+//   --no-store        disable the store (afs_sweep enables it by default)
 //   --help            usage
 //
-// so `bench_fig15_gauss_ksr1 --procs=57 --trace --out-dir=/tmp/f15` gives
-// a single-sweep run with a full timeline without recompiling anything,
-// and `bench_fig15_gauss_ksr1 --jobs=4 --resume` finishes a previously
-// killed sweep, recomputing only its missing cells (docs/SWEEP_RUNNER.md).
-// The figure binaries route the last four flags through the crash-safe
-// sweep runner; bespoke tables whose rows are interdependent run serially
-// and say so when the flags are passed.
+// Lives in src/experiments (not bench/) because the experiment registry
+// and the driver are the real consumers; the bench binaries just forward
+// argv to shim_main(). See docs/SWEEP_SERVICE.md.
 #pragma once
 
 #include <cerrno>
 #include <cstdlib>
-#include <filesystem>
 #include <iostream>
-#include <memory>
 #include <string>
 #include <vector>
 
-#include "experiments/expectations.hpp"
-#include "experiments/figure.hpp"
-#include "machines/machines.hpp"
 #include "runtime/sweep_runner.hpp"
-#include "sched/registry.hpp"
-#include "sim/trace_sink.hpp"
 #include "trace/trace_record.hpp"
 
 namespace afs::bench {
 
-/// P = 1..8 (the Iris and Symmetry experiments).
-inline std::vector<int> iris_procs() { return {1, 2, 3, 4, 5, 6, 7, 8}; }
-
-/// The Butterfly sweep the §4.4 figures plot.
-inline std::vector<int> butterfly_procs() {
-  return {1, 2, 4, 8, 16, 24, 32, 40, 48, 56};
-}
-
-/// The KSR-1 sweep of §5.2.
-inline std::vector<int> ksr_procs() {
-  return {1, 2, 4, 8, 12, 16, 24, 32, 40, 48, 57};
-}
-
-/// §4.3 Iris line-up (Figs. 3-9): the eight head-to-head algorithms.
-inline std::vector<SchedulerEntry> iris_schedulers() {
-  std::vector<SchedulerEntry> out;
-  for (const auto& spec : paper_scheduler_specs()) out.push_back(entry(spec));
-  return out;
-}
-
-/// §4.4 Butterfly line-up (Figs. 10-13): AFS, GSS, TRAPEZOID.
-inline std::vector<SchedulerEntry> butterfly_schedulers() {
-  std::vector<SchedulerEntry> out;
-  for (const auto& spec : butterfly_scheduler_specs()) out.push_back(entry(spec));
-  return out;
-}
-
-/// §5.2 KSR-1 line-up (Figs. 15-17): the six dynamic + static algorithms.
-inline std::vector<SchedulerEntry> ksr_schedulers() {
-  return {entry("AFS"),       entry("STATIC"),    entry("MOD-FACTORING"),
-          entry("FACTORING"), entry("TRAPEZOID"), entry("GSS")};
-}
-
-// ------------------------------- CLI -------------------------------------
-
-/// Options common to every bench binary. Defaults reproduce the paper
-/// configuration exactly; anything else is an explicit deviation.
+/// Options common to every bench binary and the driver. Defaults reproduce
+/// the paper configuration exactly; anything else is an explicit
+/// deviation.
 struct BenchCli {
   std::vector<int> procs;                 ///< empty = the figure's own sweep
   std::string out_dir = "bench_results";  ///< CSV / trace destination
@@ -95,6 +52,8 @@ struct BenchCli {
   double cell_timeout = 0.0;   ///< seconds per cell attempt; 0 = unlimited
   double sweep_timeout = 0.0;  ///< seconds for the whole sweep; 0 = unlimited
   int cell_retries = -1;       ///< re-attempts per cell; -1 = runner default
+  std::string store_dir;       ///< content-addressed store root; empty = off
+  bool no_store = false;       ///< force the store off (driver default is on)
 
   /// True when any sweep-runner flag deviates from its default.
   bool runner_flags_set() const {
@@ -108,7 +67,7 @@ inline void print_usage(const char* argv0, std::ostream& out) {
       << " [--procs=1,2,4] [--out-dir=DIR] [--trace] [--trace-format=F]\n"
       << "       [--time-phases] [--no-batch] [--no-memory-fast-path]\n"
       << "       [--jobs=N] [--resume] [--cell-timeout=S] [--sweep-timeout=S]\n"
-      << "       [--cell-retries=N]\n"
+      << "       [--cell-retries=N] [--store=DIR] [--no-store]\n"
       << "  --procs=LIST   comma-separated processor counts overriding the\n"
       << "                 figure's standard sweep\n"
       << "  --out-dir=DIR  directory for CSV output (default bench_results)\n"
@@ -137,7 +96,14 @@ inline void print_usage(const char* argv0, std::ostream& out) {
       << "                  see docs/SWEEP_RUNNER.md)\n"
       << "  --cell-retries=N  re-attempts after a cell's first failed try\n"
       << "                 (default " << SweepOptions{}.max_retries
-      << "; 0 disables retries)\n";
+      << "; 0 disables retries)\n"
+      << "  --store=DIR    serve cells from (and fill) the content-\n"
+      << "                 addressed result store rooted at DIR; a cell\n"
+      << "                 simulated once is never simulated again\n"
+      << "                 (docs/SWEEP_SERVICE.md)\n"
+      << "  --no-store     disable the store (afs_sweep defaults it to\n"
+      << "                 <out-dir>/.store; the per-figure binaries\n"
+      << "                 default it off)\n";
 }
 
 /// Pure parser behind parse_cli, exposed so tests can drive it without a
@@ -206,6 +172,16 @@ inline bool parse_cli_args(const std::vector<std::string>& args, BenchCli& cli,
         error = "--out-dir needs a non-empty directory";
         return false;
       }
+    } else if (arg.rfind("--store=", 0) == 0) {
+      cli.store_dir = arg.substr(8);
+      if (cli.store_dir.empty()) {
+        error = "--store needs a non-empty directory";
+        return false;
+      }
+      cli.no_store = false;
+    } else if (arg == "--no-store") {
+      cli.no_store = true;
+      cli.store_dir.clear();
     } else if (arg.rfind("--procs=", 0) == 0) {
       cli.procs.clear();
       const std::string list = arg.substr(8);
@@ -279,89 +255,6 @@ inline BenchCli parse_cli(int argc, char** argv) {
 /// CSV path for a non-figure table under the chosen output directory.
 inline std::string csv_path(const BenchCli& cli, const std::string& id) {
   return cli.out_dir + "/" + id + ".csv";
-}
-
-// --------------------------- main() wrappers ------------------------------
-
-/// Runs the figure through the sweep runner, prints the shape summary,
-/// returns a process exit code. Shape mismatches are reported but do not
-/// fail the binary: they are data, recorded in EXPERIMENTS.md. Failed
-/// cells degrade gracefully — the CSV still covers every completed cell
-/// and a machine-readable failure report is written next to it — and only
-/// an *invariant* break (a simulator bug, not a deadline) is fatal: shape
-/// checks are skipped (they assume a full grid) and the exit code stays 0
-/// for timeouts/cancellations so batch drivers can --resume later.
-inline int run_and_report(
-    const FigureSpec& spec, const SweepOptions& sweep,
-    const std::function<void(const FigureResult&, std::ostream&)>& shapes) {
-  try {
-    const FigureResult result = run_figure(spec, std::cout, sweep);
-    if (result.failures.empty()) {
-      if (shapes) shapes(result, std::cout);
-    } else {
-      std::cout << "(skipping shape checks: " << result.failures.size()
-                << " of " << result.cells_total << " cells have no result)\n";
-    }
-    std::cout << std::endl;
-    for (const CellFailure& f : result.failures)
-      if (f.kind == "invariant") return EXIT_FAILURE;
-    return EXIT_SUCCESS;
-  } catch (const std::exception& e) {
-    std::cerr << spec.id << " failed: " << e.what() << "\n";
-    return EXIT_FAILURE;
-  }
-}
-
-/// Legacy entry point: serial, no checkpointing (bit-identical to the
-/// pre-runner loop).
-inline int run_and_report(
-    const FigureSpec& spec,
-    const std::function<void(const FigureResult&, std::ostream&)>& shapes) {
-  return run_and_report(spec, SweepOptions{}, shapes);
-}
-
-/// The standard figure main(): applies the shared CLI to the spec
-/// (processor-sweep override, output directory, optional trace sink),
-/// then runs and reports as above.
-inline int run_and_report(
-    int argc, char** argv, FigureSpec spec,
-    const std::function<void(const FigureResult&, std::ostream&)>& shapes) {
-  const BenchCli cli = parse_cli(argc, argv);
-  if (!cli.procs.empty()) spec.procs = cli.procs;
-  spec.out_dir = cli.out_dir;
-  if (cli.time_phases) spec.sim_options.time_phases = true;
-  if (cli.no_batch) spec.sim_options.batch_iterations = false;
-  if (cli.no_memory_fast_path) spec.sim_options.memory_fast_path = false;
-
-  // Every CLI run checkpoints under <out-dir>/.sweep/<id> so a killed
-  // sweep is resumable with --resume even when the first invocation never
-  // asked for it; a clean finish costs one small file per cell.
-  SweepOptions sweep;
-  sweep.jobs = cli.jobs;
-  sweep.cell_timeout = cli.cell_timeout;
-  sweep.sweep_timeout = cli.sweep_timeout;
-  if (cli.cell_retries >= 0) sweep.max_retries = cli.cell_retries;
-  sweep.resume = cli.resume;
-  sweep.checkpoint_dir = cli.out_dir + "/.sweep/" + spec.id;
-
-  // Tracing is per sweep cell (each cell constructs, finalizes, or
-  // abandons its own sink inside run_figure), which is what lets --trace
-  // compose with --jobs=N and --resume.
-  if (cli.trace) spec.trace_format = cli.trace_format;
-
-  return run_and_report(spec, sweep, shapes);
-}
-
-/// Bespoke tables whose rows feed each other (e.g. tab7's fault-free
-/// baseline row) cannot be split into independent sweep cells; they
-/// accept the shared runner flags for CLI uniformity but run serially.
-/// Call after parse_cli to say so instead of silently ignoring the ask.
-inline void warn_runner_flags_serial(const BenchCli& cli, const char* argv0) {
-  if (cli.runner_flags_set())
-    std::cerr << argv0
-              << ": note: this table's rows are interdependent; "
-                 "--jobs/--resume/--*-timeout are accepted but the table "
-                 "runs serially without checkpoints\n";
 }
 
 }  // namespace afs::bench

@@ -28,4 +28,28 @@ int effective_processors(const FigureResult& r, const std::string& label,
 /// Prints "shape OK: <what>" or "shape MISMATCH: <what>" and returns ok.
 bool report_shape(std::ostream& out, bool ok, const std::string& what);
 
+/// Fluent accumulator over report_shape: each check prints its line, and
+/// ok() ANDs them all — replaces the `bool ok = true; ok &= report_shape(
+/// out, ...)` boilerplate every experiment's shape lambda repeated.
+///
+///   ShapeReport shapes(out);
+///   shapes.check(beats(r, "AFS", "GSS", 8, 1.2), "AFS beats GSS at P=8")
+///         .check(comparable(r, "AFS", "STATIC", 8), "AFS ~ STATIC");
+///   return shapes.ok();
+class ShapeReport {
+ public:
+  explicit ShapeReport(std::ostream& out) : out_(out) {}
+
+  ShapeReport& check(bool ok, const std::string& what) {
+    ok_ &= report_shape(out_, ok, what);
+    return *this;
+  }
+
+  bool ok() const { return ok_; }
+
+ private:
+  std::ostream& out_;
+  bool ok_ = true;
+};
+
 }  // namespace afs

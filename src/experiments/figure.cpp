@@ -7,6 +7,8 @@
 
 #include "sched/registry.hpp"
 #include "sim/trace_sink.hpp"
+#include "store/cell_key.hpp"
+#include "store/result_store.hpp"
 #include "trace/binary_sink.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
@@ -14,12 +16,17 @@
 namespace afs {
 
 SchedulerEntry entry(const std::string& spec) {
-  return {spec, [spec] { return make_scheduler(spec); }};
+  return {spec, spec, [spec] { return make_scheduler(spec); }};
 }
 
 SchedulerEntry entry(std::string label,
                      std::function<std::unique_ptr<Scheduler>()> make) {
-  return {std::move(label), std::move(make)};
+  return {std::move(label), std::string(), std::move(make)};
+}
+
+SchedulerEntry entry(std::string label, std::string key,
+                     std::function<std::unique_ptr<Scheduler>()> make) {
+  return {std::move(label), std::move(key), std::move(make)};
 }
 
 double FigureResult::time(const std::string& label, int p) const {
@@ -112,11 +119,23 @@ FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
                  trace = std::make_unique<JsonlTraceSink>(path);
                options.trace = trace.get();
              }
+             // Consult the store first (traced/timed cells key as
+             // uncacheable, so those always simulate). The key is built
+             // after the trace sink is wired in so cacheability sees the
+             // real options.
+             CellKey key;
+             if (spec.store) {
+               key = make_cell_key(spec.machine, spec.program.key, se.key, p,
+                                   options);
+               SimResult cached;
+               if (spec.store->load(key, cached)) return cached;
+             }
              MachineSim sim(spec.machine, options);
              auto sched = se.make();
              try {
                SimResult r = sim.run(spec.program, *sched, p);
                if (trace) trace->finalize();
+               if (spec.store && key.cacheable) spec.store->save(key, r);
                return r;
              } catch (...) {
                if (trace) trace->abandon();

@@ -23,16 +23,29 @@
 
 namespace afs {
 
+class ResultStore;  // store/result_store.hpp — optional, see FigureSpec
+
 /// A named scheduler factory. A fresh scheduler is built per (P, run) so
 /// state (caches of the sim persist per run; scheduler stats do not leak).
 struct SchedulerEntry {
   std::string label;
+  /// Store identity of the scheduler this factory builds (normally the
+  /// make_scheduler spec string). Empty = opaque factory: the cell is
+  /// always simulated, never served from or written to the result store.
+  std::string key;
   std::function<std::unique_ptr<Scheduler>()> make;
 };
 
-/// Factory from a registry spec string (label defaults to the spec).
+/// Factory from a registry spec string (label and store key default to
+/// the spec).
 SchedulerEntry entry(const std::string& spec);
+/// Opaque factory: no store key, so its cells bypass the result store.
 SchedulerEntry entry(std::string label,
+                     std::function<std::unique_ptr<Scheduler>()> make);
+/// Factory with an explicit store key. Use only when `key`, together with
+/// the program key, fully determines the scheduler's behavior (e.g. a
+/// BEST-STATIC oracle derived from a cost model of that same program).
+SchedulerEntry entry(std::string label, std::string key,
                      std::function<std::unique_ptr<Scheduler>()> make);
 
 struct FigureSpec {
@@ -52,6 +65,14 @@ struct FigureSpec {
   /// cells never share a writer, and a resumed cell's already-published
   /// trace is left untouched.
   TraceFormat trace_format = TraceFormat::kNone;
+  /// Optional content-addressed result store (not owned). When set, each
+  /// cacheable (scheduler, P) cell — program and scheduler both carry
+  /// store keys, and the run is neither traced nor host-timed — is first
+  /// looked up by its CellKey and only simulated on a miss, after which
+  /// the result is published for every future sweep. Served results are
+  /// bit-identical to simulated ones (the store authenticates the full
+  /// key text and the serializer round-trips exactly).
+  ResultStore* store = nullptr;
 };
 
 struct FigureResult {

@@ -1,0 +1,227 @@
+#include "experiments/grid.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+#include <vector>
+
+#include "kernels/adjoint_convolution.hpp"
+#include "kernels/gauss.hpp"
+#include "kernels/l4.hpp"
+#include "kernels/sor.hpp"
+#include "kernels/synthetic.hpp"
+#include "kernels/transitive_closure.hpp"
+#include "machines/machines.hpp"
+#include "workload/graphs.hpp"
+
+namespace afs {
+
+namespace {
+
+[[noreturn]] void bad(const std::string& what, const std::string& spec,
+                      const char* usage) {
+  throw std::runtime_error("bad " + what + " spec '" + spec + "' (" + usage +
+                           ")");
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const std::size_t next = s.find(sep, pos);
+    out.push_back(s.substr(pos, next - pos));
+    if (next == std::string::npos) break;
+    pos = next + 1;
+  }
+  return out;
+}
+
+std::int64_t to_int(const std::string& tok, const std::string& spec,
+                    const char* usage) {
+  char* end = nullptr;
+  errno = 0;
+  const long long v = std::strtoll(tok.c_str(), &end, 10);
+  if (tok.empty() || end == tok.c_str() || *end != '\0' || errno == ERANGE)
+    bad("integer", spec, usage);
+  return v;
+}
+
+double to_double(const std::string& tok, const std::string& spec,
+                 const char* usage) {
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end == tok.c_str() || *end != '\0' || errno == ERANGE)
+    bad("number", spec, usage);
+  return v;
+}
+
+}  // namespace
+
+MachineConfig parse_machine_spec(const std::string& spec) {
+  if (spec == "iris") return iris();
+  if (spec == "butterfly1") return butterfly1();
+  if (spec == "symmetry") return symmetry();
+  if (spec == "ksr1") return ksr1();
+  if (spec == "tc2000") return tc2000();
+  bad("machine", spec, "need iris|butterfly1|symmetry|ksr1|tc2000");
+}
+
+LoopProgram parse_kernel_spec(const std::string& spec) {
+  const std::size_t colon = spec.find(':');
+  const std::string name = spec.substr(0, colon);
+  const std::vector<std::string> args =
+      colon == std::string::npos
+          ? std::vector<std::string>{}
+          : split(spec.substr(colon + 1), ',');
+  const auto arity = [&](std::size_t lo, std::size_t hi, const char* usage) {
+    if (args.size() < lo || args.size() > hi) bad("kernel", spec, usage);
+  };
+  const auto num = [&](std::size_t i, const char* usage) {
+    return to_double(args[i], spec, usage);
+  };
+  const auto integer = [&](std::size_t i, const char* usage) {
+    return to_int(args[i], spec, usage);
+  };
+
+  if (name == "gauss") {
+    static const char* u = "gauss:N[,WORK]";
+    arity(1, 2, u);
+    return args.size() == 2 ? GaussKernel::program(integer(0, u), num(1, u))
+                            : GaussKernel::program(integer(0, u));
+  }
+  if (name == "sor") {
+    static const char* u = "sor:N,EPOCHS[,WORK]";
+    arity(2, 3, u);
+    return args.size() == 3
+               ? SorKernel::program(integer(0, u),
+                                    static_cast<int>(integer(1, u)), num(2, u))
+               : SorKernel::program(integer(0, u),
+                                    static_cast<int>(integer(1, u)));
+  }
+  if (name == "adjoint") {
+    static const char* u = "adjoint:N[,WORK]";
+    arity(1, 2, u);
+    return args.size() == 2
+               ? AdjointConvolutionKernel::program(integer(0, u), num(1, u))
+               : AdjointConvolutionKernel::program(integer(0, u));
+  }
+  if (name == "tc-random") {
+    static const char* u = "tc-random:N,PROB,SEED";
+    arity(3, 3, u);
+    return TransitiveClosureKernel::program(
+        random_graph(integer(0, u), num(1, u),
+                     static_cast<std::uint64_t>(integer(2, u))));
+  }
+  if (name == "tc-clique") {
+    static const char* u = "tc-clique:N,CLIQUE";
+    arity(2, 2, u);
+    return TransitiveClosureKernel::program(
+        clique_graph(integer(0, u), integer(1, u)));
+  }
+  if (name == "l4") {
+    static const char* u = "l4[:OUTER]";
+    arity(0, 1, u);
+    L4Config config;
+    if (args.size() == 1) config.outer = static_cast<int>(integer(0, u));
+    return L4Kernel(config).program();
+  }
+  if (name == "triangular") {
+    static const char* u = "triangular:N";
+    arity(1, 1, u);
+    return triangular_program(integer(0, u));
+  }
+  if (name == "parabolic") {
+    static const char* u = "parabolic:N";
+    arity(1, 1, u);
+    return parabolic_program(integer(0, u));
+  }
+  if (name == "head-heavy") {
+    static const char* u = "head-heavy:N[,FRAC,HI,LO]";
+    arity(1, 4, u);
+    if (args.size() == 1) return head_heavy_program(integer(0, u));
+    if (args.size() != 4) bad("kernel", spec, u);
+    return head_heavy_program(integer(0, u), num(1, u), num(2, u), num(3, u));
+  }
+  if (name == "balanced") {
+    static const char* u = "balanced:N[,UNIT]";
+    arity(1, 2, u);
+    return args.size() == 2 ? balanced_program(integer(0, u), num(1, u))
+                            : balanced_program(integer(0, u));
+  }
+  if (name == "drifting-hotspot") {
+    static const char* u = "drifting-hotspot:N,EPOCHS,WIDTH,SPEED[,HI,LO,ROW]";
+    arity(4, 7, u);
+    if (args.size() == 4)
+      return drifting_hotspot_program(integer(0, u),
+                                      static_cast<int>(integer(1, u)),
+                                      integer(2, u), num(3, u));
+    if (args.size() != 7) bad("kernel", spec, u);
+    return drifting_hotspot_program(
+        integer(0, u), static_cast<int>(integer(1, u)), integer(2, u),
+        num(3, u), num(4, u), num(5, u), num(6, u));
+  }
+  bad("kernel", spec,
+      "need gauss|sor|adjoint|tc-random|tc-clique|l4|triangular|parabolic|"
+      "head-heavy|balanced|drifting-hotspot");
+}
+
+PerturbationConfig parse_perturb_spec(const std::string& spec,
+                                      int max_procs) {
+  PerturbationConfig pc;
+  for (const std::string& directive : split(spec, ',')) {
+    const std::size_t eq = directive.find('=');
+    if (eq == std::string::npos)
+      bad("perturb", directive, "need key=value directives");
+    const std::string key = directive.substr(0, eq);
+    const std::string value = directive.substr(eq + 1);
+    if (key == "seed") {
+      pc.seed = static_cast<std::uint64_t>(
+          to_int(value, directive, "seed=N"));
+    } else if (key == "delay") {
+      static const char* u = "delay=PROC:UNITS";
+      const std::size_t sep = value.find(':');
+      if (sep == std::string::npos) bad("perturb", directive, u);
+      const auto proc = to_int(value.substr(0, sep), directive, u);
+      if (proc < 0 || proc >= max_procs) bad("perturb", directive, u);
+      if (pc.start_delays.size() < static_cast<std::size_t>(max_procs))
+        pc.start_delays.resize(static_cast<std::size_t>(max_procs), 0.0);
+      pc.start_delays[static_cast<std::size_t>(proc)] =
+          to_double(value.substr(sep + 1), directive, u);
+    } else if (key == "stall") {
+      static const char* u = "stall=INTERVAL/DURATION";
+      const std::size_t sep = value.find('/');
+      if (sep == std::string::npos) bad("perturb", directive, u);
+      pc.stall_mean_interval = to_double(value.substr(0, sep), directive, u);
+      pc.stall_duration = to_double(value.substr(sep + 1), directive, u);
+    } else if (key == "loss") {
+      static const char* u = "loss=PROC@TIME";
+      const std::size_t sep = value.find('@');
+      if (sep == std::string::npos) bad("perturb", directive, u);
+      const auto proc = to_int(value.substr(0, sep), directive, u);
+      if (proc < 0 || proc >= max_procs) bad("perturb", directive, u);
+      pc.losses.push_back({static_cast<int>(proc),
+                           to_double(value.substr(sep + 1), directive, u)});
+    } else if (key == "spike") {
+      static const char* u = "spike=PROB/LATENCY";
+      const std::size_t sep = value.find('/');
+      if (sep == std::string::npos) bad("perturb", directive, u);
+      pc.mem_spike_prob = to_double(value.substr(0, sep), directive, u);
+      pc.mem_spike_latency = to_double(value.substr(sep + 1), directive, u);
+    } else if (key == "burst") {
+      static const char* u = "burst=INTERVAL/DURATION/MULT";
+      const auto parts = split(value, '/');
+      if (parts.size() != 3) bad("perturb", directive, u);
+      pc.burst_mean_interval = to_double(parts[0], directive, u);
+      pc.burst_duration = to_double(parts[1], directive, u);
+      pc.burst_multiplier = to_double(parts[2], directive, u);
+    } else {
+      bad("perturb", directive,
+          "need seed=|delay=|stall=|loss=|spike=|burst=");
+    }
+  }
+  pc.validate(max_procs);
+  return pc;
+}
+
+}  // namespace afs

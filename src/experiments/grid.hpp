@@ -1,0 +1,47 @@
+// Parsers for afs_sweep's user-defined grids: turn --machine=, --kernel=
+// and --perturb= spec strings into simulator inputs so arbitrary
+// (scheduler, P) sweeps run through the same figure harness — and the
+// same content-addressed store — as the registered experiments.
+//
+// Grammars (all case-sensitive; every parser throws std::runtime_error
+// with a usage hint on malformed input):
+//
+//   machine: iris | butterfly1 | symmetry | ksr1 | tc2000
+//
+//   kernel:  name[:arg,arg,...]
+//     gauss:N[,WORK]            Gaussian elimination, N x N
+//     sor:N,EPOCHS[,WORK]       SOR sweeps over an N x N grid
+//     adjoint:N[,WORK]          adjoint convolution, N^2 iterations
+//     tc-random:N,PROB,SEED     transitive closure, random graph
+//     tc-clique:N,CLIQUE        transitive closure, clique graph
+//     l4[:OUTER]                the L4 hybrid benchmark
+//     triangular:N              cost(i) = N - i
+//     parabolic:N               cost(i) = (N - i)^2
+//     head-heavy:N[,FRac,HI,LO] first FRAC of iterations cost HI
+//     balanced:N[,UNIT]         UNIT work per iteration
+//     drifting-hotspot:N,EPOCHS,WIDTH,SPEED[,HI,LO,ROW]
+//
+//   perturb: directive[,directive...]
+//     seed=N                    fault-stream root seed
+//     delay=PROC:UNITS          start delay (repeatable)
+//     stall=INTERVAL/DURATION   transient preemptions
+//     loss=PROC@TIME            permanent processor loss (repeatable)
+//     spike=PROB/LATENCY        memory-latency spikes
+//     burst=INTERVAL/DURATION/MULT  interconnect contention bursts
+#pragma once
+
+#include <string>
+
+#include "machines/machine_config.hpp"
+#include "sim/perturbation.hpp"
+#include "workload/loop_spec.hpp"
+
+namespace afs {
+
+MachineConfig parse_machine_spec(const std::string& spec);
+LoopProgram parse_kernel_spec(const std::string& spec);
+/// `max_procs` bounds delay/loss processor ids (pass the largest P of the
+/// sweep).
+PerturbationConfig parse_perturb_spec(const std::string& spec, int max_procs);
+
+}  // namespace afs

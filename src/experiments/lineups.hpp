@@ -1,0 +1,47 @@
+// The standard processor sweeps and scheduler line-ups of each experiment
+// family, shared by the register_*.cpp translation units.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "experiments/figure.hpp"
+#include "sched/registry.hpp"
+
+namespace afs {
+
+/// P = 1..8 (the Iris and Symmetry experiments).
+inline std::vector<int> iris_procs() { return {1, 2, 3, 4, 5, 6, 7, 8}; }
+
+/// The Butterfly sweep the §4.4 figures plot.
+inline std::vector<int> butterfly_procs() {
+  return {1, 2, 4, 8, 16, 24, 32, 40, 48, 56};
+}
+
+/// The KSR-1 sweep of §5.2.
+inline std::vector<int> ksr_procs() {
+  return {1, 2, 4, 8, 12, 16, 24, 32, 40, 48, 57};
+}
+
+/// §4.3 Iris line-up (Figs. 3-9): the eight head-to-head algorithms.
+inline std::vector<SchedulerEntry> iris_schedulers() {
+  std::vector<SchedulerEntry> out;
+  for (const auto& spec : paper_scheduler_specs()) out.push_back(entry(spec));
+  return out;
+}
+
+/// §4.4 Butterfly line-up (Figs. 10-13): AFS, GSS, TRAPEZOID.
+inline std::vector<SchedulerEntry> butterfly_schedulers() {
+  std::vector<SchedulerEntry> out;
+  for (const auto& spec : butterfly_scheduler_specs())
+    out.push_back(entry(spec));
+  return out;
+}
+
+/// §5.2 KSR-1 line-up (Figs. 15-17): the six dynamic + static algorithms.
+inline std::vector<SchedulerEntry> ksr_schedulers() {
+  return {entry("AFS"),       entry("STATIC"),    entry("MOD-FACTORING"),
+          entry("FACTORING"), entry("TRAPEZOID"), entry("GSS")};
+}
+
+}  // namespace afs

@@ -1,0 +1,143 @@
+#include "experiments/registry.hpp"
+
+#include <cstdlib>
+#include <iostream>
+
+#include "sched/registry.hpp"
+#include "store/cell_key.hpp"
+#include "store/result_store.hpp"
+
+namespace afs {
+
+const std::vector<Experiment>& all_experiments() {
+  static const std::vector<Experiment> experiments = [] {
+    std::vector<Experiment> out;
+    register_iris_experiments(out);
+    register_butterfly_experiments(out);
+    register_scale_experiments(out);
+    register_table_experiments(out);
+    register_extra_experiments(out);
+    return out;
+  }();
+  return experiments;
+}
+
+const Experiment* find_experiment(const std::string& id) {
+  for (const Experiment& e : all_experiments())
+    if (e.id == id) return &e;
+  return nullptr;
+}
+
+int run_experiment(const Experiment& e, const ExperimentContext& ctx,
+                   std::ostream& out) {
+  if (e.kind == ExperimentKind::kMicro) {
+    out << e.id << ": " << e.title << "\n"
+        << "(google-benchmark binary — run build/bench/bench_micro_queues "
+           "directly; not an in-process sweep)\n";
+    return EXIT_SUCCESS;
+  }
+  if (e.kind == ExperimentKind::kTable && ctx.cli.runner_flags_set()) {
+    std::cerr << e.id
+              << ": note: this table's rows are interdependent; "
+                 "--jobs/--resume/--*-timeout are accepted but the table "
+                 "runs serially without checkpoints\n";
+  }
+  return e.run(ctx, out);
+}
+
+Experiment figure_experiment(
+    std::string id, std::string title, std::function<FigureSpec()> make_spec,
+    std::function<bool(const FigureResult&, std::ostream&)> shapes) {
+  Experiment e;
+  e.id = id;
+  e.title = std::move(title);
+  e.kind = ExperimentKind::kFigure;
+  e.csv_ids = {id};
+  e.run = [id, make_spec = std::move(make_spec), shapes = std::move(shapes)](
+              const ExperimentContext& ctx, std::ostream& out) -> int {
+    FigureSpec spec = make_spec();
+    const bench::BenchCli& cli = ctx.cli;
+    if (!cli.procs.empty()) spec.procs = cli.procs;
+    spec.out_dir = cli.out_dir;
+    if (cli.time_phases) spec.sim_options.time_phases = true;
+    if (cli.no_batch) spec.sim_options.batch_iterations = false;
+    if (cli.no_memory_fast_path) spec.sim_options.memory_fast_path = false;
+    // Tracing is per sweep cell (each cell constructs, finalizes, or
+    // abandons its own sink inside run_figure), which is what lets
+    // --trace compose with --jobs=N and --resume.
+    if (cli.trace) spec.trace_format = cli.trace_format;
+    spec.store = ctx.store;
+
+    // Every run checkpoints under <out-dir>/.sweep/<id> so a killed sweep
+    // is resumable with --resume even when the first invocation never
+    // asked for it; a clean finish costs one small file per cell.
+    SweepOptions sweep;
+    sweep.jobs = cli.jobs;
+    sweep.cell_timeout = cli.cell_timeout;
+    sweep.sweep_timeout = cli.sweep_timeout;
+    if (cli.cell_retries >= 0) sweep.max_retries = cli.cell_retries;
+    sweep.resume = cli.resume;
+    sweep.checkpoint_dir = cli.out_dir + "/.sweep/" + spec.id;
+    sweep.pool = ctx.pool;
+
+    // Shape mismatches are reported but do not fail the run: they are
+    // data, recorded in EXPERIMENTS.md. Failed cells degrade gracefully —
+    // the CSV still covers every completed cell — and only an *invariant*
+    // break (a simulator bug, not a deadline) is fatal: shape checks are
+    // skipped (they assume a full grid) and the exit code stays 0 for
+    // timeouts/cancellations so batch drivers can --resume later.
+    try {
+      const FigureResult result = run_figure(spec, out, sweep);
+      if (result.failures.empty()) {
+        if (shapes) shapes(result, out);
+      } else {
+        out << "(skipping shape checks: " << result.failures.size() << " of "
+            << result.cells_total << " cells have no result)\n";
+      }
+      out << std::endl;
+      for (const CellFailure& f : result.failures)
+        if (f.kind == "invariant") return EXIT_FAILURE;
+      return EXIT_SUCCESS;
+    } catch (const std::exception& ex) {
+      std::cerr << id << " failed: " << ex.what() << "\n";
+      return EXIT_FAILURE;
+    }
+  };
+  return e;
+}
+
+Experiment table_experiment(
+    std::string id, std::string title, std::vector<std::string> csv_ids,
+    std::function<int(const ExperimentContext&, std::ostream&)> run) {
+  Experiment e;
+  e.id = std::move(id);
+  e.title = std::move(title);
+  e.kind = ExperimentKind::kTable;
+  e.csv_ids = std::move(csv_ids);
+  e.run = std::move(run);
+  return e;
+}
+
+SimResult run_cell_cached(const ExperimentContext& ctx,
+                          const MachineConfig& machine,
+                          const LoopProgram& program,
+                          const std::string& sched_spec, int procs,
+                          const SimOptions& options) {
+  CellKey key;
+  if (ctx.store) {
+    key = make_cell_key(machine, program.key, sched_spec, procs, options);
+    SimResult cached;
+    if (ctx.store->load(key, cached)) return cached;
+  }
+  MachineSim sim(machine, options);
+  auto sched = make_scheduler(sched_spec);
+  const SimResult r = sim.run(program, *sched, procs);
+  if (ctx.store && key.cacheable) ctx.store->save(key, r);
+  return r;
+}
+
+std::string scheduler_display_name(const std::string& sched_spec) {
+  return make_scheduler(sched_spec)->name();
+}
+
+}  // namespace afs

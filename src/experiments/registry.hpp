@@ -1,0 +1,112 @@
+// The experiment registry: every figure/table reproduction the repo knows
+// how to run, keyed by id ("fig03".."fig17", "tab2".."tab7",
+// "ablation_afs", "micro_queues", "trend_comm_ratio").
+//
+// Each entry owns what used to live in its bench/*.cpp binary — the
+// FigureSpec (or bespoke table body) and the paper shape checks — so a
+// per-figure binary is now a five-line shim over shim_main(), and the
+// afs_sweep driver can run any subset of experiments in one process,
+// sharing one worker pool and one content-addressed result store
+// (docs/SWEEP_SERVICE.md).
+#pragma once
+
+#include <functional>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "experiments/bench_cli.hpp"
+#include "experiments/figure.hpp"
+#include "sim/machine_sim.hpp"
+
+namespace afs {
+
+class ResultStore;
+class ThreadPool;
+
+enum class ExperimentKind {
+  kFigure,  ///< a FigureSpec sweep through the crash-safe sweep runner
+  kTable,   ///< a bespoke table (interdependent rows; runs serially)
+  kMicro,   ///< a google-benchmark binary; listed, not runnable in-process
+};
+
+/// Everything an experiment needs from its caller. The store and pool are
+/// borrowed (not owned) and optional: without a store every cell is
+/// simulated; without a pool each figure sweep builds its own workers
+/// (bespoke tables always run serially in the caller's thread).
+struct ExperimentContext {
+  bench::BenchCli cli;
+  ResultStore* store = nullptr;
+  ThreadPool* pool = nullptr;
+};
+
+struct Experiment {
+  std::string id;
+  std::string title;
+  ExperimentKind kind = ExperimentKind::kFigure;
+  /// CSV basenames this experiment writes under out_dir (without ".csv"):
+  /// usually just {id}; ablation_afs writes five.
+  std::vector<std::string> csv_ids;
+  /// Runs the experiment under `ctx`, streaming human-readable progress to
+  /// the ostream. Returns a process exit code (nonzero only for invariant
+  /// breaks, never for shape mismatches — those are data).
+  std::function<int(const ExperimentContext&, std::ostream&)> run;
+};
+
+/// All registered experiments in canonical order (figures, tables,
+/// extras). Stable across calls.
+const std::vector<Experiment>& all_experiments();
+
+/// Lookup by id; nullptr when unknown.
+const Experiment* find_experiment(const std::string& id);
+
+/// Runs one experiment (including the kind-appropriate handling of
+/// runner flags) and returns its exit code.
+int run_experiment(const Experiment& e, const ExperimentContext& ctx,
+                   std::ostream& out);
+
+// ---------------- helpers for registering experiments ---------------------
+
+/// Packages a lazily-built FigureSpec + shape checks as an Experiment.
+/// The run function applies the shared CLI to the spec (procs override,
+/// out-dir, sim-option toggles, per-cell tracing), wires in the context's
+/// store and pool, checkpoints under <out-dir>/.sweep/<id>, and reports
+/// shapes only on a complete grid — exactly the contract the standalone
+/// binaries have always had.
+Experiment figure_experiment(
+    std::string id, std::string title, std::function<FigureSpec()> make_spec,
+    std::function<bool(const FigureResult&, std::ostream&)> shapes);
+
+/// Packages a bespoke table body as an Experiment. Tables with
+/// interdependent rows accept the runner flags for CLI uniformity but run
+/// serially (run_experiment prints the note when the flags are set).
+Experiment table_experiment(
+    std::string id, std::string title, std::vector<std::string> csv_ids,
+    std::function<int(const ExperimentContext&, std::ostream&)> run);
+
+/// One simulated cell, served from the context's store when possible: the
+/// bespoke tables' replacement for a shared MachineSim + sim.run() call.
+/// A fresh MachineSim per cell produces bit-identical numbers to the
+/// legacy shared instance (a run resets all per-run state), which is what
+/// makes the cell a pure function of its key. `sched_spec` must be a
+/// make_scheduler() spec string — it doubles as the scheduler's store key.
+SimResult run_cell_cached(const ExperimentContext& ctx,
+                          const MachineConfig& machine,
+                          const LoopProgram& program,
+                          const std::string& sched_spec, int procs,
+                          const SimOptions& options = {});
+
+/// Display name of the scheduler a spec string builds (e.g. "AFS" ->
+/// "AFS(k=P)") without running anything — the bespoke tables label rows
+/// with scheduler names, not spec strings.
+std::string scheduler_display_name(const std::string& sched_spec);
+
+// Family registration hooks (one translation unit per family); each
+// appends its experiments in canonical order.
+void register_iris_experiments(std::vector<Experiment>& experiments);       // fig03-09
+void register_butterfly_experiments(std::vector<Experiment>& experiments);  // fig10-13
+void register_scale_experiments(std::vector<Experiment>& experiments);      // fig14-17
+void register_table_experiments(std::vector<Experiment>& experiments);      // tab2-7
+void register_extra_experiments(std::vector<Experiment>& experiments);  // ablation etc.
+
+}  // namespace afs

@@ -1,0 +1,35 @@
+#include "experiments/shim.hpp"
+
+#include <iostream>
+#include <optional>
+
+#include "experiments/registry.hpp"
+#include "store/result_store.hpp"
+
+namespace afs {
+
+int shim_main(const char* id, int argc, char** argv) {
+  const Experiment* e = find_experiment(id);
+  if (!e) {
+    std::cerr << argv[0] << ": unknown experiment id '" << id << "'\n";
+    return 2;
+  }
+  ExperimentContext ctx;
+  ctx.cli = bench::parse_cli(argc, argv);
+  std::optional<ResultStore> store;
+  if (!ctx.cli.store_dir.empty()) {
+    store.emplace(ctx.cli.store_dir);
+    ctx.store = &*store;
+  }
+  const int rc = run_experiment(*e, ctx, std::cout);
+  if (ctx.store) {
+    std::cout << "store: hits=" << ctx.store->hits()
+              << " misses=" << ctx.store->misses()
+              << " writes=" << ctx.store->writes() << " hit_rate="
+              << static_cast<int>(ctx.store->hit_rate() * 100.0 + 0.5)
+              << "%\n";
+  }
+  return rc;
+}
+
+}  // namespace afs

@@ -1,0 +1,16 @@
+// The whole main() of a per-figure bench binary: parse the shared CLI,
+// look the experiment up in the registry, run it. Keeps the 26 historical
+// binary names working (same flags, same output, same CSVs) while the
+// logic lives in src/experiments/ — `bench_fig04_gauss_iris ARGS` is
+// exactly `afs_sweep run fig04 ARGS`.
+#pragma once
+
+namespace afs {
+
+/// Runs registered experiment `id` with argv's shared bench flags and
+/// returns the process exit code. Unlike the afs_sweep driver, the result
+/// store is OFF unless --store=DIR is passed (standalone binaries keep
+/// their historical from-scratch semantics).
+int shim_main(const char* id, int argc, char** argv);
+
+}  // namespace afs

@@ -1,6 +1,7 @@
 #include "kernels/adjoint_convolution.hpp"
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace afs {
@@ -64,8 +65,11 @@ LoopProgram AdjointConvolutionKernel::program(std::int64_t n,
             static_cast<double>(e) + 1.0) /
            2.0;
   };
-  return single_loop_program("adjoint-" + std::to_string(n), 1,
-                             [spec](int) { return spec; });
+  LoopProgram p = single_loop_program("adjoint-" + std::to_string(n), 1,
+                                      [spec](int) { return spec; });
+  p.key = "adjoint(n=" + std::to_string(n) + ",w=" + key_double(unit_work) +
+          ")";
+  return p;
 }
 
 CostFn AdjointConvolutionKernel::cost(std::int64_t n) {

@@ -1,6 +1,7 @@
 #include "kernels/gauss.hpp"
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace afs {
@@ -53,6 +54,8 @@ double GaussKernel::checksum() const {
 LoopProgram GaussKernel::program(std::int64_t n, double work_per_element) {
   LoopProgram p;
   p.name = "gauss-" + std::to_string(n);
+  p.key = "gauss(n=" + std::to_string(n) +
+          ",w=" + key_double(work_per_element) + ")";
   p.epochs = static_cast<int>(n - 1);
   p.epoch_loops = [n, work_per_element](int e) {
     ParallelLoopSpec spec;

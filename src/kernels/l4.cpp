@@ -4,6 +4,7 @@
 
 #include "kernels/compute.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace afs {
@@ -78,6 +79,9 @@ double L4Kernel::run_parallel(ThreadPool& pool, Scheduler& sched) const {
 LoopProgram L4Kernel::program() const {
   LoopProgram p;
   p.name = "l4";
+  p.key = "l4(outer=" + std::to_string(config_.outer) +
+          ",seed=" + std::to_string(config_.seed) +
+          ",ifp=" + key_double(config_.if_prob) + ")";
   p.epochs = config_.outer;
   // Copy the cost tables into the closure so the program is self-contained.
   auto costs = costs_;

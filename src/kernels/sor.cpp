@@ -3,6 +3,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace afs {
@@ -69,8 +70,11 @@ LoopProgram SorKernel::program(std::int64_t n, int epochs,
     if (j + 1 < n) out.push_back({j + 1, row_units, false});
     out.push_back({j, row_units, true});
   };
-  return single_loop_program("sor-" + std::to_string(n), epochs,
-                             [spec](int) { return spec; });
+  LoopProgram p = single_loop_program("sor-" + std::to_string(n), epochs,
+                                      [spec](int) { return spec; });
+  p.key = "sor(n=" + std::to_string(n) + ",epochs=" + std::to_string(epochs) +
+          ",w=" + key_double(work_per_element) + ")";
+  return p;
 }
 
 }  // namespace afs

@@ -1,6 +1,7 @@
 #include "kernels/synthetic.hpp"
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 #include "workload/cost_models.hpp"
 
 namespace afs {
@@ -33,8 +34,10 @@ LoopProgram triangular_program(std::int64_t n) {
   spec.work_sum = [n](std::int64_t b, std::int64_t e) {
     return triangular_sum(n, b, e);
   };
-  return single_loop_program("triangular-" + std::to_string(n), 1,
-                             [spec](int) { return spec; });
+  LoopProgram p = single_loop_program("triangular-" + std::to_string(n), 1,
+                                      [spec](int) { return spec; });
+  p.key = "triangular(n=" + std::to_string(n) + ")";
+  return p;
 }
 
 LoopProgram parabolic_program(std::int64_t n) {
@@ -45,8 +48,10 @@ LoopProgram parabolic_program(std::int64_t n) {
   spec.work_sum = [n](std::int64_t b, std::int64_t e) {
     return parabolic_sum(n, b, e);
   };
-  return single_loop_program("parabolic-" + std::to_string(n), 1,
-                             [spec](int) { return spec; });
+  LoopProgram p = single_loop_program("parabolic-" + std::to_string(n), 1,
+                                      [spec](int) { return spec; });
+  p.key = "parabolic(n=" + std::to_string(n) + ")";
+  return p;
 }
 
 LoopProgram head_heavy_program(std::int64_t n, double fraction, double heavy,
@@ -64,8 +69,12 @@ LoopProgram head_heavy_program(std::int64_t n, double fraction, double heavy,
     return static_cast<double>(heavy_count) * heavy +
            static_cast<double>(light_count) * light;
   };
-  return single_loop_program("head-heavy-" + std::to_string(n), 1,
-                             [spec](int) { return spec; });
+  LoopProgram p = single_loop_program("head-heavy-" + std::to_string(n), 1,
+                                      [spec](int) { return spec; });
+  p.key = "head-heavy(n=" + std::to_string(n) +
+          ",f=" + key_double(fraction) + ",hi=" + key_double(heavy) +
+          ",lo=" + key_double(light) + ")";
+  return p;
 }
 
 LoopProgram drifting_hotspot_program(std::int64_t n, int epochs,
@@ -76,6 +85,11 @@ LoopProgram drifting_hotspot_program(std::int64_t n, int epochs,
   AFS_CHECK(heavy >= 0.0 && light >= 0.0 && row_units >= 0.0);
   LoopProgram p;
   p.name = "drifting-hotspot-" + std::to_string(n);
+  p.key = "drifting-hotspot(n=" + std::to_string(n) +
+          ",epochs=" + std::to_string(epochs) +
+          ",width=" + std::to_string(width) + ",speed=" + key_double(speed) +
+          ",hi=" + key_double(heavy) + ",lo=" + key_double(light) +
+          ",row=" + key_double(row_units) + ")";
   p.epochs = epochs;
   p.epoch_loops = [n, width, speed, heavy, light, row_units](int e) {
     const std::int64_t start =
@@ -110,8 +124,11 @@ LoopProgram balanced_program(std::int64_t n, double unit) {
   spec.work_sum = [unit](std::int64_t b, std::int64_t e) {
     return static_cast<double>(e - b) * unit;
   };
-  return single_loop_program("balanced-" + std::to_string(n), 1,
-                             [spec](int) { return spec; });
+  LoopProgram p = single_loop_program("balanced-" + std::to_string(n), 1,
+                                      [spec](int) { return spec; });
+  p.key = "balanced(n=" + std::to_string(n) + ",unit=" + key_double(unit) +
+          ")";
+  return p;
 }
 
 }  // namespace afs

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "util/check.hpp"
+#include "util/hash.hpp"
 
 namespace afs {
 
@@ -72,6 +73,15 @@ LoopProgram TransitiveClosureKernel::program(const BoolMatrix& graph,
 
   LoopProgram p;
   p.name = "tc-" + std::to_string(n);
+  // Identical dimensions with different edges are different programs, so
+  // the key embeds a content hash of the adjacency matrix.
+  p.key = "tc(n=" + std::to_string(n) + ",w=" + key_double(work_per_element) +
+          ",graph=" +
+          hex64(fnv1a64_bytes(
+              graph.data(),
+              static_cast<std::size_t>(graph.rows()) *
+                  static_cast<std::size_t>(graph.cols()))) +
+          ")";
   p.epochs = static_cast<int>(n);
   p.epoch_loops = [n, work_per_element, row_units, trace](int k) {
     ParallelLoopSpec spec;

@@ -10,12 +10,14 @@
 #include <filesystem>
 #include <fstream>
 #include <mutex>
+#include <optional>
 #include <sstream>
 #include <thread>
 
 #include "runtime/thread_pool.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace afs {
@@ -25,31 +27,17 @@ constexpr const char* kCellSchema = "afs-cell-v1";
 constexpr const char* kManifestSchema = "afs-sweep-manifest-v1";
 constexpr const char* kManifestName = "MANIFEST";
 
-std::uint64_t fnv1a(const std::string& s, std::uint64_t h = 1469598103934665603ULL) {
-  for (unsigned char c : s) {
-    h ^= c;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
-std::string hex64(std::uint64_t v) {
-  char buf[24];
-  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
-  return buf;
-}
-
 /// The sweep's identity: its id plus the full cell grid (and the cell
 /// schema version, so a format change invalidates old checkpoints). A
 /// manifest whose identity differs describes a different sweep — its
 /// checkpoints must not be merged into this one.
 std::string sweep_identity(const std::string& sweep_id,
                            const std::vector<SweepCellSpec>& cells) {
-  std::uint64_t h = fnv1a(kCellSchema);
-  h = fnv1a(sweep_id, h);
+  std::uint64_t h = fnv1a64(kCellSchema);
+  h = fnv1a64(sweep_id, h);
   for (const SweepCellSpec& c : cells) {
-    h = fnv1a(c.label, h);
-    h = fnv1a(std::to_string(c.procs), h);
+    h = fnv1a64(c.label, h);
+    h = fnv1a64(std::to_string(c.procs), h);
   }
   return hex64(h);
 }
@@ -117,9 +105,9 @@ double retry_backoff(const SweepOptions& opts, const std::string& label,
   AFS_CHECK(attempt >= 1);
   // One independent, reproducible stream per (seed, cell, attempt): the
   // jitter decorrelates cells retrying at once without wall-clock input.
-  std::uint64_t h = fnv1a(label, opts.retry_seed ^ 0x9e3779b97f4a7c15ULL);
-  h = fnv1a(std::to_string(procs), h);
-  h = fnv1a(std::to_string(attempt), h);
+  std::uint64_t h = fnv1a64(label, opts.retry_seed ^ 0x9e3779b97f4a7c15ULL);
+  h = fnv1a64(std::to_string(procs), h);
+  h = fnv1a64(std::to_string(attempt), h);
   Xoshiro256 rng(h);
   const double jitter = 0.5 + rng.next_double();  // [0.5, 1.5)
   const double exp = std::ldexp(opts.backoff_base, attempt - 1);  // base*2^(a-1)
@@ -229,7 +217,7 @@ std::string cell_checkpoint_path(const std::string& dir,
              c == '.')
                 ? c
                 : '_';
-  return dir + "/" + safe + "-" + hex64(fnv1a(label)).substr(8) + "_P" +
+  return dir + "/" + safe + "-" + hex64(fnv1a64(label)).substr(8) + "_P" +
          std::to_string(procs) + ".cell";
 }
 
@@ -428,12 +416,18 @@ SweepOutcome run_sweep(const std::string& sweep_id,
     for (std::size_t k = 0; k < cells.size(); ++k)
       if (state[k] == CellState::kPending) run_cell(k);
   } else {
-    ThreadPool pool(opts.jobs);
+    // A borrowed pool (driver-wide) or a private one per sweep. Either
+    // way the pool's cancel token is scoped to this sweep: installed
+    // before submission, cleared after the drain so the next sweep on a
+    // shared pool starts with a clean slate.
+    std::optional<ThreadPool> own;
+    ThreadPool& pool = opts.pool ? *opts.pool : own.emplace(opts.jobs);
     pool.set_cancel(&sweep_token);
     for (std::size_t k = 0; k < cells.size(); ++k)
       if (state[k] == CellState::kPending)
         pool.submit([&run_cell, k] { run_cell(k); });
     pool.drain();
+    pool.set_cancel(nullptr);
   }
 
   // Cells the pool discarded after a sweep-wide cancellation never ran.

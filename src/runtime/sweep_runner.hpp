@@ -40,6 +40,8 @@
 
 namespace afs {
 
+class ThreadPool;
+
 /// One independent unit of a sweep. `run` must be thread-safe against the
 /// other cells' closures (each should build its own simulator/scheduler)
 /// and should poll the token (SimOptions::cancel does this) so deadlines
@@ -74,6 +76,15 @@ struct SweepOptions {
   std::uint64_t retry_seed = 0xaf55eedULL;  ///< jitters the retry schedule
   std::string checkpoint_dir;  ///< empty = checkpointing off
   bool resume = false;         ///< load completed cells from checkpoint_dir
+  /// Borrowed worker pool (not owned). When set, the sweep submits its
+  /// cells here instead of constructing a private ThreadPool, so many
+  /// sweeps in one process (the afs_sweep driver) share one set of worker
+  /// threads. The pool must be idle when run_sweep is called; run_sweep
+  /// drains it before returning and resets its cancel token. `jobs` still
+  /// selects serial mode: with jobs == 1 the pool is ignored and cells run
+  /// in the caller's thread in declaration order (the bit-identity
+  /// reference ordering).
+  ThreadPool* pool = nullptr;
   /// Test hook: replaces the real backoff sleep (argument in seconds).
   std::function<void(double)> sleep_fn;
 

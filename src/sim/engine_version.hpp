@@ -1,0 +1,23 @@
+// The simulation-engine version string that keys every content-addressed
+// result-store entry (src/store/).
+//
+// Bump this constant whenever a change alters ANY simulated number — a
+// cost-model fix, a scheduler tie-break change, an RNG reordering, a new
+// accounting field that feeds the CSVs. Bumping invalidates exactly the
+// store entries computed by the old engine (their keys embed the old
+// version) while leaving unrelated entries untouched; forgetting to bump
+// serves stale results forever. Pure host-side optimizations that are
+// proven bit-identical (iteration batching, the memory fast path, phase
+// timers) do NOT require a bump — the golden determinism tests and the
+// A/B sweeps in CI are the proof obligation.
+//
+// History:
+//   afs-sim-1  — engine as of the trace-analysis milestone (PR 5): all 27
+//                fig/tab CSVs pinned bit-identical to the seed.
+#pragma once
+
+namespace afs {
+
+inline constexpr const char* kEngineVersion = "afs-sim-1";
+
+}  // namespace afs

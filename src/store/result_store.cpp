@@ -1,0 +1,215 @@
+#include "store/result_store.hpp"
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "runtime/sweep_runner.hpp"  // serialize_sim_result / parse_sim_result
+#include "util/atomic_file.hpp"
+#include "util/check.hpp"
+#include "util/hash.hpp"
+
+namespace fs = std::filesystem;
+
+namespace afs {
+namespace {
+
+constexpr const char* kStoreSchema = "afs-store-v1";
+
+std::string entry_content(const CellKey& key, const SimResult& r) {
+  std::ostringstream os;
+  os << kStoreSchema << '\n'
+     << "keybytes " << key.text.size() << '\n'
+     << key.text << serialize_sim_result(r);
+  return os.str();
+}
+
+/// Parses an entry and authenticates it against `key`. Any malformation —
+/// wrong schema, short file, key mismatch (collision or corruption),
+/// unparseable payload — is a miss.
+bool parse_entry(const std::string& content, const CellKey& key,
+                 SimResult& out) {
+  std::size_t pos = content.find('\n');
+  if (pos == std::string::npos ||
+      content.compare(0, pos, kStoreSchema) != 0)
+    return false;
+  ++pos;
+
+  const std::size_t eol = content.find('\n', pos);
+  if (eol == std::string::npos) return false;
+  const std::string header = content.substr(pos, eol - pos);
+  constexpr const char* kKeyBytes = "keybytes ";
+  if (header.rfind(kKeyBytes, 0) != 0) return false;
+  char* end = nullptr;
+  const std::string count = header.substr(std::string(kKeyBytes).size());
+  const long long n = std::strtoll(count.c_str(), &end, 10);
+  if (end == count.c_str() || *end != '\0' || n < 0) return false;
+  pos = eol + 1;
+
+  if (content.size() - pos < static_cast<std::size_t>(n)) return false;
+  if (content.compare(pos, static_cast<std::size_t>(n), key.text) != 0)
+    return false;
+  pos += static_cast<std::size_t>(n);
+
+  return parse_sim_result(content.substr(pos), out);
+}
+
+/// A temp name unique per (process, thread, call), so concurrent writers
+/// of the same key never share a temp file.
+std::string unique_tmp_path(const std::string& final_path) {
+  static std::atomic<std::uint64_t> counter{0};
+  const std::uint64_t tid =
+      std::hash<std::thread::id>{}(std::this_thread::get_id());
+  std::ostringstream os;
+  os << final_path << ".tmp." << ::getpid() << '.' << hex64(tid).substr(8)
+     << '.' << counter.fetch_add(1);
+  return os.str();
+}
+
+struct EntryInfo {
+  fs::path path;
+  std::int64_t bytes = 0;
+  fs::file_time_type mtime;
+};
+
+std::vector<EntryInfo> list_entries(const std::string& root) {
+  std::vector<EntryInfo> entries;
+  std::error_code ec;
+  for (fs::recursive_directory_iterator it(root, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (p.extension() != ".cell") continue;  // skips stray .tmp.* files
+    EntryInfo e;
+    e.path = p;
+    e.bytes = static_cast<std::int64_t>(it->file_size(ec));
+    if (ec) continue;
+    e.mtime = it->last_write_time(ec);
+    if (ec) continue;
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+}  // namespace
+
+ResultStore::ResultStore(std::string root) : root_(std::move(root)) {
+  AFS_CHECK_MSG(!root_.empty(), "ResultStore root must not be empty");
+}
+
+std::string ResultStore::entry_path(const CellKey& key) const {
+  const std::string hex = hex64(key.hash);
+  return root_ + "/" + hex.substr(0, 2) + "/" + hex + ".cell";
+}
+
+bool ResultStore::load(const CellKey& key, SimResult& out) {
+  if (key.cacheable) {
+    std::ifstream in(entry_path(key), std::ios::binary);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      if (parse_entry(buf.str(), key, out)) {
+        hits_.fetch_add(1);
+        // LRU signal for gc(): a served entry is a recently-used entry.
+        std::error_code ec;
+        fs::last_write_time(entry_path(key), fs::file_time_type::clock::now(),
+                            ec);
+        return true;
+      }
+    }
+  }
+  misses_.fetch_add(1);
+  return false;
+}
+
+void ResultStore::save(const CellKey& key, const SimResult& r) {
+  if (!key.cacheable) return;
+  const std::string path = entry_path(key);
+  const fs::path target(path);
+  std::error_code ec;
+  fs::create_directories(target.parent_path(), ec);
+
+  const std::string tmp = unique_tmp_path(path);
+  {
+    std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+    AFS_CHECK_MSG(outf.good(), "cannot open store temp file " << tmp);
+    outf << entry_content(key, r);
+    outf.flush();
+    AFS_CHECK_MSG(outf.good(), "cannot write store temp file " << tmp);
+  }
+  commit_file_atomic(tmp, path);
+  writes_.fetch_add(1);
+}
+
+double ResultStore::hit_rate() const {
+  const double h = static_cast<double>(hits_.load());
+  const double m = static_cast<double>(misses_.load());
+  return h + m > 0.0 ? h / (h + m) : 0.0;
+}
+
+StoreStats ResultStore::scan() const {
+  StoreStats stats;
+  for (const EntryInfo& e : list_entries(root_)) {
+    ++stats.entries;
+    stats.bytes += e.bytes;
+  }
+  return stats;
+}
+
+GcOutcome ResultStore::gc(const GcOptions& opts) const {
+  std::vector<EntryInfo> entries = list_entries(root_);
+
+  GcOutcome out;
+  out.scanned = static_cast<std::int64_t>(entries.size());
+  for (const EntryInfo& e : entries) out.bytes_before += e.bytes;
+  out.bytes_after = out.bytes_before;
+
+  auto evict = [&](const EntryInfo& e) {
+    std::error_code ec;
+    if (fs::remove(e.path, ec)) {
+      ++out.evicted;
+      out.bytes_after -= e.bytes;
+    }
+  };
+
+  // Age pass: anything untouched for longer than the bound goes.
+  std::vector<EntryInfo> survivors;
+  if (opts.max_age_days > 0.0) {
+    const auto cutoff =
+        fs::file_time_type::clock::now() -
+        std::chrono::duration_cast<fs::file_time_type::duration>(
+            std::chrono::duration<double>(opts.max_age_days * 86400.0));
+    for (const EntryInfo& e : entries) {
+      if (e.mtime < cutoff)
+        evict(e);
+      else
+        survivors.push_back(e);
+    }
+  } else {
+    survivors = std::move(entries);
+  }
+
+  // Size pass: least-recently-used first until under the byte bound.
+  if (opts.max_bytes >= 0 && out.bytes_after > opts.max_bytes) {
+    std::sort(survivors.begin(), survivors.end(),
+              [](const EntryInfo& a, const EntryInfo& b) {
+                return a.mtime != b.mtime ? a.mtime < b.mtime
+                                          : a.path < b.path;
+              });
+    for (const EntryInfo& e : survivors) {
+      if (out.bytes_after <= opts.max_bytes) break;
+      evict(e);
+    }
+  }
+  return out;
+}
+
+}  // namespace afs

@@ -1,0 +1,106 @@
+// Content-addressed, on-disk store of simulation results.
+//
+// The experiment grid — (kernel, machine, scheduler, P, perturbation,
+// seed) — is enormous but each cell is a pure function of its CellKey, so
+// a cell simulated once never needs to be simulated again: the store maps
+// key hash -> serialized SimResult, shared by every driver run against the
+// same root directory.
+//
+// Layout:   <root>/<hh>/<16-hex-hash>.cell   (hh = first hash byte, so a
+// million entries spread over 256 directories instead of one).
+//
+// Entry format (text):
+//     afs-store-v1
+//     keybytes <N>
+//     <N bytes: the full CellKey::text>
+//     <serialize_sim_result() output, schema afs-cell-v1>
+//
+// Trust model: the hash only locates the entry; the embedded key text is
+// what authenticates it. load() re-reads and compares the full key, so a
+// hash collision, a truncated write the atomic protocol somehow missed, or
+// hand-edited garbage all degrade to a miss — the cell is recomputed and
+// the entry overwritten. The store can make a run slower, never wrong.
+//
+// Concurrency: load and save are safe from many threads and many
+// processes. Writes go through a per-writer unique temp file plus the
+// atomic rename protocol (util/atomic_file), so concurrent writers of the
+// same key publish whole entries in some order; since the content is a
+// deterministic function of the key, whichever write lands last is
+// byte-identical to the others.
+//
+// Invalidation is implicit: any change to an input changes the key text
+// and therefore the address — bumping kEngineVersion orphans exactly the
+// entries computed by the old engine. Orphans are reclaimed by gc()
+// (age- or size-bounded LRU on entry mtime; load() touches mtime on hit).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "sim/sim_result.hpp"
+#include "store/cell_key.hpp"
+
+namespace afs {
+
+struct StoreStats {
+  std::int64_t entries = 0;
+  std::int64_t bytes = 0;
+};
+
+struct GcOptions {
+  /// Evict entries whose mtime is older than this many days. 0 = no age
+  /// bound.
+  double max_age_days = 0.0;
+  /// After the age pass, evict least-recently-used entries until the store
+  /// holds at most this many bytes. Negative = no size bound.
+  std::int64_t max_bytes = -1;
+};
+
+struct GcOutcome {
+  std::int64_t scanned = 0;  ///< entries examined
+  std::int64_t evicted = 0;  ///< entries removed
+  std::int64_t bytes_before = 0;
+  std::int64_t bytes_after = 0;
+};
+
+class ResultStore {
+ public:
+  /// Opens (and lazily creates) the store rooted at `root`.
+  explicit ResultStore(std::string root);
+
+  const std::string& root() const { return root_; }
+
+  /// True and fills `out` when a valid entry for `key` exists. Counts a
+  /// hit or a miss; refreshes the entry's mtime on a hit (LRU signal).
+  /// Uncacheable keys count as misses without touching the disk.
+  bool load(const CellKey& key, SimResult& out);
+
+  /// Publishes `r` under `key` (atomic rename; overwrites any previous
+  /// entry). No-op for uncacheable keys.
+  void save(const CellKey& key, const SimResult& r);
+
+  /// Absolute path the entry for `key` lives at.
+  std::string entry_path(const CellKey& key) const;
+
+  // Process-lifetime lookup counters (thread-safe).
+  std::int64_t hits() const { return hits_.load(); }
+  std::int64_t misses() const { return misses_.load(); }
+  std::int64_t writes() const { return writes_.load(); }
+  /// hits / (hits + misses); 0 when no lookups were made.
+  double hit_rate() const;
+
+  /// Walks the store: entry count and total bytes.
+  StoreStats scan() const;
+
+  /// Evicts by age, then by LRU size bound. See GcOptions.
+  GcOutcome gc(const GcOptions& opts) const;
+
+ private:
+  std::string root_;
+  std::atomic<std::int64_t> hits_{0};
+  std::atomic<std::int64_t> misses_{0};
+  std::atomic<std::int64_t> writes_{0};
+};
+
+}  // namespace afs

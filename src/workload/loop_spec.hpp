@@ -55,6 +55,14 @@ struct LoopProgram {
   std::string name;
   int epochs = 1;
   std::function<std::vector<ParallelLoopSpec>(int epoch)> epoch_loops;
+
+  /// Canonical identity of the program for the content-addressed result
+  /// store (store/cell_key.hpp): a factory-chosen string covering every
+  /// parameter that shapes the generated loops, with doubles rendered via
+  /// key_double and data-dependent programs (e.g. transitive closure on a
+  /// random graph) embedding a content hash. Empty means "identity
+  /// unknown" — cells running this program bypass the store.
+  std::string key;
 };
 
 /// Convenience: a single-loop-per-epoch program.

@@ -1,4 +1,4 @@
-// Tests for the shared bench CLI parser (bench/bench_common.hpp). The
+// Tests for the shared bench CLI parser (experiments/bench_cli.hpp). The
 // reproduction binaries must fail loudly on any typo rather than silently
 // falling back to a multi-minute default sweep, so parse_cli_args rejects
 // unknown flags and malformed values with a message naming the culprit.
@@ -7,7 +7,7 @@
 #include <string>
 #include <vector>
 
-#include "bench_common.hpp"
+#include "experiments/bench_cli.hpp"
 
 namespace afs::bench {
 namespace {
@@ -227,6 +227,38 @@ TEST(BenchCli, TraceCellPathSanitizesLabel) {
   EXPECT_EQ(
       trace_cell_path("out", "fig04", "AFS", 57, TraceFormat::kJsonl),
       "out/fig04.p57.AFS.trace.jsonl");
+}
+
+TEST(BenchCli, DefaultsLeaveStoreOff) {
+  const Parse p = parse({});
+  ASSERT_TRUE(p.ok);
+  EXPECT_TRUE(p.cli.store_dir.empty());
+  EXPECT_FALSE(p.cli.no_store);
+}
+
+TEST(BenchCli, ParsesStoreDir) {
+  const Parse p = parse({"--store=/tmp/cells"});
+  ASSERT_TRUE(p.ok);
+  EXPECT_EQ(p.cli.store_dir, "/tmp/cells");
+  EXPECT_FALSE(p.cli.no_store);
+}
+
+TEST(BenchCli, RejectsEmptyStoreDir) {
+  const Parse p = parse({"--store="});
+  ASSERT_FALSE(p.ok);
+  EXPECT_NE(p.error.find("--store"), std::string::npos) << p.error;
+}
+
+TEST(BenchCli, NoStoreWinsWhenLast) {
+  // Later flags override earlier ones, in both directions.
+  const Parse off = parse({"--store=/tmp/cells", "--no-store"});
+  ASSERT_TRUE(off.ok);
+  EXPECT_TRUE(off.cli.no_store);
+  EXPECT_TRUE(off.cli.store_dir.empty());
+  const Parse on = parse({"--no-store", "--store=/tmp/cells"});
+  ASSERT_TRUE(on.ok);
+  EXPECT_FALSE(on.cli.no_store);
+  EXPECT_EQ(on.cli.store_dir, "/tmp/cells");
 }
 
 TEST(BenchCli, CsvPathJoinsOutDir) {

@@ -1,0 +1,108 @@
+// The afs_sweep grid parsers: --machine=, --kernel= and --perturb= spec
+// strings must map onto exactly the factories the registered experiments
+// use (same defaults, same program keys) and reject malformed input with
+// a usage hint rather than guessing.
+#include "experiments/grid.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "kernels/gauss.hpp"
+#include "kernels/sor.hpp"
+#include "kernels/synthetic.hpp"
+#include "machines/machines.hpp"
+
+namespace afs {
+namespace {
+
+TEST(GridMachine, NamesMapToConfigs) {
+  EXPECT_EQ(parse_machine_spec("iris").name, iris().name);
+  EXPECT_EQ(parse_machine_spec("butterfly1").name, butterfly1().name);
+  EXPECT_EQ(parse_machine_spec("symmetry").name, symmetry().name);
+  EXPECT_EQ(parse_machine_spec("ksr1").name, ksr1().name);
+  EXPECT_EQ(parse_machine_spec("tc2000").name, tc2000().name);
+}
+
+TEST(GridMachine, RejectsUnknownName) {
+  EXPECT_THROW(parse_machine_spec("cray"), std::runtime_error);
+  EXPECT_THROW(parse_machine_spec(""), std::runtime_error);
+  EXPECT_THROW(parse_machine_spec("IRIS"), std::runtime_error);  // case matters
+}
+
+TEST(GridKernel, SpecsHitTheSameFactoriesAsTheExperiments) {
+  // Program keys are canonical identities, so key equality proves the
+  // parser forwarded the right arguments and defaults.
+  EXPECT_EQ(parse_kernel_spec("gauss:768").key, GaussKernel::program(768).key);
+  EXPECT_EQ(parse_kernel_spec("gauss:256,3.5").key,
+            GaussKernel::program(256, 3.5).key);
+  EXPECT_EQ(parse_kernel_spec("sor:512,4").key,
+            SorKernel::program(512, 4).key);
+  EXPECT_EQ(parse_kernel_spec("balanced:1000").key,
+            balanced_program(1000).key);
+  EXPECT_EQ(parse_kernel_spec("head-heavy:50000").key,
+            head_heavy_program(50000).key);
+  EXPECT_EQ(parse_kernel_spec("triangular:5000").key,
+            triangular_program(5000).key);
+}
+
+TEST(GridKernel, DataDependentProgramsEmbedContentIdentity) {
+  const LoopProgram a = parse_kernel_spec("tc-random:128,0.08,1992");
+  const LoopProgram b = parse_kernel_spec("tc-random:128,0.08,1993");
+  EXPECT_FALSE(a.key.empty());
+  EXPECT_NE(a.key, b.key);  // different seed, different graph, different cell
+  EXPECT_FALSE(parse_kernel_spec("tc-clique:64,32").key.empty());
+  EXPECT_FALSE(parse_kernel_spec("l4").key.empty());
+  EXPECT_FALSE(parse_kernel_spec("l4:10").key.empty());
+}
+
+TEST(GridKernel, RejectsMalformedSpecs) {
+  for (const char* bad :
+       {"", "warp:8", "gauss", "gauss:", "gauss:abc", "gauss:64,1,9",
+        "sor:512", "tc-random:128,0.08", "head-heavy:100,0.1",
+        "drifting-hotspot:64,4,8", "balanced:10,1,2", "gauss:64,"}) {
+    EXPECT_THROW(parse_kernel_spec(bad), std::runtime_error) << bad;
+  }
+}
+
+TEST(GridPerturb, DirectivesFillTheConfig) {
+  const PerturbationConfig pc = parse_perturb_spec(
+      "seed=99,delay=0:8.5,delay=2:1.25,stall=100/5,loss=1@250,"
+      "spike=0.01/40,burst=1000/50/3",
+      4);
+  EXPECT_EQ(pc.seed, 99u);
+  ASSERT_EQ(pc.start_delays.size(), 4u);
+  EXPECT_EQ(pc.start_delays[0], 8.5);
+  EXPECT_EQ(pc.start_delays[1], 0.0);
+  EXPECT_EQ(pc.start_delays[2], 1.25);
+  EXPECT_EQ(pc.stall_mean_interval, 100.0);
+  EXPECT_EQ(pc.stall_duration, 5.0);
+  ASSERT_EQ(pc.losses.size(), 1u);
+  EXPECT_EQ(pc.losses[0].proc, 1);
+  EXPECT_EQ(pc.losses[0].time, 250.0);
+  EXPECT_EQ(pc.mem_spike_prob, 0.01);
+  EXPECT_EQ(pc.mem_spike_latency, 40.0);
+  EXPECT_EQ(pc.burst_mean_interval, 1000.0);
+  EXPECT_EQ(pc.burst_duration, 50.0);
+  EXPECT_EQ(pc.burst_multiplier, 3.0);
+  EXPECT_TRUE(pc.any());
+}
+
+TEST(GridPerturb, RejectsMalformedDirectives) {
+  for (const char* bad :
+       {"", "stall", "stall=100", "delay=0", "delay=9:1", "delay=-1:1",
+        "loss=1", "loss=9@5", "spike=0.5", "burst=10/5", "seed=abc",
+        "warp=1"}) {
+    EXPECT_THROW(parse_perturb_spec(bad, 4), std::runtime_error) << bad;
+  }
+}
+
+TEST(GridPerturb, ProcessorIdsAreBoundedByMaxProcs) {
+  EXPECT_NO_THROW(parse_perturb_spec("delay=7:1", 8));
+  EXPECT_THROW(parse_perturb_spec("delay=8:1", 8), std::runtime_error);
+  EXPECT_NO_THROW(parse_perturb_spec("loss=7@10", 8));
+  EXPECT_THROW(parse_perturb_spec("loss=8@10", 8), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,119 @@
+// The experiment registry: every paper reproduction keyed by id, plus the
+// cached-cell helper the bespoke tables run through. End-to-end coverage
+// (an experiment run under a store serving >= 95% of cells on the warm
+// pass) lives in CI's sweep-service job; these tests pin the registry
+// contract itself.
+#include "experiments/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <sstream>
+
+#include "kernels/synthetic.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "store/result_store.hpp"
+
+namespace fs = std::filesystem;
+
+namespace afs {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+TEST(Registry, AllHistoricalBinariesAreRegistered) {
+  const std::set<std::string> expected{
+      "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
+      "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
+      "fig17", "tab2",  "tab3",  "tab4",  "tab5",  "tab6",  "tab7",
+      "ablation_afs", "trend_comm_ratio", "micro_queues"};
+  std::set<std::string> actual;
+  for (const Experiment& e : all_experiments()) actual.insert(e.id);
+  EXPECT_EQ(actual, expected);
+  EXPECT_EQ(all_experiments().size(), expected.size());  // ids are unique
+}
+
+TEST(Registry, EntriesAreWellFormed) {
+  for (const Experiment& e : all_experiments()) {
+    EXPECT_FALSE(e.title.empty()) << e.id;
+    EXPECT_TRUE(e.run != nullptr) << e.id;
+    if (e.kind != ExperimentKind::kMicro) {
+      EXPECT_FALSE(e.csv_ids.empty()) << e.id;
+    }
+  }
+}
+
+TEST(Registry, FindExperimentByIdAndUnknown) {
+  const Experiment* fig04 = find_experiment("fig04");
+  ASSERT_NE(fig04, nullptr);
+  EXPECT_EQ(fig04->id, "fig04");
+  EXPECT_EQ(fig04->kind, ExperimentKind::kFigure);
+  EXPECT_EQ(find_experiment("fig99"), nullptr);
+  EXPECT_EQ(find_experiment(""), nullptr);
+}
+
+TEST(Registry, MicroExperimentShortCircuits) {
+  const Experiment* micro = find_experiment("micro_queues");
+  ASSERT_NE(micro, nullptr);
+  EXPECT_EQ(micro->kind, ExperimentKind::kMicro);
+  ExperimentContext ctx;
+  std::ostringstream out;
+  EXPECT_EQ(run_experiment(*micro, ctx, out), 0);
+  EXPECT_NE(out.str().find("google-benchmark"), std::string::npos);
+}
+
+TEST(Registry, RunCellCachedServesTheSecondLookup) {
+  ResultStore store(fresh_dir("registry_cells"));
+  ExperimentContext ctx;
+  ctx.store = &store;
+
+  const auto program = balanced_program(256);
+  const SimResult cold =
+      run_cell_cached(ctx, iris(), program, "AFS", 4);
+  EXPECT_EQ(store.hits(), 0);
+  EXPECT_EQ(store.writes(), 1);
+
+  const SimResult warm =
+      run_cell_cached(ctx, iris(), program, "AFS", 4);
+  EXPECT_EQ(store.hits(), 1);
+  EXPECT_EQ(warm.makespan, cold.makespan);
+  EXPECT_EQ(warm.iterations, cold.iterations);
+  EXPECT_EQ(warm.remote_grabs, cold.remote_grabs);
+
+  // No store in the context: same numbers, nothing served or written.
+  ExperimentContext bare;
+  const SimResult direct =
+      run_cell_cached(bare, iris(), program, "AFS", 4);
+  EXPECT_EQ(direct.makespan, cold.makespan);
+  EXPECT_EQ(store.writes(), 1);
+}
+
+TEST(Registry, RunCellCachedKeysEngineToggles) {
+  // tab7's batching A/B check must simulate both engines, not be served
+  // the batched result twice.
+  ResultStore store(fresh_dir("registry_toggles"));
+  ExperimentContext ctx;
+  ctx.store = &store;
+  const auto program = balanced_program(128);
+  run_cell_cached(ctx, iris(), program, "GSS", 2);
+  SimOptions unbatched;
+  unbatched.batch_iterations = false;
+  run_cell_cached(ctx, iris(), program, "GSS", 2, unbatched);
+  EXPECT_EQ(store.writes(), 2);
+  EXPECT_EQ(store.hits(), 0);
+}
+
+TEST(Registry, SchedulerDisplayNameMatchesTheBuiltScheduler) {
+  for (const char* spec : {"AFS", "GSS", "SS", "FACTORING", "TRAPEZOID"})
+    EXPECT_EQ(scheduler_display_name(spec), make_scheduler(spec)->name())
+        << spec;
+}
+
+}  // namespace
+}  // namespace afs

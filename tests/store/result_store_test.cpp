@@ -1,0 +1,273 @@
+// ResultStore: the on-disk content-addressed cache of simulation cells.
+// The properties pinned here are the ones the sweep service leans on — a
+// hit is bit-identical to recomputing, anything malformed degrades to a
+// miss (never a wrong result), an engine-version bump orphans exactly the
+// old entries, and concurrent writers of the same key are safe.
+#include "store/result_store.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "kernels/gauss.hpp"
+#include "machines/machines.hpp"
+#include "sched/registry.hpp"
+#include "sim/machine_sim.hpp"
+#include "store/cell_key.hpp"
+#include "util/hash.hpp"
+
+namespace fs = std::filesystem;
+
+namespace afs {
+namespace {
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / name;
+  fs::remove_all(dir);
+  return dir.string();
+}
+
+/// A real (small) simulation so round-trip checks cover every SimResult
+/// field a table might read, with genuinely non-round doubles.
+SimResult simulate(int procs = 4) {
+  MachineSim sim(iris());
+  const auto program = GaussKernel::program(96);
+  auto sched = make_scheduler("AFS");
+  return sim.run(program, *sched, procs);
+}
+
+CellKey key_for(int procs = 4) {
+  return make_cell_key(iris(), GaussKernel::program(96).key, "AFS", procs, {});
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.busy, b.busy);
+  EXPECT_EQ(a.sync, b.sync);
+  EXPECT_EQ(a.comm, b.comm);
+  EXPECT_EQ(a.idle, b.idle);
+  EXPECT_EQ(a.barrier, b.barrier);
+  EXPECT_EQ(a.stall_time, b.stall_time);
+  EXPECT_EQ(a.hits, b.hits);
+  EXPECT_EQ(a.misses, b.misses);
+  EXPECT_EQ(a.invalidations, b.invalidations);
+  EXPECT_EQ(a.units_transferred, b.units_transferred);
+  EXPECT_EQ(a.local_grabs, b.local_grabs);
+  EXPECT_EQ(a.remote_grabs, b.remote_grabs);
+  EXPECT_EQ(a.central_grabs, b.central_grabs);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.lost_processor_count, b.lost_processor_count);
+  EXPECT_EQ(a.stolen_under_fault, b.stolen_under_fault);
+  EXPECT_EQ(a.abandoned_iterations, b.abandoned_iterations);
+  EXPECT_EQ(a.sched_stats.loops, b.sched_stats.loops);
+  ASSERT_EQ(a.sched_stats.queues.size(), b.sched_stats.queues.size());
+  for (std::size_t i = 0; i < a.sched_stats.queues.size(); ++i) {
+    EXPECT_EQ(a.sched_stats.queues[i].local_grabs,
+              b.sched_stats.queues[i].local_grabs);
+    EXPECT_EQ(a.sched_stats.queues[i].remote_grabs,
+              b.sched_stats.queues[i].remote_grabs);
+    EXPECT_EQ(a.sched_stats.queues[i].iters_local,
+              b.sched_stats.queues[i].iters_local);
+    EXPECT_EQ(a.sched_stats.queues[i].iters_remote,
+              b.sched_stats.queues[i].iters_remote);
+  }
+}
+
+TEST(ResultStore, MissOnEmptyStoreThenHitAfterSave) {
+  ResultStore store(fresh_dir("rs_basic"));
+  const CellKey key = key_for();
+  SimResult out;
+  EXPECT_FALSE(store.load(key, out));
+  EXPECT_EQ(store.misses(), 1);
+
+  const SimResult r = simulate();
+  store.save(key, r);
+  EXPECT_EQ(store.writes(), 1);
+
+  SimResult served;
+  ASSERT_TRUE(store.load(key, served));
+  EXPECT_EQ(store.hits(), 1);
+  expect_identical(r, served);
+}
+
+TEST(ResultStore, HitIsBitIdenticalToRecomputing) {
+  ResultStore store(fresh_dir("rs_identity"));
+  const CellKey key = key_for();
+  store.save(key, simulate());
+  SimResult served;
+  ASSERT_TRUE(store.load(key, served));
+  // The simulator is deterministic, so recomputing is the ground truth.
+  expect_identical(simulate(), served);
+}
+
+TEST(ResultStore, EngineVersionBumpOrphansOldEntries) {
+  ResultStore store(fresh_dir("rs_engine"));
+  const CellKey key = key_for();
+  store.save(key, simulate());
+
+  // Model a kEngineVersion bump: same inputs, different engine line ->
+  // different text, different hash, different address. The old entry is
+  // simply never consulted again.
+  CellKey bumped = key;
+  const std::size_t pos = bumped.text.find("engine ");
+  ASSERT_NE(pos, std::string::npos);
+  bumped.text.insert(bumped.text.find('\n', pos), "-next");
+  bumped.hash = fnv1a64(bumped.text);
+  EXPECT_NE(bumped.hash, key.hash);
+  EXPECT_NE(store.entry_path(bumped), store.entry_path(key));
+
+  SimResult out;
+  EXPECT_FALSE(store.load(bumped, out));
+  EXPECT_TRUE(store.load(key, out));  // the old engine's entry is intact
+}
+
+TEST(ResultStore, TruncatedEntryDegradesToMissAndIsRecomputable) {
+  ResultStore store(fresh_dir("rs_trunc"));
+  const CellKey key = key_for();
+  const SimResult r = simulate();
+  store.save(key, r);
+
+  const std::string path = store.entry_path(key);
+  fs::resize_file(path, fs::file_size(path) / 2);
+
+  SimResult out;
+  EXPECT_FALSE(store.load(key, out));  // short entry authenticates as a miss
+  store.save(key, r);                  // the recompute overwrites in place
+  ASSERT_TRUE(store.load(key, out));
+  expect_identical(r, out);
+}
+
+TEST(ResultStore, CorruptedPayloadDegradesToMiss) {
+  ResultStore store(fresh_dir("rs_corrupt"));
+  const CellKey key = key_for();
+  store.save(key, simulate());
+
+  const std::string path = store.entry_path(key);
+  std::fstream f(path, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(-8, std::ios::end);  // stomp inside the serialized payload
+  f.write("garbage!", 8);
+  f.close();
+
+  SimResult out;
+  EXPECT_FALSE(store.load(key, out));
+}
+
+TEST(ResultStore, KeyMismatchInEntryIsAMiss) {
+  // A hash collision would file a different key's text at our address;
+  // authentication must reject it rather than serve the wrong cell.
+  ResultStore store(fresh_dir("rs_collide"));
+  const CellKey key = key_for();
+  store.save(key, simulate());
+
+  CellKey other = key_for(5);  // a different cell...
+  other.hash = key.hash;       // ...forced onto the same address
+  SimResult out;
+  EXPECT_FALSE(store.load(other, out));
+}
+
+TEST(ResultStore, UncacheableKeysBypassTheDisk) {
+  const std::string root = fresh_dir("rs_uncache");
+  ResultStore store(root);
+  CellKey key = key_for();
+  key.cacheable = false;
+  store.save(key, simulate());
+  SimResult out;
+  EXPECT_FALSE(store.load(key, out));
+  EXPECT_EQ(store.writes(), 0);
+  EXPECT_EQ(store.scan().entries, 0);
+}
+
+TEST(ResultStore, ConcurrentWritersOfTheSameKeyAreSafe) {
+  ResultStore store(fresh_dir("rs_race"));
+  const CellKey key = key_for();
+  const SimResult r = simulate();
+
+  std::vector<std::thread> writers;
+  for (int i = 0; i < 8; ++i)
+    writers.emplace_back([&store, &key, &r] {
+      for (int j = 0; j < 25; ++j) store.save(key, r);
+    });
+  for (auto& t : writers) t.join();
+
+  // Whichever write landed last, the entry is whole and authentic.
+  SimResult served;
+  ASSERT_TRUE(store.load(key, served));
+  expect_identical(r, served);
+  EXPECT_EQ(store.scan().entries, 1);
+
+  // The atomic protocol leaves no temp litter behind.
+  int stray = 0;
+  for (const auto& e : fs::recursive_directory_iterator(store.root()))
+    if (e.is_regular_file() && e.path().extension() != ".cell") ++stray;
+  EXPECT_EQ(stray, 0);
+}
+
+TEST(ResultStore, HitRateCountsLookupsOnly) {
+  ResultStore store(fresh_dir("rs_rate"));
+  const CellKey key = key_for();
+  SimResult out;
+  EXPECT_EQ(store.hit_rate(), 0.0);
+  store.load(key, out);  // miss
+  store.save(key, simulate());
+  store.load(key, out);  // hit
+  store.load(key, out);  // hit
+  EXPECT_EQ(store.hits(), 2);
+  EXPECT_EQ(store.misses(), 1);
+  EXPECT_NEAR(store.hit_rate(), 2.0 / 3.0, 1e-12);
+}
+
+TEST(ResultStore, ScanAndGcBySizeEvictLeastRecentlyUsed) {
+  ResultStore store(fresh_dir("rs_gc"));
+  const SimResult r = simulate();
+  std::vector<CellKey> keys;
+  for (int p = 1; p <= 4; ++p) {
+    keys.push_back(key_for(p));
+    store.save(keys.back(), r);
+  }
+  const StoreStats before = store.scan();
+  EXPECT_EQ(before.entries, 4);
+  EXPECT_GT(before.bytes, 0);
+
+  // Make p=1's entry clearly the oldest, then touch it via a hit so the
+  // LRU pass prefers the never-served entries.
+  const auto old_time =
+      fs::file_time_type::clock::now() - std::chrono::hours(48);
+  for (const CellKey& k : keys) fs::last_write_time(store.entry_path(k), old_time);
+  SimResult out;
+  ASSERT_TRUE(store.load(keys[0], out));
+
+  GcOptions opts;
+  opts.max_bytes = before.bytes / 3;  // room for at most one entry
+  const GcOutcome gc = store.gc(opts);
+  EXPECT_EQ(gc.scanned, 4);
+  EXPECT_GT(gc.evicted, 0);
+  EXPECT_LE(gc.bytes_after, opts.max_bytes);
+  ASSERT_TRUE(store.load(keys[0], out));  // the recently-used entry survived
+}
+
+TEST(ResultStore, GcByAgeEvictsStaleEntries) {
+  ResultStore store(fresh_dir("rs_age"));
+  const SimResult r = simulate();
+  const CellKey stale = key_for(2);
+  const CellKey live = key_for(3);
+  store.save(stale, r);
+  store.save(live, r);
+  fs::last_write_time(store.entry_path(stale),
+                      fs::file_time_type::clock::now() -
+                          std::chrono::hours(24 * 10));
+
+  GcOptions opts;
+  opts.max_age_days = 7.0;
+  const GcOutcome gc = store.gc(opts);
+  EXPECT_EQ(gc.evicted, 1);
+  SimResult out;
+  EXPECT_FALSE(store.load(stale, out));
+  EXPECT_TRUE(store.load(live, out));
+}
+
+}  // namespace
+}  // namespace afs

@@ -1,0 +1,291 @@
+// afs_sweep: the batch driver over the experiment registry and the
+// content-addressed result store (docs/SWEEP_SERVICE.md).
+//
+//   afs_sweep list
+//       every registered experiment id with title and kind
+//   afs_sweep run fig04 tab2 [shared flags]
+//   afs_sweep run --all [shared flags]
+//       run experiments in registry order, in one process, sharing one
+//       worker pool (--jobs=N) and one result store. The store defaults
+//       to <out-dir>/.store; --store=DIR moves it, --no-store disables
+//       it. Exit code = first nonzero experiment exit.
+//   afs_sweep run --kernel=K --machine=M --schedulers=S1,S2 [--procs=...]
+//       [--perturb=...] [shared flags]
+//       an arbitrary user grid through the same harness (see
+//       src/experiments/grid.hpp for the K/M/perturb grammars); writes
+//       <out-dir>/grid.csv.
+//   afs_sweep cache stats [--store=DIR]
+//   afs_sweep cache gc [--store=DIR] [--max-age-days=D] [--max-bytes=B]
+//       store maintenance: entry count/bytes, and eviction by age then
+//       LRU size cap.
+//
+// Shared flags are exactly the bench-binary flags (see --help).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiments/bench_cli.hpp"
+#include "experiments/grid.hpp"
+#include "experiments/registry.hpp"
+#include "runtime/thread_pool.hpp"
+#include "store/result_store.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace afs;
+
+int usage(std::ostream& out, int rc) {
+  out << "usage: afs_sweep <command> [args]\n"
+         "  list                      registered experiments\n"
+         "  run <id>... [flags]       run experiments by id\n"
+         "  run --all [flags]         run every runnable experiment\n"
+         "  run --kernel=K --machine=M --schedulers=S,S [--procs=P,P]\n"
+         "      [--perturb=SPEC] [flags]   run a user-defined grid\n"
+         "  cache stats [--store=DIR] store entry count and bytes\n"
+         "  cache gc [--store=DIR] [--max-age-days=D] [--max-bytes=B]\n"
+         "                            evict by age, then by LRU size cap\n"
+         "shared flags: the bench-binary flags (afs_sweep run --help);\n"
+         "the store defaults to <out-dir>/.store unless --no-store\n";
+  return rc;
+}
+
+const char* kind_name(ExperimentKind k) {
+  switch (k) {
+    case ExperimentKind::kFigure:
+      return "figure";
+    case ExperimentKind::kTable:
+      return "table";
+    case ExperimentKind::kMicro:
+      return "micro";
+  }
+  return "?";
+}
+
+int cmd_list() {
+  Table t({"id", "kind", "csv", "title"});
+  for (const Experiment& e : all_experiments()) {
+    std::string csvs;
+    for (const std::string& c : e.csv_ids)
+      csvs += (csvs.empty() ? "" : " ") + c + ".csv";
+    t.add_row({e.id, kind_name(e.kind), csvs, e.title});
+  }
+  std::cout << t.to_ascii();
+  return 0;
+}
+
+/// Store root for maintenance commands: --store=DIR or <out-dir>/.store.
+std::string store_root(const bench::BenchCli& cli) {
+  return cli.store_dir.empty() ? cli.out_dir + "/.store" : cli.store_dir;
+}
+
+int cmd_cache(const std::vector<std::string>& args) {
+  if (args.empty()) return usage(std::cerr, 2);
+  const std::string sub = args[0];
+  bench::BenchCli cli;
+  GcOptions gc;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--store=", 0) == 0 || a.rfind("--out-dir=", 0) == 0) {
+      std::string error;
+      bool help = false;
+      if (!bench::parse_cli_args({a}, cli, error, help)) {
+        std::cerr << "afs_sweep cache: " << error << "\n";
+        return 2;
+      }
+    } else if (a.rfind("--max-age-days=", 0) == 0) {
+      gc.max_age_days = std::strtod(a.c_str() + 15, nullptr);
+      if (!(gc.max_age_days > 0.0)) {
+        std::cerr << "afs_sweep cache: bad --max-age-days value\n";
+        return 2;
+      }
+    } else if (a.rfind("--max-bytes=", 0) == 0) {
+      gc.max_bytes = std::strtoll(a.c_str() + 12, nullptr, 10);
+      if (gc.max_bytes < 0) {
+        std::cerr << "afs_sweep cache: bad --max-bytes value\n";
+        return 2;
+      }
+    } else {
+      std::cerr << "afs_sweep cache: unknown argument '" << a << "'\n";
+      return 2;
+    }
+  }
+  ResultStore store(store_root(cli));
+  if (sub == "stats") {
+    const StoreStats s = store.scan();
+    std::cout << "store: " << store.root() << "\n"
+              << "entries: " << s.entries << "\n"
+              << "bytes: " << s.bytes << "\n";
+    return 0;
+  }
+  if (sub == "gc") {
+    if (gc.max_age_days <= 0.0 && gc.max_bytes < 0) {
+      std::cerr << "afs_sweep cache gc: nothing to do — pass "
+                   "--max-age-days=D and/or --max-bytes=B\n";
+      return 2;
+    }
+    const GcOutcome o = store.gc(gc);
+    std::cout << "store: " << store.root() << "\n"
+              << "scanned: " << o.scanned << "\n"
+              << "evicted: " << o.evicted << "\n"
+              << "bytes: " << o.bytes_before << " -> " << o.bytes_after
+              << "\n";
+    return 0;
+  }
+  std::cerr << "afs_sweep cache: unknown subcommand '" << sub << "'\n";
+  return usage(std::cerr, 2);
+}
+
+int cmd_run(const std::vector<std::string>& args) {
+  std::vector<std::string> ids;
+  std::vector<std::string> shared;
+  bool run_all = false;
+  std::string kernel, machine, schedulers, perturb;
+  for (const std::string& a : args) {
+    if (a == "--all") {
+      run_all = true;
+    } else if (a.rfind("--kernel=", 0) == 0) {
+      kernel = a.substr(9);
+    } else if (a.rfind("--machine=", 0) == 0) {
+      machine = a.substr(10);
+    } else if (a.rfind("--schedulers=", 0) == 0) {
+      schedulers = a.substr(13);
+    } else if (a.rfind("--perturb=", 0) == 0) {
+      perturb = a.substr(10);
+    } else if (a.rfind("--", 0) == 0) {
+      shared.push_back(a);
+    } else {
+      ids.push_back(a);
+    }
+  }
+  const bool grid = !kernel.empty() || !machine.empty() || !schedulers.empty();
+  if (grid && (run_all || !ids.empty())) {
+    std::cerr << "afs_sweep run: a grid (--kernel/--machine/--schedulers) "
+                 "cannot be combined with experiment ids\n";
+    return 2;
+  }
+  if (!grid && !run_all && ids.empty()) return usage(std::cerr, 2);
+
+  bench::BenchCli cli;
+  std::string error;
+  bool want_help = false;
+  if (!bench::parse_cli_args(shared, cli, error, want_help)) {
+    std::cerr << "afs_sweep run: " << error << "\n";
+    bench::print_usage("afs_sweep run", std::cerr);
+    return 2;
+  }
+  if (want_help) {
+    bench::print_usage("afs_sweep run", std::cout);
+    return 0;
+  }
+
+  ExperimentContext ctx;
+  ctx.cli = cli;
+
+  // The driver's store is ON by default: sweeps over overlapping grids
+  // are exactly where the content-addressed cache pays off.
+  std::optional<ResultStore> store;
+  if (!cli.no_store) {
+    store.emplace(store_root(cli));
+    ctx.store = &*store;
+  }
+
+  // One worker pool for every sweep in this invocation. jobs == 1 keeps
+  // the bit-identity reference path (serial in the caller).
+  std::optional<ThreadPool> pool;
+  if (cli.jobs > 1) {
+    pool.emplace(cli.jobs);
+    ctx.pool = &*pool;
+  }
+
+  int rc = 0;
+  if (grid) {
+    if (kernel.empty() || machine.empty() || schedulers.empty()) {
+      std::cerr << "afs_sweep run: a grid needs all of --kernel=, "
+                   "--machine= and --schedulers=\n";
+      return 2;
+    }
+    try {
+      FigureSpec spec;
+      spec.id = "grid";
+      spec.machine = parse_machine_spec(machine);
+      spec.program = parse_kernel_spec(kernel);
+      spec.title = kernel + " on " + machine;
+      spec.procs = cli.procs.empty() ? std::vector<int>{spec.machine.max_processors}
+                                     : cli.procs;
+      int max_p = 0;
+      for (int p : spec.procs) max_p = std::max(max_p, p);
+      if (!perturb.empty())
+        spec.sim_options.perturb = parse_perturb_spec(perturb, max_p);
+      std::size_t pos = 0;
+      while (pos <= schedulers.size()) {
+        const std::size_t comma = schedulers.find(',', pos);
+        const std::string s = schedulers.substr(pos, comma - pos);
+        if (s.empty()) throw std::runtime_error("empty scheduler spec");
+        spec.schedulers.push_back(entry(s));
+        if (comma == std::string::npos) break;
+        pos = comma + 1;
+      }
+      // Validate the scheduler specs before running anything.
+      for (const SchedulerEntry& se : spec.schedulers) se.make();
+
+      const Experiment e = figure_experiment("grid", spec.title,
+                                             [&spec] { return spec; }, {});
+      rc = run_experiment(e, ctx, std::cout);
+    } catch (const std::exception& ex) {
+      std::cerr << "afs_sweep run: " << ex.what() << "\n";
+      return 2;
+    }
+  } else {
+    std::vector<const Experiment*> selected;
+    if (run_all) {
+      for (const Experiment& e : all_experiments())
+        if (e.kind != ExperimentKind::kMicro) selected.push_back(&e);
+    } else {
+      for (const std::string& id : ids) {
+        const Experiment* e = find_experiment(id);
+        if (!e) {
+          std::cerr << "afs_sweep run: unknown experiment id '" << id
+                    << "' (see afs_sweep list)\n";
+          return 2;
+        }
+        selected.push_back(e);
+      }
+    }
+    for (const Experiment* e : selected) {
+      const int one = run_experiment(*e, ctx, std::cout);
+      if (one != 0 && rc == 0) rc = one;
+    }
+  }
+
+  if (ctx.store) {
+    const double rate = ctx.store->hit_rate() * 100.0;
+    char buf[32];
+    std::snprintf(buf, sizeof buf, "%.1f", rate);
+    std::cout << "store: hits=" << ctx.store->hits()
+              << " misses=" << ctx.store->misses()
+              << " writes=" << ctx.store->writes() << " hit_rate=" << buf
+              << "%\n";
+  }
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<std::string> args(argv + 1, argv + argc);
+  if (args.empty()) return usage(std::cerr, 2);
+  const std::string& cmd = args[0];
+  const std::vector<std::string> rest(args.begin() + 1, args.end());
+  if (cmd == "list") return cmd_list();
+  if (cmd == "run") return cmd_run(rest);
+  if (cmd == "cache") return cmd_cache(rest);
+  if (cmd == "--help" || cmd == "-h" || cmd == "help")
+    return usage(std::cout, 0);
+  std::cerr << "afs_sweep: unknown command '" << cmd << "'\n";
+  return usage(std::cerr, 2);
+}
