@@ -1,7 +1,9 @@
 #include "experiments/grid.hpp"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
+#include <memory>
 #include <stdexcept>
 #include <vector>
 
@@ -222,6 +224,44 @@ PerturbationConfig parse_perturb_spec(const std::string& spec,
   }
   pc.validate(max_procs);
   return pc;
+}
+
+Experiment make_grid_experiment(const GridSpec& g) {
+  if (g.kernel.empty() || g.machine.empty() || g.schedulers.empty())
+    throw std::runtime_error(
+        "a grid needs all of kernel, machine and schedulers");
+  // Parse and validate everything before returning: a malformed grid must
+  // fail at admission with a usage hint, never mid-run.
+  auto spec = std::make_shared<FigureSpec>();
+  spec->id = "grid";
+  spec->machine = parse_machine_spec(g.machine);
+  spec->program = parse_kernel_spec(g.kernel);
+  spec->title = g.kernel + " on " + g.machine;
+  spec->procs = g.procs.empty()
+                    ? std::vector<int>{spec->machine.max_processors}
+                    : g.procs;
+  int max_p = 0;
+  for (int p : spec->procs) max_p = std::max(max_p, p);
+  if (!g.perturb.empty())
+    spec->sim_options.perturb = parse_perturb_spec(g.perturb, max_p);
+  for (const std::string& s : split(g.schedulers, ',')) {
+    if (s.empty())
+      throw std::runtime_error("bad schedulers spec '" + g.schedulers +
+                               "' (empty scheduler entry)");
+    spec->schedulers.push_back(entry(s));
+  }
+  for (const SchedulerEntry& se : spec->schedulers) se.make();
+
+  return figure_experiment("grid", spec->title,
+                           [spec] { return *spec; }, {});
+}
+
+std::string grid_identity(const GridSpec& g) {
+  std::string procs;
+  for (int p : g.procs) procs += std::to_string(p) + ",";
+  return "kernel=" + g.kernel + ";machine=" + g.machine +
+         ";schedulers=" + g.schedulers + ";perturb=" + g.perturb +
+         ";procs=" + procs;
 }
 
 }  // namespace afs

@@ -31,7 +31,9 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
+#include "experiments/registry.hpp"
 #include "machines/machine_config.hpp"
 #include "sim/perturbation.hpp"
 #include "workload/loop_spec.hpp"
@@ -43,5 +45,28 @@ LoopProgram parse_kernel_spec(const std::string& spec);
 /// `max_procs` bounds delay/loss processor ids (pass the largest P of the
 /// sweep).
 PerturbationConfig parse_perturb_spec(const std::string& spec, int max_procs);
+
+/// One user-defined grid request, shared by the batch driver
+/// (`afs_sweep run --kernel=...`) and the serve-mode `grid` verb so both
+/// produce byte-identical grid.csv output for the same specs.
+struct GridSpec {
+  std::string kernel;      ///< parse_kernel_spec grammar
+  std::string machine;     ///< parse_machine_spec grammar
+  std::string schedulers;  ///< comma-separated make_scheduler specs
+  std::string perturb;     ///< parse_perturb_spec grammar; empty = none
+  std::vector<int> procs;  ///< empty = the machine's max_processors
+};
+
+/// Builds the ad-hoc experiment a grid request runs: parses every spec
+/// up front (throws std::runtime_error with a usage hint before anything
+/// simulates) and packages the result as figure experiment "grid"
+/// writing <out-dir>/grid.csv through the standard harness and store.
+Experiment make_grid_experiment(const GridSpec& g);
+
+/// Canonical one-line identity of a grid request. The daemon uses it to
+/// give each distinct grid a stable private output directory, so
+/// repeated identical grids overwrite themselves (idempotent, warm) and
+/// different grids never clobber each other's grid.csv.
+std::string grid_identity(const GridSpec& g);
 
 }  // namespace afs

@@ -79,6 +79,7 @@ Experiment figure_experiment(
     sweep.resume = cli.resume;
     sweep.checkpoint_dir = cli.out_dir + "/.sweep/" + spec.id;
     sweep.pool = ctx.pool;
+    sweep.cancel = ctx.cancel;
 
     // Shape mismatches are reported but do not fail the run: they are
     // data, recorded in EXPERIMENTS.md. Failed cells degrade gracefully —
@@ -123,13 +124,21 @@ SimResult run_cell_cached(const ExperimentContext& ctx,
                           const LoopProgram& program,
                           const std::string& sched_spec, int procs,
                           const SimOptions& options) {
+  // Thread the context's cancellation into the simulation (the token is
+  // not part of the cell key, so cacheability is unchanged): a fired
+  // token is CancelledError at the next event boundary — the bespoke
+  // tables' path to the cancelled taxonomy.
+  SimOptions opts = options;
+  if (opts.cancel == nullptr) opts.cancel = ctx.cancel;
   CellKey key;
   if (ctx.store) {
-    key = make_cell_key(machine, program.key, sched_spec, procs, options);
+    key = make_cell_key(machine, program.key, sched_spec, procs, opts);
     SimResult cached;
     if (ctx.store->load(key, cached)) return cached;
   }
-  MachineSim sim(machine, options);
+  if (opts.cancel != nullptr && opts.cancel->cancelled())
+    throw CancelledError("cell cancelled before simulation started");
+  MachineSim sim(machine, opts);
   auto sched = make_scheduler(sched_spec);
   const SimResult r = sim.run(program, *sched, procs);
   if (ctx.store && key.cacheable) ctx.store->save(key, r);

@@ -38,6 +38,12 @@ struct ExperimentContext {
   bench::BenchCli cli;
   ResultStore* store = nullptr;
   ThreadPool* pool = nullptr;
+  /// Optional caller-side cancellation (not owned): a service request
+  /// deadline or the batch driver's SIGINT/SIGTERM token. Figure sweeps
+  /// chain it under SweepOptions::cancel; bespoke tables observe it via
+  /// run_cell_cached, whose simulations raise CancelledError at the next
+  /// event boundary once it fires.
+  const CancelToken* cancel = nullptr;
 };
 
 struct Experiment {

@@ -335,7 +335,7 @@ SweepOutcome run_sweep(const std::string& sweep_id,
   }
 
   // ---- execute the remaining cells ----
-  CancelToken sweep_token;
+  CancelToken sweep_token(opts.cancel);
   if (opts.sweep_timeout > 0.0) sweep_token.set_timeout(opts.sweep_timeout);
 
   std::mutex mu;  // guards outcome, state and log

@@ -85,6 +85,13 @@ struct SweepOptions {
   /// in the caller's thread in declaration order (the bit-identity
   /// reference ordering).
   ThreadPool* pool = nullptr;
+  /// Optional parent cancellation token (not owned; must outlive the
+  /// sweep). The sweep-level token is created as a child of it, so a
+  /// caller-side abort — a service request deadline, a SIGINT in the
+  /// batch driver — cancels queued cells exactly like a sweep timeout:
+  /// running cells stop at the next event boundary, queued cells are
+  /// discarded by the pool, completed cells keep their checkpoints.
+  const CancelToken* cancel = nullptr;
   /// Test hook: replaces the real backoff sleep (argument in seconds).
   std::function<void(double)> sleep_fn;
 

@@ -1,0 +1,179 @@
+#include "service/client.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "service/json.hpp"
+#include "service/protocol.hpp"
+
+namespace afs::service {
+
+ServiceClient::~ServiceClient() { close(); }
+
+bool ServiceClient::connect(const std::string& socket_path,
+                            std::string& error) {
+  close();
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    error = "socket path too long: " + socket_path;
+    return false;
+  }
+  std::memcpy(addr.sun_path, socket_path.c_str(), socket_path.size() + 1);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    error = std::string("socket: ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    error = "connect " + socket_path + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool ServiceClient::send_raw(const std::string& bytes) {
+  if (fd_ < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool ServiceClient::send_line(const std::string& line) {
+  if (!line.empty() && line.back() == '\n') return send_raw(line);
+  return send_raw(line + "\n");
+}
+
+bool ServiceClient::read_line(std::string& line, double timeout_s) {
+  if (fd_ < 0) return false;
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    const std::size_t nl = buffer_.find('\n');
+    if (nl != std::string::npos) {
+      line = buffer_.substr(0, nl);
+      buffer_.erase(0, nl + 1);
+      return true;
+    }
+    int wait_ms = -1;
+    if (timeout_s > 0.0) {
+      const auto left = deadline - std::chrono::steady_clock::now();
+      wait_ms = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(left).count());
+      if (wait_ms <= 0) return false;
+    }
+    pollfd pfd{fd_, POLLIN, 0};
+    const int pr = ::poll(&pfd, 1, wait_ms);
+    if (pr < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (pr == 0) return false;  // timeout
+    char chunk[4096];
+    const ssize_t n = ::recv(fd_, chunk, sizeof chunk, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF with no complete line
+    buffer_.append(chunk, static_cast<std::size_t>(n));
+  }
+}
+
+void ServiceClient::hangup_write() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_WR);
+}
+
+void ServiceClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  buffer_.clear();
+}
+
+namespace {
+
+const JsonValue* find_str(const JsonValue& v, const char* key) {
+  const JsonValue* f = v.find(key);
+  return (f != nullptr && f->is_string()) ? f : nullptr;
+}
+
+}  // namespace
+
+int run_request(const std::string& socket_path,
+                const std::string& request_line, std::ostream& out,
+                std::ostream& err, bool raw, double timeout_s) {
+  ServiceClient client;
+  std::string error;
+  if (!client.connect(socket_path, error)) {
+    err << "request: " << error << "\n";
+    return 2;
+  }
+  if (!client.send_line(request_line)) {
+    err << "request: send failed: " << std::strerror(errno) << "\n";
+    return 2;
+  }
+  std::string line;
+  while (client.read_line(line, timeout_s)) {
+    JsonValue v;
+    std::string jerr;
+    if (!parse_json(line, v, jerr) || !v.is_object()) {
+      err << "request: unparseable response: " << line << "\n";
+      return 2;
+    }
+    const JsonValue* event = find_str(v, "event");
+    if (event == nullptr) {
+      err << "request: response without event: " << line << "\n";
+      return 2;
+    }
+    if (event->string == "log") {
+      if (raw) {
+        out << line << "\n";
+      } else if (const JsonValue* text = find_str(v, "text")) {
+        out << text->string << "\n";
+      }
+      continue;
+    }
+    if (event->string == "accepted") {
+      if (raw) out << line << "\n";
+      continue;
+    }
+    // Terminal events: done / error / stats / health / shutting_down.
+    out << line << "\n";
+    if (event->string == "done") {
+      const JsonValue* ok = v.find("ok");
+      return (ok != nullptr && ok->is_bool() && ok->boolean) ? 0 : 1;
+    }
+    if (event->string == "error") {
+      const JsonValue* code = find_str(v, "code");
+      if (code != nullptr && (code->string == err::kOverloaded ||
+                              code->string == err::kShuttingDown))
+        return 3;
+      return 1;
+    }
+    return 0;  // stats / health / shutting_down
+  }
+  err << "request: connection closed before a terminal response\n";
+  return 2;
+}
+
+}  // namespace afs::service

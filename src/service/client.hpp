@@ -1,0 +1,69 @@
+// Client side of the sweep service protocol: what `afs_sweep request`
+// runs, and what the daemon tests drive connections with.
+//
+// ServiceClient is a thin blocking wrapper over one Unix-domain socket
+// connection (connect / write a line / read a line with deadline), kept
+// deliberately low-level so tests can speak mid-frame garbage, half-close
+// the socket, or stop reading — the hostile clients the daemon must
+// survive. run_request() is the porcelain: send one request line, stream
+// responses until a terminal event, map the outcome to a process exit
+// code.
+#pragma once
+
+#include <cstddef>
+#include <ostream>
+#include <string>
+
+namespace afs::service {
+
+class ServiceClient {
+ public:
+  ServiceClient() = default;
+  ~ServiceClient();
+
+  ServiceClient(const ServiceClient&) = delete;
+  ServiceClient& operator=(const ServiceClient&) = delete;
+
+  /// Connects to the daemon's socket. False with `error` on failure.
+  bool connect(const std::string& socket_path, std::string& error);
+
+  /// Sends raw bytes (no newline appended — callers frame explicitly,
+  /// tests depend on being able to send partial frames). False on error.
+  bool send_raw(const std::string& bytes);
+
+  /// Sends one '\n'-terminated request frame (newline appended when
+  /// missing).
+  bool send_line(const std::string& line);
+
+  /// Reads the next '\n'-terminated response line (newline stripped).
+  /// False on EOF, error, or after `timeout_s` seconds (0 = no timeout).
+  bool read_line(std::string& line, double timeout_s = 0.0);
+
+  /// Half-close: shuts down the write side, leaving reads open — how a
+  /// polite client says "no more requests" (and how a test makes EOF).
+  void hangup_write();
+
+  void close();
+  bool connected() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+ private:
+  int fd_ = -1;
+  std::string buffer_;  ///< bytes read past the last returned line
+};
+
+/// Sends `request_line` to the daemon at `socket_path` and streams the
+/// responses to `out` until a terminal event. With `raw`, every response
+/// line is printed verbatim; otherwise log lines print as plain text and
+/// the terminal line prints as JSON. `timeout_s` bounds each read (0 =
+/// wait forever).
+///
+/// Exit codes: 0 = done ok (or stats/health/shutting_down answered);
+/// 1 = done with nonzero exit, or a request-level error;
+/// 2 = transport failure (connect/read/write);
+/// 3 = bounced by backpressure or drain (overloaded / shutting_down).
+int run_request(const std::string& socket_path,
+                const std::string& request_line, std::ostream& out,
+                std::ostream& err, bool raw, double timeout_s = 0.0);
+
+}  // namespace afs::service

@@ -1,0 +1,213 @@
+#include "service/protocol.hpp"
+
+#include <algorithm>
+
+namespace afs::service {
+namespace {
+
+/// The set of fields each verb accepts; anything else is rejected so a
+/// client typo ("idz") fails loudly instead of silently running --all.
+bool field_allowed(Verb verb, const std::string& key) {
+  if (key == "verb" || key == "tag" || key == "deadline") return true;
+  switch (verb) {
+    case Verb::kRun:
+      return key == "ids" || key == "all";
+    case Verb::kGrid:
+      return key == "kernel" || key == "machine" || key == "schedulers" ||
+             key == "procs" || key == "perturb";
+    case Verb::kStats:
+    case Verb::kHealth:
+    case Verb::kShutdown:
+      return false;
+  }
+  return false;
+}
+
+bool bad(ProtocolError& e, const char* code, std::string message) {
+  e.code = code;
+  e.message = std::move(message);
+  return false;
+}
+
+/// "1,2,4" — the procs grammar the CLI already speaks. Accepts a JSON
+/// string or an array of integers (normalized to the string form).
+bool render_procs(const JsonValue& v, std::string& out, ProtocolError& e) {
+  if (v.is_string()) {
+    out = v.string;
+    return true;
+  }
+  if (v.is_array()) {
+    out.clear();
+    for (const JsonValue& item : v.array) {
+      if (!item.is_number() || item.number != static_cast<int>(item.number))
+        return bad(e, err::kBadRequest, "procs array must hold integers");
+      if (!out.empty()) out += ',';
+      out += std::to_string(static_cast<int>(item.number));
+    }
+    if (out.empty())
+      return bad(e, err::kBadRequest, "procs array must not be empty");
+    return true;
+  }
+  return bad(e, err::kBadRequest, "procs must be a string or integer array");
+}
+
+}  // namespace
+
+bool parse_request(const std::string& frame, Request& out, ProtocolError& e) {
+  out = Request{};
+  if (!valid_utf8(frame)) return bad(e, err::kBadUtf8, "frame is not UTF-8");
+
+  JsonValue doc;
+  std::string jerr;
+  if (!parse_json(frame, doc, jerr)) return bad(e, err::kBadJson, jerr);
+  if (!doc.is_object())
+    return bad(e, err::kBadJson, "request must be a JSON object");
+
+  const JsonValue* verb = doc.find("verb");
+  if (!verb || !verb->is_string())
+    return bad(e, err::kBadRequest, "missing string field 'verb'");
+  if (verb->string == "run")
+    out.verb = Verb::kRun;
+  else if (verb->string == "grid")
+    out.verb = Verb::kGrid;
+  else if (verb->string == "stats")
+    out.verb = Verb::kStats;
+  else if (verb->string == "health")
+    out.verb = Verb::kHealth;
+  else if (verb->string == "shutdown")
+    out.verb = Verb::kShutdown;
+  else
+    return bad(e, err::kUnknownVerb,
+               "unknown verb '" + verb->string +
+                   "' (expected run|grid|stats|health|shutdown)");
+
+  for (const auto& [key, value] : doc.object) {
+    if (!field_allowed(out.verb, key))
+      return bad(e, err::kBadRequest,
+                 "unknown field '" + key + "' for verb '" + verb->string +
+                     "'");
+    if (key == "verb") continue;
+    if (key == "tag") {
+      if (!value.is_string())
+        return bad(e, err::kBadRequest, "tag must be a string");
+      if (value.string.size() > 256)
+        return bad(e, err::kBadRequest, "tag longer than 256 bytes");
+      out.tag = value.string;
+    } else if (key == "deadline") {
+      if (!value.is_number())
+        return bad(e, err::kBadRequest, "deadline must be a number");
+      if (!(value.number > 0.0) || value.number > 86400.0)
+        return bad(e, err::kBadRequest,
+                   "deadline must be seconds in (0, 86400]");
+      out.deadline = value.number;
+    } else if (key == "ids") {
+      if (!value.is_array() || value.array.empty())
+        return bad(e, err::kBadRequest, "ids must be a non-empty array");
+      for (const JsonValue& id : value.array) {
+        if (!id.is_string() || id.string.empty())
+          return bad(e, err::kBadRequest, "ids must hold non-empty strings");
+        out.ids.push_back(id.string);
+      }
+    } else if (key == "all") {
+      if (!value.is_bool())
+        return bad(e, err::kBadRequest, "all must be a boolean");
+      out.all = value.boolean;
+    } else if (key == "procs") {
+      if (!render_procs(value, out.procs, e)) return false;
+    } else {  // kernel / machine / schedulers / perturb
+      if (!value.is_string() || value.string.empty())
+        return bad(e, err::kBadRequest, key + " must be a non-empty string");
+      if (key == "kernel")
+        out.kernel = value.string;
+      else if (key == "machine")
+        out.machine = value.string;
+      else if (key == "schedulers")
+        out.schedulers = value.string;
+      else
+        out.perturb = value.string;
+    }
+  }
+
+  if (out.verb == Verb::kRun) {
+    if (out.all == !out.ids.empty())
+      return bad(e, err::kBadRequest,
+                 "run needs exactly one of ids or all:true");
+  }
+  if (out.verb == Verb::kGrid) {
+    if (out.kernel.empty() || out.machine.empty() || out.schedulers.empty())
+      return bad(e, err::kBadRequest,
+                 "grid needs kernel, machine and schedulers");
+  }
+  return true;
+}
+
+void LineFramer::feed(const char* data, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = data[i];
+    if (skipping_) {
+      if (c == '\n') skipping_ = false;  // resynchronized
+      continue;
+    }
+    if (c == '\n') {
+      Item item;
+      item.frame = std::move(partial_);
+      partial_.clear();
+      ready_.push_back(std::move(item));
+      continue;
+    }
+    partial_ += c;
+    if (partial_.size() > max_frame_) {
+      partial_.clear();
+      skipping_ = true;
+      Item item;
+      item.is_error = true;
+      item.error = {err::kFrameTooLong,
+                    "frame exceeds " + std::to_string(max_frame_) +
+                        " bytes; input discarded to next newline"};
+      ready_.push_back(std::move(item));
+    }
+  }
+}
+
+bool LineFramer::next_frame(std::string& frame) {
+  if (ready_.empty() || ready_.front().is_error) return false;
+  frame = std::move(ready_.front().frame);
+  ready_.pop_front();
+  return true;
+}
+
+bool LineFramer::next_error(ProtocolError& e) {
+  if (ready_.empty() || !ready_.front().is_error) return false;
+  e = std::move(ready_.front().error);
+  ready_.pop_front();
+  return true;
+}
+
+std::string response_line(const std::string& event,
+                          const std::vector<JsonField>& fields,
+                          const std::string& tag) {
+  std::string out = "{\"event\":";
+  out += json_quote(event);
+  for (const JsonField& f : fields) {
+    out += ',';
+    out += json_quote(f.key);
+    out += ':';
+    out += f.rendered;
+  }
+  if (!tag.empty()) out += ",\"tag\":" + json_quote(tag);
+  out += "}\n";
+  return out;
+}
+
+std::string response_error(const ProtocolError& e, const std::string& tag,
+                           std::uint64_t request) {
+  std::vector<JsonField> fields;
+  fields.push_back({"code", json_quote(e.code)});
+  fields.push_back({"message", json_quote(e.message)});
+  if (request != 0)
+    fields.push_back(
+        {"request", json_number(static_cast<double>(request))});
+  return response_line("error", fields, tag);
+}
+
+}  // namespace afs::service

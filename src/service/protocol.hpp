@@ -1,0 +1,136 @@
+// The sweep service wire protocol: line-delimited JSON over a Unix-domain
+// socket (docs/SWEEP_SERVICE.md, "Serving").
+//
+// Every request is one '\n'-terminated JSON object; every response is one
+// '\n'-terminated JSON object with an "event" field. A connection may
+// pipeline requests; responses carry the request's echoed "tag" (and, for
+// admitted work, the daemon-assigned sequence number) so a client can
+// match them up.
+//
+//   {"verb":"run","ids":["fig04","tab2"],"deadline":30,"tag":"c1"}
+//   {"verb":"run","all":true}
+//   {"verb":"grid","kernel":"gauss:256","machine":"iris",
+//    "schedulers":"AFS,GSS","procs":"1,2,4","perturb":"seed=7"}
+//   {"verb":"stats"}     {"verb":"health"}     {"verb":"shutdown"}
+//
+// Robustness is the point of this layer: the framer bounds line length
+// and resynchronizes after an oversized frame; the request parser
+// rejects unknown verbs, unknown fields, non-positive deadlines and
+// type-confused values with a structured error instead of a dropped
+// connection; and every error carries a stable machine-readable code
+// from the taxonomy below so clients (and the chaos soak test) can
+// assert on behavior, not message text.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace afs::service {
+
+/// Longest accepted request frame (bytes, excluding the newline). A
+/// legitimate request is well under 4 KiB; the cap bounds memory per
+/// hostile connection without being tight enough to clip a real one.
+inline constexpr std::size_t kMaxFrameBytes = 64 * 1024;
+
+enum class Verb { kRun, kGrid, kStats, kHealth, kShutdown };
+
+/// A parsed, syntactically valid request. Semantic validation that needs
+/// daemon state (experiment ids against the registry, grid specs against
+/// the grammars) happens at admission.
+struct Request {
+  Verb verb = Verb::kHealth;
+  // run
+  std::vector<std::string> ids;
+  bool all = false;
+  // grid
+  std::string kernel, machine, schedulers, procs, perturb;
+  /// Per-request wall-clock deadline in seconds. 0 = use the daemon's
+  /// default (an explicit 0 or negative in the request is rejected).
+  double deadline = 0.0;
+  /// Opaque client correlation tag, echoed on every response line.
+  std::string tag;
+};
+
+/// Stable machine-readable error codes (the protocol's failure taxonomy).
+namespace err {
+inline constexpr const char* kBadUtf8 = "bad_utf8";
+inline constexpr const char* kBadJson = "bad_json";
+inline constexpr const char* kFrameTooLong = "frame_too_long";
+inline constexpr const char* kUnknownVerb = "unknown_verb";
+inline constexpr const char* kBadRequest = "bad_request";
+inline constexpr const char* kUnknownExperiment = "unknown_experiment";
+inline constexpr const char* kBadGrid = "bad_grid";
+inline constexpr const char* kOverloaded = "overloaded";
+inline constexpr const char* kShuttingDown = "shutting_down";
+inline constexpr const char* kDeadlineExpired = "deadline_expired";
+inline constexpr const char* kCancelled = "cancelled";
+inline constexpr const char* kInternal = "internal";
+}  // namespace err
+
+struct ProtocolError {
+  std::string code;     ///< one of err::*
+  std::string message;  ///< human-readable detail
+};
+
+/// Parses one frame into a Request. Returns false and fills `e` (code
+/// kBadUtf8 / kBadJson / kUnknownVerb / kBadRequest) on anything
+/// malformed; the connection stays usable either way.
+bool parse_request(const std::string& frame, Request& out, ProtocolError& e);
+
+/// Splits a byte stream into newline-terminated frames with a hard length
+/// bound. Feed bytes as they arrive; drain frames and errors in arrival
+/// order. An overlong line produces exactly one kFrameTooLong error and
+/// the framer then discards input up to the next '\n' — framing
+/// resynchronizes, the connection survives.
+class LineFramer {
+ public:
+  explicit LineFramer(std::size_t max_frame = kMaxFrameBytes)
+      : max_frame_(max_frame) {}
+
+  void feed(const char* data, std::size_t n);
+
+  /// True when a complete frame (newline stripped) is ready.
+  bool next_frame(std::string& frame);
+  /// True when a framing error is pending (reported in stream order
+  /// relative to frames).
+  bool next_error(ProtocolError& e);
+
+  /// Bytes buffered for the current (incomplete) line.
+  std::size_t pending_bytes() const { return partial_.size(); }
+
+ private:
+  struct Item {
+    bool is_error = false;
+    std::string frame;
+    ProtocolError error;
+  };
+  std::size_t max_frame_;
+  std::string partial_;
+  bool skipping_ = false;  ///< discarding an overlong line until '\n'
+  std::deque<Item> ready_;
+};
+
+// ---- response lines (each returns one '\n'-terminated JSON object) ----
+
+/// One key/value pair of a response object; values are pre-rendered JSON
+/// (use json_quote / json_number for scalars).
+struct JsonField {
+  std::string key;
+  std::string rendered;
+};
+
+/// {"event":EVENT, fields..., "tag":TAG}\n — the tag is appended only
+/// when non-empty.
+std::string response_line(const std::string& event,
+                          const std::vector<JsonField>& fields,
+                          const std::string& tag);
+
+std::string response_error(const ProtocolError& e, const std::string& tag,
+                           std::uint64_t request = 0);
+
+}  // namespace afs::service

@@ -1,0 +1,163 @@
+// In-flight request bookkeeping for the sweep daemon.
+//
+// A ServiceRequest is one admitted `run`/`grid` request: the parsed
+// protocol request, the connection to stream responses to, a per-request
+// CancelToken (deadline + drain parent + client-disconnect), and the
+// timestamps the latency counters are computed from. The RequestRegistry
+// allocates sequence numbers and tracks the queued/running population so
+// the `stats` verb (and the drain log) can report queue depth and
+// in-flight state truthfully.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "service/listener.hpp"
+#include "service/protocol.hpp"
+#include "util/cancel.hpp"
+
+namespace afs::service {
+
+struct ServiceRequest {
+  std::uint64_t seq = 0;  ///< daemon-assigned, echoed as "request"
+  Request req;
+  std::shared_ptr<Connection> conn;
+  /// Child of the daemon's drain token; armed with the per-request
+  /// deadline at admission, fired early by drain timeout or client
+  /// disconnect. The sweep runner and the simulator poll it
+  /// cooperatively.
+  CancelToken cancel;
+  /// Set by the admitting thread once the "accepted" line is on the wire.
+  /// The executor waits for it before its first write, so a fast dispatch
+  /// can never interleave "log" output ahead of the admission reply. The
+  /// admitter's post-push store is safe for the same reason: the executor
+  /// cannot destroy the entry while the flag is still unset.
+  std::atomic<bool> accepted_written{false};
+  std::chrono::steady_clock::time_point arrived{};
+  std::chrono::steady_clock::time_point started{};
+
+  explicit ServiceRequest(const CancelToken* drain_parent)
+      : cancel(drain_parent) {}
+};
+
+/// Thread-safe sequence allocation and queued/running census.
+class RequestRegistry {
+ public:
+  std::uint64_t next_seq() {
+    std::scoped_lock lock(mu_);
+    return ++seq_;
+  }
+
+  void enqueued(std::uint64_t seq) { set_state(seq, State::kQueued); }
+  void running(std::uint64_t seq) { set_state(seq, State::kRunning); }
+  void finished(std::uint64_t seq) {
+    std::scoped_lock lock(mu_);
+    for (std::size_t i = 0; i < live_.size(); ++i) {
+      if (live_[i].first == seq) {
+        live_[i] = live_.back();
+        live_.pop_back();
+        return;
+      }
+    }
+  }
+
+  int queued() const { return count(State::kQueued); }
+  int in_flight() const { return count(State::kRunning); }
+
+ private:
+  enum class State { kQueued, kRunning };
+
+  void set_state(std::uint64_t seq, State s) {
+    std::scoped_lock lock(mu_);
+    for (auto& [id, state] : live_) {
+      if (id == seq) {
+        state = s;
+        return;
+      }
+    }
+    live_.emplace_back(seq, s);
+  }
+
+  int count(State s) const {
+    std::scoped_lock lock(mu_);
+    int n = 0;
+    for (const auto& [id, state] : live_)
+      if (state == s) ++n;
+    return n;
+  }
+
+  mutable std::mutex mu_;
+  std::uint64_t seq_ = 0;
+  std::vector<std::pair<std::uint64_t, State>> live_;
+};
+
+/// Bounded MPSC admission queue: connection reader threads push, the
+/// dispatcher pops in arrival order — the paper's central ready queue
+/// restated at the service layer. A full queue rejects instead of
+/// growing: backpressure is the contract, unbounded memory the failure
+/// mode it prevents.
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(std::size_t capacity) : capacity_(capacity) {}
+
+  /// False when the queue is full or closed (the caller sends the
+  /// structured `overloaded` / `shutting_down` error).
+  bool try_push(std::unique_ptr<ServiceRequest> r) {
+    {
+      std::scoped_lock lock(mu_);
+      if (closed_ || queue_.size() >= capacity_) return false;
+      queue_.push_back(std::move(r));
+    }
+    cv_.notify_one();
+    return true;
+  }
+
+  /// Next request in arrival order; waits up to `timeout`. Null on
+  /// timeout or when the queue is closed and drained.
+  std::unique_ptr<ServiceRequest> pop_wait(std::chrono::milliseconds timeout) {
+    std::unique_lock lock(mu_);
+    cv_.wait_for(lock, timeout,
+                 [this] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return nullptr;
+    std::unique_ptr<ServiceRequest> r = std::move(queue_.front());
+    queue_.pop_front();
+    return r;
+  }
+
+  /// Stops admission; queued requests still drain through pop_wait.
+  void close() {
+    {
+      std::scoped_lock lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  bool closed() const {
+    std::scoped_lock lock(mu_);
+    return closed_;
+  }
+
+  std::size_t depth() const {
+    std::scoped_lock lock(mu_);
+    return queue_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::unique_ptr<ServiceRequest>> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace afs::service

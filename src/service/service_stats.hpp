@@ -1,0 +1,48 @@
+// Daemon-lifetime counters, surfaced by the `stats` verb and logged on
+// drain for post-mortems.
+//
+// Everything is a relaxed atomic: counters are written from connection
+// reader threads and the dispatcher concurrently, and a stats read is a
+// monotonic snapshot, not a transaction — exactly what an operations
+// counter needs and nothing more. Latency sums are accumulated in
+// microseconds (an atomic double would need CAS loops; integral
+// microseconds keep increments wait-free and still resolve well below
+// one scheduling quantum).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace afs::service {
+
+struct ServiceStats {
+  // Admission path.
+  std::atomic<std::int64_t> admitted{0};  ///< queued for the dispatcher
+  std::atomic<std::int64_t> rejected_overloaded{0};  ///< bounced, queue full
+  std::atomic<std::int64_t> rejected_draining{0};  ///< bounced, shutting down
+  std::atomic<std::int64_t> protocol_errors{0};  ///< bad frames/requests
+
+  // Completion taxonomy (one per admitted request, eventually).
+  std::atomic<std::int64_t> completed{0};         ///< ran to the end, exit 0
+  std::atomic<std::int64_t> failed{0};            ///< ran, nonzero exit
+  std::atomic<std::int64_t> cancelled{0};  ///< drain or client disconnect
+  std::atomic<std::int64_t> deadline_expired{0};  ///< per-request deadline
+
+  // Connections.
+  std::atomic<std::int64_t> connections_total{0};
+  std::atomic<std::int64_t> connections_open{0};
+  std::atomic<std::int64_t> connections_torn_down{0};  ///< forced teardowns
+
+  // Latency accounting (microseconds; divide by served requests for the
+  // mean). queue_wait covers admission -> dispatch; run covers dispatch ->
+  // response.
+  std::atomic<std::int64_t> queue_wait_us{0};
+  std::atomic<std::int64_t> run_us{0};
+
+  std::int64_t finished() const {
+    return completed.load() + failed.load() + cancelled.load() +
+           deadline_expired.load();
+  }
+};
+
+}  // namespace afs::service

@@ -79,12 +79,19 @@ struct EntryInfo {
   fs::file_time_type mtime;
 };
 
+constexpr const char* kQuarantineDir = "quarantine";
+
 std::vector<EntryInfo> list_entries(const std::string& root) {
   std::vector<EntryInfo> entries;
   std::error_code ec;
   for (fs::recursive_directory_iterator it(root, ec), end; it != end;
        it.increment(ec)) {
     if (ec) break;
+    // Quarantined files are evidence, not entries: invisible to scan/gc.
+    if (it->is_directory(ec) && it->path().filename() == kQuarantineDir) {
+      it.disable_recursion_pending();
+      continue;
+    }
     if (!it->is_regular_file(ec)) continue;
     const fs::path& p = it->path();
     if (p.extension() != ".cell") continue;  // skips stray .tmp.* files
@@ -112,22 +119,55 @@ std::string ResultStore::entry_path(const CellKey& key) const {
 
 bool ResultStore::load(const CellKey& key, SimResult& out) {
   if (key.cacheable) {
-    std::ifstream in(entry_path(key), std::ios::binary);
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      if (parse_entry(buf.str(), key, out)) {
-        hits_.fetch_add(1);
-        // LRU signal for gc(): a served entry is a recently-used entry.
-        std::error_code ec;
-        fs::last_write_time(entry_path(key), fs::file_time_type::clock::now(),
-                            ec);
-        return true;
+    bool existed = false;
+    {
+      std::ifstream in(entry_path(key), std::ios::binary);
+      if (in) {
+        existed = true;
+        std::ostringstream buf;
+        buf << in.rdbuf();
+        if (parse_entry(buf.str(), key, out)) {
+          hits_.fetch_add(1);
+          // LRU signal for gc(): a served entry is a recently-used entry.
+          std::error_code ec;
+          fs::last_write_time(entry_path(key),
+                              fs::file_time_type::clock::now(), ec);
+          return true;
+        }
       }
     }
+    // A file that exists but does not authenticate is corruption (or a
+    // hash collision's foreign key — equally unusable at this address):
+    // move it aside so it stops failing every future lookup, keep the
+    // bytes for post-mortems. Stream closed above so the rename is clean.
+    if (existed) quarantine_entry(entry_path(key));
   }
   misses_.fetch_add(1);
   return false;
+}
+
+void ResultStore::quarantine_entry(const std::string& path) {
+  std::error_code ec;
+  const fs::path dir = fs::path(root_) / kQuarantineDir;
+  fs::create_directories(dir, ec);
+  if (!ec) {
+    // Same uniqueness scheme as the write path: (pid, tid, counter) makes
+    // concurrent quarantines of the same entry land on distinct names,
+    // and the ".bad" extension keeps them out of scan()/gc().
+    const std::string dest =
+        (dir / fs::path(path).stem()).string() +
+        unique_tmp_path("").substr(4) + ".bad";  // strip the ".tmp" prefix
+    fs::rename(path, dest, ec);
+    if (!ec) {
+      quarantined_.fetch_add(1);
+      return;
+    }
+  }
+  // Could not move it (or make the directory): removing the corrupt file
+  // still stops the repeated parse failures. A concurrent quarantine
+  // winning the rename race lands here with ENOENT — then the other
+  // process already took the evidence and there is nothing to count.
+  if (fs::remove(path, ec)) quarantined_.fetch_add(1);
 }
 
 void ResultStore::save(const CellKey& key, const SimResult& r) {
@@ -160,6 +200,11 @@ StoreStats ResultStore::scan() const {
   for (const EntryInfo& e : list_entries(root_)) {
     ++stats.entries;
     stats.bytes += e.bytes;
+  }
+  std::error_code ec;
+  for (fs::directory_iterator it(fs::path(root_) / kQuarantineDir, ec), end;
+       !ec && it != end; it.increment(ec)) {
+    if (it->is_regular_file(ec)) ++stats.quarantined;
   }
   return stats;
 }

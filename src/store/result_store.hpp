@@ -46,6 +46,10 @@ namespace afs {
 struct StoreStats {
   std::int64_t entries = 0;
   std::int64_t bytes = 0;
+  /// Files under <root>/quarantine/ — corrupt entries moved aside by
+  /// load() for post-mortems instead of being re-parsed (and re-failed)
+  /// on every lookup.
+  std::int64_t quarantined = 0;
 };
 
 struct GcOptions {
@@ -74,6 +78,14 @@ class ResultStore {
   /// True and fills `out` when a valid entry for `key` exists. Counts a
   /// hit or a miss; refreshes the entry's mtime on a hit (LRU signal).
   /// Uncacheable keys count as misses without touching the disk.
+  ///
+  /// An entry that exists but fails to authenticate or parse (torn bytes,
+  /// hand-edited garbage, a hash collision's foreign key) is *quarantined*:
+  /// moved to <root>/quarantine/ under a unique name (tmp-style suffix +
+  /// rename, so concurrent quarantines of the same entry never collide)
+  /// and counted. The lookup degrades to a miss either way — quarantine
+  /// just preserves the evidence and stops the corrupt file from being
+  /// re-parsed on every lookup.
   bool load(const CellKey& key, SimResult& out);
 
   /// Publishes `r` under `key` (atomic rename; overwrites any previous
@@ -87,6 +99,8 @@ class ResultStore {
   std::int64_t hits() const { return hits_.load(); }
   std::int64_t misses() const { return misses_.load(); }
   std::int64_t writes() const { return writes_.load(); }
+  /// Corrupt entries moved to <root>/quarantine/ by this process.
+  std::int64_t quarantined() const { return quarantined_.load(); }
   /// hits / (hits + misses); 0 when no lookups were made.
   double hit_rate() const;
 
@@ -97,10 +111,15 @@ class ResultStore {
   GcOutcome gc(const GcOptions& opts) const;
 
  private:
+  /// Moves the corrupt entry at `path` into <root>/quarantine/ (or, if the
+  /// quarantine directory cannot be created, removes it) and counts it.
+  void quarantine_entry(const std::string& path);
+
   std::string root_;
   std::atomic<std::int64_t> hits_{0};
   std::atomic<std::int64_t> misses_{0};
   std::atomic<std::int64_t> writes_{0};
+  std::atomic<std::int64_t> quarantined_{0};
 };
 
 }  // namespace afs

@@ -1,0 +1,390 @@
+// Robustness tests for the sweep-service wire layer: the strict JSON
+// parser, the line framer's bounded buffering + resynchronization, and
+// parse_request's error taxonomy. The property/fuzz sections are
+// deterministic (fixed-seed PRNG): a failure reproduces byte-for-byte.
+#include "service/protocol.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "service/json.hpp"
+
+namespace afs::service {
+namespace {
+
+// ---------------------------------------------------------------- JSON --
+
+JsonValue parse_ok(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_TRUE(parse_json(text, v, err)) << text << " -> " << err;
+  return v;
+}
+
+void expect_parse_fail(const std::string& text) {
+  JsonValue v;
+  std::string err;
+  EXPECT_FALSE(parse_json(text, v, err)) << "accepted: " << text;
+  EXPECT_FALSE(err.empty());
+}
+
+TEST(Json, ParsesScalarsAndContainers) {
+  EXPECT_TRUE(parse_ok("null").is_null());
+  EXPECT_TRUE(parse_ok("true").boolean);
+  EXPECT_FALSE(parse_ok("false").boolean);
+  EXPECT_DOUBLE_EQ(parse_ok("-12.5e2").number, -1250.0);
+  EXPECT_EQ(parse_ok("\"a\\nb\"").string, "a\nb");
+  EXPECT_EQ(parse_ok("[1,2,3]").array.size(), 3u);
+  const JsonValue obj = parse_ok(" {\"a\": 1, \"b\": [true, null]} ");
+  ASSERT_TRUE(obj.is_object());
+  ASSERT_NE(obj.find("b"), nullptr);
+  EXPECT_EQ(obj.find("b")->array.size(), 2u);
+  EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(Json, DuplicateKeysFirstWins) {
+  const JsonValue obj = parse_ok("{\"k\":1,\"k\":2}");
+  ASSERT_NE(obj.find("k"), nullptr);
+  EXPECT_DOUBLE_EQ(obj.find("k")->number, 1.0);
+}
+
+TEST(Json, UnicodeEscapes) {
+  EXPECT_EQ(parse_ok("\"\\u0041\"").string, "A");
+  EXPECT_EQ(parse_ok("\"\\u00e9\"").string, "\xc3\xa9");          // é
+  EXPECT_EQ(parse_ok("\"\\ud83d\\ude00\"").string, "\xf0\x9f\x98\x80");
+  expect_parse_fail("\"\\ud83d\"");        // unpaired high surrogate
+  expect_parse_fail("\"\\ude00\"");        // lone low surrogate
+  expect_parse_fail("\"\\ud83d\\u0041\"");  // high + non-low
+  expect_parse_fail("\"\\uzzzz\"");
+}
+
+TEST(Json, RejectsMalformedNumbers) {
+  for (const char* bad : {"01", "1.", ".5", "+1", "1e", "1e+", "-", "--1",
+                          "0x10", "NaN", "Infinity", "1.2.3"})
+    expect_parse_fail(bad);
+  EXPECT_DOUBLE_EQ(parse_ok("0").number, 0.0);
+  EXPECT_DOUBLE_EQ(parse_ok("-0.5e-2").number, -0.005);
+}
+
+TEST(Json, RejectsTrailingGarbageAndControlChars) {
+  expect_parse_fail("{} {}");
+  expect_parse_fail("1 2");
+  expect_parse_fail("\"a\nb\"");           // raw newline inside a string
+  expect_parse_fail(std::string("\"a\x01b\""));
+}
+
+TEST(Json, RejectsInvalidUtf8Everywhere) {
+  expect_parse_fail("\"\xff\"");
+  expect_parse_fail("\"\xc0\x80\"");        // overlong NUL
+  expect_parse_fail("\"\xed\xa0\x80\"");    // surrogate code point
+  expect_parse_fail("\"\xf4\x90\x80\x80\"");  // above U+10FFFF
+  expect_parse_fail(std::string("{\"\x80\":1}"));
+  EXPECT_FALSE(valid_utf8("\xc3"));         // truncated sequence
+  EXPECT_TRUE(valid_utf8("\xc3\xa9 ok \xf0\x9f\x98\x80"));
+}
+
+TEST(Json, DepthBounded) {
+  // The parser admits kMaxJsonDepth+1 nesting levels (the top-level value
+  // starts at depth 0); one more must fail instead of recursing away.
+  std::string ok;
+  for (int i = 0; i <= kMaxJsonDepth; ++i) ok += '[';
+  for (int i = 0; i <= kMaxJsonDepth; ++i) ok += ']';
+  parse_ok(ok);
+  expect_parse_fail("[" + ok + "]");
+  expect_parse_fail(std::string(4096, '['));  // hostile deep open
+}
+
+TEST(Json, EveryPrefixOfAValidDocumentFailsCleanly) {
+  const std::string doc =
+      "{\"verb\":\"grid\",\"kernel\":\"gauss:64\",\"procs\":[1,2,4],"
+      "\"deadline\":1.5,\"tag\":\"a\\u0041\",\"nested\":[{\"x\":null}]}";
+  parse_ok(doc);
+  for (std::size_t n = 0; n < doc.size(); ++n) {
+    JsonValue v;
+    std::string err;
+    EXPECT_FALSE(parse_json(doc.substr(0, n), v, err))
+        << "prefix of length " << n << " accepted";
+  }
+}
+
+TEST(Json, QuoteRoundTripsArbitraryBytes) {
+  // Every UTF-8-valid string, including control characters, must survive
+  // quote -> parse, and the quoted form must be frame-safe (no raw '\n').
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::string s;
+    const int len = static_cast<int>(next() % 40);
+    for (int i = 0; i < len; ++i)
+      s += static_cast<char>(next() % 128);  // ASCII incl. control chars
+    const std::string quoted = json_quote(s);
+    EXPECT_EQ(quoted.find('\n'), std::string::npos);
+    EXPECT_EQ(parse_ok(quoted).string, s);
+  }
+}
+
+TEST(Json, NumberRoundTrips) {
+  for (const double v : {0.0, 1.0, -1.0, 0.1, 1e300, -2.5e-17,
+                         12345678901234.0, 3.141592653589793}) {
+    const JsonValue parsed = parse_ok(json_number(v));
+    EXPECT_EQ(parsed.number, v) << json_number(v);
+  }
+  EXPECT_EQ(json_number(std::numeric_limits<double>::quiet_NaN()), "null");
+  EXPECT_EQ(json_number(std::numeric_limits<double>::infinity()), "null");
+}
+
+// -------------------------------------------------------------- framer --
+
+TEST(Framer, SplitsFramesAcrossArbitraryFeeds) {
+  const std::string stream = "alpha\n\nbeta gamma\n{\"k\":1}\n";
+  const std::vector<std::string> want = {"alpha", "", "beta gamma",
+                                         "{\"k\":1}"};
+  // Feed in every chunk size from 1 byte up: framing must not depend on
+  // how the kernel happens to segment reads.
+  for (std::size_t chunk = 1; chunk <= stream.size(); ++chunk) {
+    LineFramer framer;
+    for (std::size_t off = 0; off < stream.size(); off += chunk)
+      framer.feed(stream.data() + off, std::min(chunk, stream.size() - off));
+    std::vector<std::string> got;
+    std::string frame;
+    while (framer.next_frame(frame)) got.push_back(frame);
+    EXPECT_EQ(got, want) << "chunk=" << chunk;
+    EXPECT_EQ(framer.pending_bytes(), 0u);
+  }
+}
+
+TEST(Framer, OversizedLineOneErrorThenResync) {
+  LineFramer framer(16);
+  const std::string input = std::string(100, 'x') + "\nok\n";
+  framer.feed(input.data(), input.size());
+  ProtocolError e;
+  std::string frame;
+  ASSERT_TRUE(framer.next_error(e));
+  EXPECT_EQ(e.code, err::kFrameTooLong);
+  EXPECT_FALSE(framer.next_error(e));  // exactly one error per long line
+  ASSERT_TRUE(framer.next_frame(frame));
+  EXPECT_EQ(frame, "ok");
+}
+
+TEST(Framer, BoundedBufferingWhileSkipping) {
+  LineFramer framer(16);
+  // A hostile client streaming an endless line must not grow our memory:
+  // after the error fires, everything up to the next newline is dropped.
+  const std::string flood(4096, 'z');
+  for (int i = 0; i < 100; ++i) framer.feed(flood.data(), flood.size());
+  EXPECT_EQ(framer.pending_bytes(), 0u);
+  ProtocolError e;
+  ASSERT_TRUE(framer.next_error(e));
+  EXPECT_FALSE(framer.next_error(e));
+  framer.feed("\nafter\n", 7);
+  std::string frame;
+  ASSERT_TRUE(framer.next_frame(frame));
+  EXPECT_EQ(frame, "after");
+}
+
+TEST(Framer, ErrorsAndFramesKeepStreamOrder) {
+  LineFramer framer(4);
+  const std::string input = "ab\ntoolong\ncd\n";
+  framer.feed(input.data(), input.size());
+  std::string frame;
+  ProtocolError e;
+  ASSERT_TRUE(framer.next_frame(frame));
+  EXPECT_EQ(frame, "ab");
+  EXPECT_FALSE(framer.next_frame(frame));  // error is next in order
+  ASSERT_TRUE(framer.next_error(e));
+  ASSERT_TRUE(framer.next_frame(frame));
+  EXPECT_EQ(frame, "cd");
+}
+
+// ------------------------------------------------------- parse_request --
+
+ProtocolError expect_request_fail(const std::string& frame,
+                                  const std::string& want_code) {
+  Request r;
+  ProtocolError e;
+  EXPECT_FALSE(parse_request(frame, r, e)) << "accepted: " << frame;
+  EXPECT_EQ(e.code, want_code) << frame << " -> " << e.message;
+  return e;
+}
+
+TEST(ParseRequest, ValidVerbs) {
+  Request r;
+  ProtocolError e;
+  ASSERT_TRUE(parse_request(
+      "{\"verb\":\"run\",\"ids\":[\"fig04\",\"tab2\"],\"deadline\":30,"
+      "\"tag\":\"c1\"}",
+      r, e));
+  EXPECT_EQ(r.verb, Verb::kRun);
+  EXPECT_EQ(r.ids, (std::vector<std::string>{"fig04", "tab2"}));
+  EXPECT_DOUBLE_EQ(r.deadline, 30.0);
+  EXPECT_EQ(r.tag, "c1");
+
+  ASSERT_TRUE(parse_request("{\"verb\":\"run\",\"all\":true}", r, e));
+  EXPECT_TRUE(r.all);
+
+  ASSERT_TRUE(parse_request(
+      "{\"verb\":\"grid\",\"kernel\":\"gauss:256\",\"machine\":\"iris\","
+      "\"schedulers\":\"AFS,GSS\",\"procs\":[1,2,4],\"perturb\":\"seed=7\"}",
+      r, e));
+  EXPECT_EQ(r.verb, Verb::kGrid);
+  EXPECT_EQ(r.procs, "1,2,4");  // array normalized to the CLI string form
+
+  for (const char* v : {"stats", "health", "shutdown"}) {
+    ASSERT_TRUE(
+        parse_request(std::string("{\"verb\":\"") + v + "\"}", r, e));
+  }
+}
+
+TEST(ParseRequest, ErrorTaxonomyIsStable) {
+  expect_request_fail("\xff\xfe", err::kBadUtf8);
+  expect_request_fail("{\"verb\":", err::kBadJson);
+  expect_request_fail("[1,2,3]", err::kBadJson);
+  expect_request_fail("{\"verb\":\"launch\"}", err::kUnknownVerb);
+  expect_request_fail("{}", err::kBadRequest);              // no verb
+  expect_request_fail("{\"verb\":42}", err::kBadRequest);   // non-string verb
+  expect_request_fail("{\"verb\":\"run\",\"idz\":[\"fig04\"]}",
+                      err::kBadRequest);  // unknown field
+  expect_request_fail("{\"verb\":\"stats\",\"ids\":[\"x\"]}",
+                      err::kBadRequest);  // field from another verb
+}
+
+TEST(ParseRequest, RunNeedsExactlyOneSelection) {
+  expect_request_fail("{\"verb\":\"run\"}", err::kBadRequest);
+  expect_request_fail("{\"verb\":\"run\",\"all\":false}", err::kBadRequest);
+  expect_request_fail("{\"verb\":\"run\",\"ids\":[]}", err::kBadRequest);
+  expect_request_fail("{\"verb\":\"run\",\"ids\":[\"fig04\"],\"all\":true}",
+                      err::kBadRequest);
+  expect_request_fail("{\"verb\":\"run\",\"ids\":[\"\"]}", err::kBadRequest);
+  expect_request_fail("{\"verb\":\"run\",\"ids\":[1]}", err::kBadRequest);
+}
+
+TEST(ParseRequest, DeadlineBounds) {
+  // deadline=0 is an explicit rejection, not "no deadline": the daemon's
+  // default is selected by omitting the field.
+  expect_request_fail("{\"verb\":\"run\",\"all\":true,\"deadline\":0}",
+                      err::kBadRequest);
+  expect_request_fail("{\"verb\":\"run\",\"all\":true,\"deadline\":-1}",
+                      err::kBadRequest);
+  expect_request_fail("{\"verb\":\"run\",\"all\":true,\"deadline\":86401}",
+                      err::kBadRequest);
+  expect_request_fail(
+      "{\"verb\":\"run\",\"all\":true,\"deadline\":\"soon\"}",
+      err::kBadRequest);
+  Request r;
+  ProtocolError e;
+  ASSERT_TRUE(parse_request(
+      "{\"verb\":\"run\",\"all\":true,\"deadline\":86400}", r, e));
+}
+
+TEST(ParseRequest, GridValidation) {
+  expect_request_fail("{\"verb\":\"grid\"}", err::kBadRequest);
+  expect_request_fail(
+      "{\"verb\":\"grid\",\"kernel\":\"gauss:64\",\"machine\":\"iris\"}",
+      err::kBadRequest);  // schedulers missing
+  expect_request_fail(
+      "{\"verb\":\"grid\",\"kernel\":\"\",\"machine\":\"iris\","
+      "\"schedulers\":\"AFS\"}",
+      err::kBadRequest);  // empty string field
+  expect_request_fail(
+      "{\"verb\":\"grid\",\"kernel\":\"gauss:64\",\"machine\":\"iris\","
+      "\"schedulers\":\"AFS\",\"procs\":[1.5]}",
+      err::kBadRequest);
+  expect_request_fail(
+      "{\"verb\":\"grid\",\"kernel\":\"gauss:64\",\"machine\":\"iris\","
+      "\"schedulers\":\"AFS\",\"procs\":[]}",
+      err::kBadRequest);
+}
+
+TEST(ParseRequest, TagBounded) {
+  const std::string long_tag(257, 't');
+  expect_request_fail(
+      "{\"verb\":\"stats\",\"tag\":\"" + long_tag + "\"}", err::kBadRequest);
+  Request r;
+  ProtocolError e;
+  ASSERT_TRUE(parse_request(
+      "{\"verb\":\"stats\",\"tag\":\"" + std::string(256, 't') + "\"}", r,
+      e));
+}
+
+TEST(ParseRequest, FuzzedGarbageNeverCrashesAndAlwaysClassifies) {
+  // Deterministic garbage: random bytes, random mutations of a valid
+  // request, random truncations. Every input must either parse or yield
+  // an error code from the taxonomy — never crash, never an empty code.
+  const std::string seed_doc =
+      "{\"verb\":\"grid\",\"kernel\":\"gauss:64\",\"machine\":\"iris\","
+      "\"schedulers\":\"AFS,GSS\",\"procs\":[1,2,4],\"deadline\":5,"
+      "\"tag\":\"fuzz\"}";
+  std::uint64_t state = 0x243f6a8885a308d3ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  const std::vector<std::string> known_codes = {
+      err::kBadUtf8, err::kBadJson, err::kUnknownVerb, err::kBadRequest};
+  int failures = 0;
+  for (int round = 0; round < 2000; ++round) {
+    std::string input;
+    switch (round % 3) {
+      case 0: {  // pure random bytes
+        const int len = static_cast<int>(next() % 64);
+        for (int i = 0; i < len; ++i)
+          input += static_cast<char>(next() % 256);
+        break;
+      }
+      case 1: {  // mutate a valid request
+        input = seed_doc;
+        const int flips = 1 + static_cast<int>(next() % 4);
+        for (int i = 0; i < flips; ++i)
+          input[next() % input.size()] = static_cast<char>(next() % 256);
+        break;
+      }
+      default:  // truncate a valid request
+        input = seed_doc.substr(0, next() % seed_doc.size());
+        break;
+    }
+    Request r;
+    ProtocolError e;
+    if (!parse_request(input, r, e)) {
+      ++failures;
+      EXPECT_NE(std::find(known_codes.begin(), known_codes.end(), e.code),
+                known_codes.end())
+          << "unknown code '" << e.code << "' for input: " << input;
+    }
+  }
+  EXPECT_GT(failures, 1000);  // the generator really is hostile
+}
+
+TEST(ResponseLine, ShapesAndTagEcho) {
+  const std::string line = response_line(
+      "accepted", {{"request", json_number(7)}, {"queue_depth", "3"}}, "t1");
+  EXPECT_EQ(line.back(), '\n');
+  JsonValue v;
+  std::string jerr;
+  ASSERT_TRUE(parse_json(std::string(line.data(), line.size() - 1), v, jerr));
+  EXPECT_EQ(v.find("event")->string, "accepted");
+  EXPECT_DOUBLE_EQ(v.find("request")->number, 7.0);
+  EXPECT_EQ(v.find("tag")->string, "t1");
+
+  const std::string err_line =
+      response_error({err::kOverloaded, "queue full"}, "", 9);
+  ASSERT_TRUE(
+      parse_json(std::string(err_line.data(), err_line.size() - 1), v, jerr));
+  EXPECT_EQ(v.find("event")->string, "error");
+  EXPECT_EQ(v.find("code")->string, err::kOverloaded);
+  EXPECT_EQ(v.find("tag"), nullptr);  // empty tag omitted
+}
+
+}  // namespace
+}  // namespace afs::service

@@ -249,6 +249,91 @@ TEST(ResultStore, ScanAndGcBySizeEvictLeastRecentlyUsed) {
   ASSERT_TRUE(store.load(keys[0], out));  // the recently-used entry survived
 }
 
+TEST(ResultStore, CorruptEntryIsQuarantinedNotReparsedForever) {
+  ResultStore store(fresh_dir("rs_quar"));
+  const CellKey key = key_for();
+  const SimResult r = simulate();
+  store.save(key, r);
+
+  std::fstream f(store.entry_path(key),
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(0);
+  f.write("not-the-schema", 14);
+  f.close();
+
+  SimResult out;
+  EXPECT_FALSE(store.load(key, out));
+
+  // The corrupt file was moved aside, not deleted and not left in place:
+  // the address is free, the evidence is under quarantine/ with a .bad
+  // suffix, and the store's counters agree with the disk.
+  EXPECT_FALSE(fs::exists(store.entry_path(key)));
+  EXPECT_EQ(store.quarantined(), 1);
+  const StoreStats stats = store.scan();
+  EXPECT_EQ(stats.entries, 0);
+  EXPECT_EQ(stats.quarantined, 1);
+  int bad_files = 0;
+  for (const auto& e :
+       fs::directory_iterator(fs::path(store.root()) / "quarantine")) {
+    EXPECT_EQ(e.path().extension(), ".bad");
+    ++bad_files;
+  }
+  EXPECT_EQ(bad_files, 1);
+
+  // A second miss on the same key is a plain miss — no re-quarantine.
+  EXPECT_FALSE(store.load(key, out));
+  EXPECT_EQ(store.quarantined(), 1);
+
+  // The address is immediately reusable and serves clean hits again.
+  store.save(key, r);
+  ASSERT_TRUE(store.load(key, out));
+  expect_identical(r, out);
+  EXPECT_EQ(store.scan().entries, 1);
+}
+
+TEST(ResultStore, RepeatedCorruptionYieldsDistinctQuarantineFiles) {
+  ResultStore store(fresh_dir("rs_quar_multi"));
+  const CellKey key = key_for();
+  const SimResult r = simulate();
+  for (int round = 0; round < 3; ++round) {
+    store.save(key, r);
+    fs::resize_file(store.entry_path(key), 10);
+    SimResult out;
+    EXPECT_FALSE(store.load(key, out));
+  }
+  EXPECT_EQ(store.quarantined(), 3);
+  EXPECT_EQ(store.scan().quarantined, 3);  // unique names: nothing clobbered
+}
+
+TEST(ResultStore, QuarantineIsInvisibleToScanAndGc) {
+  ResultStore store(fresh_dir("rs_quar_gc"));
+  const CellKey key = key_for();
+  store.save(key, simulate());
+  fs::resize_file(store.entry_path(key), 3);
+  SimResult out;
+  EXPECT_FALSE(store.load(key, out));
+  ASSERT_EQ(store.quarantined(), 1);
+
+  // gc must neither count nor evict the quarantined evidence, even with
+  // bounds that would evict any live entry.
+  GcOptions opts;
+  opts.max_age_days = 1e-9;
+  opts.max_bytes = 0;
+  const GcOutcome gc = store.gc(opts);
+  EXPECT_EQ(gc.scanned, 0);
+  EXPECT_EQ(gc.evicted, 0);
+  EXPECT_EQ(store.scan().quarantined, 1);
+}
+
+TEST(ResultStore, CleanMissesNeverQuarantine) {
+  ResultStore store(fresh_dir("rs_quar_none"));
+  SimResult out;
+  EXPECT_FALSE(store.load(key_for(), out));
+  EXPECT_EQ(store.quarantined(), 0);
+  EXPECT_FALSE(fs::exists(fs::path(store.root()) / "quarantine"));
+  EXPECT_EQ(store.scan().quarantined, 0);
+}
+
 TEST(ResultStore, GcByAgeEvictsStaleEntries) {
   ResultStore store(fresh_dir("rs_age"));
   const SimResult r = simulate();

@@ -16,11 +16,22 @@
 //       <out-dir>/grid.csv.
 //   afs_sweep cache stats [--store=DIR]
 //   afs_sweep cache gc [--store=DIR] [--max-age-days=D] [--max-bytes=B]
-//       store maintenance: entry count/bytes, and eviction by age then
-//       LRU size cap.
+//       store maintenance: entry count/bytes/quarantined, and eviction by
+//       age then LRU size cap.
+//   afs_sweep serve --socket=PATH [--jobs=N --max-queue=M ...]
+//       the long-running sweep daemon: line-delimited JSON requests over
+//       a Unix-domain socket, served in arrival order against the same
+//       registry and store (docs/SWEEP_SERVICE.md, "Serving").
+//   afs_sweep request --socket=PATH run fig04 [--deadline=S] [--tag=T]
+//   afs_sweep request --socket=PATH '{"verb":"stats"}'
+//       client helper: send one request, stream the responses, exit with
+//       0 = ok, 1 = failed, 2 = transport error, 3 = bounced
+//       (overloaded / shutting down).
 //
 // Shared flags are exactly the bench-binary flags (see --help).
 #include <algorithm>
+#include <atomic>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
@@ -32,7 +43,11 @@
 #include "experiments/grid.hpp"
 #include "experiments/registry.hpp"
 #include "runtime/thread_pool.hpp"
+#include "service/client.hpp"
+#include "service/daemon.hpp"
+#include "service/json.hpp"
 #include "store/result_store.hpp"
+#include "util/cancel.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -46,9 +61,22 @@ int usage(std::ostream& out, int rc) {
          "  run --all [flags]         run every runnable experiment\n"
          "  run --kernel=K --machine=M --schedulers=S,S [--procs=P,P]\n"
          "      [--perturb=SPEC] [flags]   run a user-defined grid\n"
-         "  cache stats [--store=DIR] store entry count and bytes\n"
+         "  cache stats [--store=DIR] store entries, bytes, quarantined\n"
          "  cache gc [--store=DIR] [--max-age-days=D] [--max-bytes=B]\n"
          "                            evict by age, then by LRU size cap\n"
+         "  serve --socket=PATH [--jobs=N] [--max-queue=M]\n"
+         "      [--default-deadline=S] [--drain-timeout=S]\n"
+         "      [--write-timeout=S] [--max-connections=N] [--quiet]\n"
+         "      [--out-dir=DIR] [--store=DIR|--no-store]\n"
+         "      [--cell-timeout=S] [--cell-retries=N]\n"
+         "                            the sweep daemon (SIGTERM drains)\n"
+         "  request --socket=PATH [--raw] [--timeout=S] <request>\n"
+         "      where <request> is one of\n"
+         "        run <id>... | run --all   [--deadline=S] [--tag=T]\n"
+         "        grid --kernel=K --machine=M --schedulers=S,S\n"
+         "             [--procs=P,P] [--perturb=SPEC]\n"
+         "        stats | health | shutdown\n"
+         "        '{\"verb\":...}'       a raw protocol line\n"
          "shared flags: the bench-binary flags (afs_sweep run --help);\n"
          "the store defaults to <out-dir>/.store unless --no-store\n";
   return rc;
@@ -119,7 +147,8 @@ int cmd_cache(const std::vector<std::string>& args) {
     const StoreStats s = store.scan();
     std::cout << "store: " << store.root() << "\n"
               << "entries: " << s.entries << "\n"
-              << "bytes: " << s.bytes << "\n";
+              << "bytes: " << s.bytes << "\n"
+              << "quarantined=" << s.quarantined << "\n";
     return 0;
   }
   if (sub == "gc") {
@@ -138,6 +167,20 @@ int cmd_cache(const std::vector<std::string>& args) {
   }
   std::cerr << "afs_sweep cache: unknown subcommand '" << sub << "'\n";
   return usage(std::cerr, 2);
+}
+
+// SIGINT/SIGTERM in batch mode fire the run's CancelToken cooperatively:
+// running cells stop at the next simulation event boundary, queued cells
+// are discarded, finished cells keep their checkpoints — so a Ctrl-C'd
+// sweep is resumable with --resume and the CSVs are never truncated.
+// CancelToken::cancel() is a lock-free atomic store, which is all a
+// signal handler is allowed to do.
+CancelToken* g_batch_cancel = nullptr;
+volatile std::sig_atomic_t g_batch_signal = 0;
+
+void batch_signal_handler(int sig) {
+  g_batch_signal = sig;
+  if (g_batch_cancel != nullptr) g_batch_cancel->cancel();
 }
 
 int cmd_run(const std::vector<std::string>& args) {
@@ -186,6 +229,15 @@ int cmd_run(const std::vector<std::string>& args) {
   ExperimentContext ctx;
   ctx.cli = cli;
 
+  CancelToken interrupt;
+  g_batch_cancel = &interrupt;
+  ctx.cancel = &interrupt;
+  struct sigaction sa {}, old_int {}, old_term {};
+  sa.sa_handler = batch_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sigaction(SIGINT, &sa, &old_int);
+  sigaction(SIGTERM, &sa, &old_term);
+
   // The driver's store is ON by default: sweeps over overlapping grids
   // are exactly where the content-addressed cache pays off.
   std::optional<ResultStore> store;
@@ -210,31 +262,15 @@ int cmd_run(const std::vector<std::string>& args) {
       return 2;
     }
     try {
-      FigureSpec spec;
-      spec.id = "grid";
-      spec.machine = parse_machine_spec(machine);
-      spec.program = parse_kernel_spec(kernel);
-      spec.title = kernel + " on " + machine;
-      spec.procs = cli.procs.empty() ? std::vector<int>{spec.machine.max_processors}
-                                     : cli.procs;
-      int max_p = 0;
-      for (int p : spec.procs) max_p = std::max(max_p, p);
-      if (!perturb.empty())
-        spec.sim_options.perturb = parse_perturb_spec(perturb, max_p);
-      std::size_t pos = 0;
-      while (pos <= schedulers.size()) {
-        const std::size_t comma = schedulers.find(',', pos);
-        const std::string s = schedulers.substr(pos, comma - pos);
-        if (s.empty()) throw std::runtime_error("empty scheduler spec");
-        spec.schedulers.push_back(entry(s));
-        if (comma == std::string::npos) break;
-        pos = comma + 1;
-      }
-      // Validate the scheduler specs before running anything.
-      for (const SchedulerEntry& se : spec.schedulers) se.make();
-
-      const Experiment e = figure_experiment("grid", spec.title,
-                                             [&spec] { return spec; }, {});
+      // The same code path the daemon's `grid` verb validates and runs,
+      // so both produce byte-identical grid.csv for the same specs.
+      GridSpec g;
+      g.kernel = kernel;
+      g.machine = machine;
+      g.schedulers = schedulers;
+      g.perturb = perturb;
+      g.procs = cli.procs;
+      const Experiment e = make_grid_experiment(g);
       rc = run_experiment(e, ctx, std::cout);
     } catch (const std::exception& ex) {
       std::cerr << "afs_sweep run: " << ex.what() << "\n";
@@ -257,6 +293,7 @@ int cmd_run(const std::vector<std::string>& args) {
       }
     }
     for (const Experiment* e : selected) {
+      if (interrupt.cancelled()) break;  // queued experiments never start
       const int one = run_experiment(*e, ctx, std::cout);
       if (one != 0 && rc == 0) rc = one;
     }
@@ -271,7 +308,219 @@ int cmd_run(const std::vector<std::string>& args) {
               << " writes=" << ctx.store->writes() << " hit_rate=" << buf
               << "%\n";
   }
+
+  sigaction(SIGINT, &old_int, nullptr);
+  sigaction(SIGTERM, &old_term, nullptr);
+  g_batch_cancel = nullptr;
+  if (interrupt.cancelled()) {
+    std::cerr << "afs_sweep run: interrupted (signal "
+              << static_cast<int>(g_batch_signal)
+              << "); checkpoints are flushed — rerun with --resume to "
+                 "pick up where this left off\n";
+    return 130;
+  }
   return rc;
+}
+
+bool parse_double_flag(const std::string& arg, std::size_t prefix,
+                       const char* flag, double lo, double hi, double& out) {
+  const std::string tok = arg.substr(prefix);
+  char* end = nullptr;
+  errno = 0;
+  const double v = std::strtod(tok.c_str(), &end);
+  if (tok.empty() || end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+      v < lo || v > hi) {
+    std::cerr << "afs_sweep: bad " << flag << " value '" << tok << "'\n";
+    return false;
+  }
+  out = v;
+  return true;
+}
+
+bool parse_int_flag(const std::string& arg, std::size_t prefix,
+                    const char* flag, long lo, long hi, int& out) {
+  const std::string tok = arg.substr(prefix);
+  char* end = nullptr;
+  errno = 0;
+  const long v = std::strtol(tok.c_str(), &end, 10);
+  if (tok.empty() || end == tok.c_str() || *end != '\0' || errno == ERANGE ||
+      v < lo || v > hi) {
+    std::cerr << "afs_sweep: bad " << flag << " value '" << tok << "'\n";
+    return false;
+  }
+  out = static_cast<int>(v);
+  return true;
+}
+
+int cmd_serve(const std::vector<std::string>& args) {
+  service::DaemonOptions opts;
+  opts.log = &std::cerr;
+  for (const std::string& a : args) {
+    if (a.rfind("--socket=", 0) == 0) {
+      opts.socket_path = a.substr(9);
+    } else if (a.rfind("--out-dir=", 0) == 0) {
+      opts.out_dir = a.substr(10);
+    } else if (a.rfind("--store=", 0) == 0) {
+      opts.store_dir = a.substr(8);
+      opts.no_store = false;
+    } else if (a == "--no-store") {
+      opts.no_store = true;
+    } else if (a.rfind("--jobs=", 0) == 0) {
+      if (!parse_int_flag(a, 7, "--jobs", 1, 256, opts.jobs)) return 2;
+    } else if (a.rfind("--max-queue=", 0) == 0) {
+      if (!parse_int_flag(a, 12, "--max-queue", 1, 4096, opts.max_queue))
+        return 2;
+    } else if (a.rfind("--max-connections=", 0) == 0) {
+      if (!parse_int_flag(a, 18, "--max-connections", 1, 1024,
+                          opts.max_connections))
+        return 2;
+    } else if (a.rfind("--default-deadline=", 0) == 0) {
+      if (!parse_double_flag(a, 19, "--default-deadline", 0.0, 86400.0,
+                             opts.default_deadline))
+        return 2;
+    } else if (a.rfind("--drain-timeout=", 0) == 0) {
+      if (!parse_double_flag(a, 16, "--drain-timeout", 0.001, 86400.0,
+                             opts.drain_timeout))
+        return 2;
+    } else if (a.rfind("--write-timeout=", 0) == 0) {
+      if (!parse_double_flag(a, 16, "--write-timeout", 0.001, 3600.0,
+                             opts.write_timeout))
+        return 2;
+    } else if (a.rfind("--cell-timeout=", 0) == 0) {
+      if (!parse_double_flag(a, 15, "--cell-timeout", 0.0, 86400.0,
+                             opts.cell_timeout))
+        return 2;
+    } else if (a.rfind("--cell-retries=", 0) == 0) {
+      if (!parse_int_flag(a, 15, "--cell-retries", 0, 100, opts.cell_retries))
+        return 2;
+    } else if (a == "--quiet") {
+      opts.log = nullptr;
+    } else {
+      std::cerr << "afs_sweep serve: unknown argument '" << a << "'\n";
+      return 2;
+    }
+  }
+  if (opts.socket_path.empty()) {
+    std::cerr << "afs_sweep serve: --socket=PATH is required\n";
+    return 2;
+  }
+  try {
+    service::SweepDaemon daemon(std::move(opts));
+    return daemon.serve();
+  } catch (const std::exception& ex) {
+    std::cerr << "afs_sweep serve: " << ex.what() << "\n";
+    return 2;
+  }
+}
+
+/// Builds the protocol line for `afs_sweep request`'s convenience syntax
+/// (run/grid/stats/health/shutdown + flags). A raw '{...}' argument is
+/// passed through untouched so tests can speak arbitrary frames.
+bool build_request_line(const std::vector<std::string>& args,
+                        std::string& line, std::string& error) {
+  using service::json_number;
+  using service::json_quote;
+  if (args.empty()) {
+    error = "need a request (run/grid/stats/health/shutdown or '{...}')";
+    return false;
+  }
+  if (args[0].rfind('{', 0) == 0) {
+    if (args.size() != 1) {
+      error = "a raw JSON request takes no further arguments";
+      return false;
+    }
+    line = args[0];
+    return true;
+  }
+  const std::string& verb = args[0];
+  std::vector<std::string> ids;
+  bool all = false;
+  std::string kernel, machine, schedulers, procs, perturb, tag;
+  double deadline = 0.0;
+  for (std::size_t i = 1; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a == "--all") {
+      all = true;
+    } else if (a.rfind("--kernel=", 0) == 0) {
+      kernel = a.substr(9);
+    } else if (a.rfind("--machine=", 0) == 0) {
+      machine = a.substr(10);
+    } else if (a.rfind("--schedulers=", 0) == 0) {
+      schedulers = a.substr(13);
+    } else if (a.rfind("--procs=", 0) == 0) {
+      procs = a.substr(8);
+    } else if (a.rfind("--perturb=", 0) == 0) {
+      perturb = a.substr(10);
+    } else if (a.rfind("--tag=", 0) == 0) {
+      tag = a.substr(6);
+    } else if (a.rfind("--deadline=", 0) == 0) {
+      char* end = nullptr;
+      deadline = std::strtod(a.c_str() + 11, &end);
+      if (end == a.c_str() + 11 || *end != '\0' || !(deadline > 0.0)) {
+        error = "bad --deadline value";
+        return false;
+      }
+    } else if (a.rfind("--", 0) == 0) {
+      error = "unknown argument '" + a + "'";
+      return false;
+    } else {
+      ids.push_back(a);
+    }
+  }
+  line = "{\"verb\":" + json_quote(verb);
+  if (verb == "run") {
+    if (all) {
+      line += ",\"all\":true";
+    } else {
+      line += ",\"ids\":[";
+      for (std::size_t i = 0; i < ids.size(); ++i)
+        line += (i > 0 ? "," : "") + json_quote(ids[i]);
+      line += "]";
+    }
+  } else if (verb == "grid") {
+    line += ",\"kernel\":" + json_quote(kernel) +
+            ",\"machine\":" + json_quote(machine) +
+            ",\"schedulers\":" + json_quote(schedulers);
+    if (!procs.empty()) line += ",\"procs\":" + json_quote(procs);
+    if (!perturb.empty()) line += ",\"perturb\":" + json_quote(perturb);
+  } else if (verb != "stats" && verb != "health" && verb != "shutdown") {
+    error = "unknown request verb '" + verb + "'";
+    return false;
+  }
+  if (deadline > 0.0) line += ",\"deadline\":" + json_number(deadline);
+  if (!tag.empty()) line += ",\"tag\":" + json_quote(tag);
+  line += "}";
+  return true;
+}
+
+int cmd_request(const std::vector<std::string>& args) {
+  std::string socket_path;
+  bool raw = false;
+  double timeout = 0.0;
+  std::vector<std::string> rest;
+  for (const std::string& a : args) {
+    if (a.rfind("--socket=", 0) == 0) {
+      socket_path = a.substr(9);
+    } else if (a == "--raw") {
+      raw = true;
+    } else if (a.rfind("--timeout=", 0) == 0) {
+      if (!parse_double_flag(a, 10, "--timeout", 0.001, 86400.0, timeout))
+        return 2;
+    } else {
+      rest.push_back(a);
+    }
+  }
+  if (socket_path.empty()) {
+    std::cerr << "afs_sweep request: --socket=PATH is required\n";
+    return 2;
+  }
+  std::string line, error;
+  if (!build_request_line(rest, line, error)) {
+    std::cerr << "afs_sweep request: " << error << "\n";
+    return 2;
+  }
+  return service::run_request(socket_path, line, std::cout, std::cerr, raw,
+                              timeout);
 }
 
 }  // namespace
@@ -284,6 +533,8 @@ int main(int argc, char** argv) {
   if (cmd == "list") return cmd_list();
   if (cmd == "run") return cmd_run(rest);
   if (cmd == "cache") return cmd_cache(rest);
+  if (cmd == "serve") return cmd_serve(rest);
+  if (cmd == "request") return cmd_request(rest);
   if (cmd == "--help" || cmd == "-h" || cmd == "help")
     return usage(std::cout, 0);
   std::cerr << "afs_sweep: unknown command '" << cmd << "'\n";
