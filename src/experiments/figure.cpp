@@ -1,6 +1,7 @@
 #include "experiments/figure.hpp"
 
 #include <algorithm>
+#include <cstdlib>
 #include <filesystem>
 #include <memory>
 #include <sstream>
@@ -14,6 +15,32 @@
 #include "util/check.hpp"
 
 namespace afs {
+namespace {
+
+/// Test-only chaos hook: AFS_CRASH_CELL="<id>:<label>:<P>" in the
+/// environment makes exactly that cell abort() the process running it.
+/// Sits inside run_figure_cell so that under --isolation=process the
+/// abort fires in the sandbox worker (which inherits the environment) —
+/// the daemon-smoke CI stage's way of proving a crash kills one worker,
+/// not the daemon. The id prefix keeps a poisoned grid cell from also
+/// killing same-labelled cells of registered figures.
+void maybe_crash_cell_for_test(const std::string& id, const std::string& label,
+                               int procs) {
+  const char* spec = std::getenv("AFS_CRASH_CELL");
+  if (spec == nullptr || *spec == '\0') return;
+  const std::string s(spec);
+  const std::size_t first = s.find(':');
+  const std::size_t last = s.rfind(':');
+  if (first == std::string::npos || last == first) return;  // malformed: off
+  if (s.compare(0, first, id) != 0) return;
+  if (s.substr(first + 1, last - first - 1) != label) return;
+  char* end = nullptr;
+  const long p = std::strtol(s.c_str() + last + 1, &end, 10);
+  if (end == s.c_str() + last + 1 || *end != '\0') return;
+  if (static_cast<int>(p) == procs) std::abort();
+}
+
+}  // namespace
 
 SchedulerEntry entry(const std::string& spec) {
   return {spec, spec, [spec] { return make_scheduler(spec); }};
@@ -68,6 +95,14 @@ Table FigureResult::completion_table() const {
 
 FigureResult run_figure(const FigureSpec& spec, std::ostream& out) {
   return run_figure(spec, out, SweepOptions{});
+}
+
+SimResult run_figure_cell(const FigureSpec& spec, const SchedulerEntry& se,
+                          int procs, const SimOptions& options) {
+  maybe_crash_cell_for_test(spec.id, se.label, procs);
+  MachineSim sim(spec.machine, options);
+  auto sched = se.make();
+  return sim.run(spec.program, *sched, procs);
 }
 
 FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
@@ -130,10 +165,21 @@ FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
                SimResult cached;
                if (spec.store->load(key, cached)) return cached;
              }
-             MachineSim sim(spec.machine, options);
-             auto sched = se.make();
+             // Store miss: dispatch to the sandbox executor when one is
+             // wired in and the cell's outputs survive the wire (traces
+             // and phase timers do not — those cells stay in-process).
+             // Store hits above are served either way, which is what the
+             // executor's degraded cache-only mode relies on.
+             if (spec.executor != nullptr && spec.exec.valid() &&
+                 trace == nullptr && !options.time_phases) {
+               SimResult r = spec.executor->execute(
+                   spec.exec, se.label, p, options.batch_iterations,
+                   options.memory_fast_path, token);
+               if (spec.store && key.cacheable) spec.store->save(key, r);
+               return r;
+             }
              try {
-               SimResult r = sim.run(spec.program, *sched, p);
+               SimResult r = run_figure_cell(spec, se, p, options);
                if (trace) trace->finalize();
                if (spec.store && key.cacheable) spec.store->save(key, r);
                return r;

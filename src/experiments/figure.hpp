@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "machines/machine_config.hpp"
+#include "runtime/cell_executor.hpp"
 #include "runtime/sweep_runner.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/machine_sim.hpp"
@@ -73,6 +74,16 @@ struct FigureSpec {
   /// bit-identical to simulated ones (the store authenticates the full
   /// key text and the serializer round-trips exactly).
   ResultStore* store = nullptr;
+  /// Optional out-of-process executor (not owned) plus the declarative
+  /// recipe a worker needs to rebuild this spec (runtime/
+  /// cell_executor.hpp). When both are set, each store-missed cell is
+  /// dispatched to the executor instead of simulating in-process — except
+  /// traced and host-timed cells, whose side outputs (trace files, phase
+  /// timers) do not travel over the wire; those always run in-process.
+  /// Store hits are still served locally, which is what makes the
+  /// executor's degraded mode genuinely cache-only.
+  CellExecutor* executor = nullptr;
+  CellExecSpec exec;
 };
 
 struct FigureResult {
@@ -106,6 +117,14 @@ struct FigureResult {
 FigureResult run_figure(const FigureSpec& spec, std::ostream& out);
 FigureResult run_figure(const FigureSpec& spec, std::ostream& out,
                         const SweepOptions& sweep);
+
+/// Simulates exactly one (scheduler, P) cell of `spec` — the shared body
+/// of the in-process sweep path and the sandbox worker's cell op, so both
+/// produce bit-identical results by construction. Honors the test-only
+/// AFS_CRASH_CELL hook ("<id>:<label>:<P>" in the environment makes that
+/// one cell abort(), which is how CI proves a crash kills only a worker).
+SimResult run_figure_cell(const FigureSpec& spec, const SchedulerEntry& se,
+                          int procs, const SimOptions& options);
 
 /// Writes one long-format CSV (figure, scheduler, procs, time, speedup,
 /// busy, sync, comm, idle, misses, steals) for downstream plotting.

@@ -252,6 +252,16 @@ Experiment make_grid_experiment(const GridSpec& g) {
   }
   for (const SchedulerEntry& se : spec->schedulers) se.make();
 
+  // The out-of-process recipe: a grid exists in no registry, so a sandbox
+  // worker rebuilds it from these exact spec strings — re-parsed through
+  // this same function, which is what keeps worker cells bit-identical to
+  // in-process ones.
+  spec->exec.kernel = g.kernel;
+  spec->exec.machine = g.machine;
+  spec->exec.schedulers = g.schedulers;
+  spec->exec.perturb = g.perturb;
+  spec->exec.procs = spec->procs;
+
   return figure_experiment("grid", spec->title,
                            [spec] { return *spec; }, {});
 }

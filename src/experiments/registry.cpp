@@ -53,6 +53,7 @@ Experiment figure_experiment(
   e.title = std::move(title);
   e.kind = ExperimentKind::kFigure;
   e.csv_ids = {id};
+  e.make_spec = make_spec;
   e.run = [id, make_spec = std::move(make_spec), shapes = std::move(shapes)](
               const ExperimentContext& ctx, std::ostream& out) -> int {
     FigureSpec spec = make_spec();
@@ -67,6 +68,12 @@ Experiment figure_experiment(
     // --trace compose with --jobs=N and --resume.
     if (cli.trace) spec.trace_format = cli.trace_format;
     spec.store = ctx.store;
+    // Out-of-process isolation: registered figures are rebuildable from
+    // their id (grids arrive with the recipe pre-filled by
+    // make_grid_experiment); a --procs override does not change the
+    // recipe, because the worker is told the exact (label, P) to run.
+    spec.executor = ctx.executor;
+    if (!spec.exec.valid()) spec.exec.experiment = id;
 
     // Every run checkpoints under <out-dir>/.sweep/<id> so a killed sweep
     // is resumable with --resume even when the first invocation never
@@ -89,6 +96,8 @@ Experiment figure_experiment(
     // timeouts/cancellations so batch drivers can --resume later.
     try {
       const FigureResult result = run_figure(spec, out, sweep);
+      if (ctx.on_cell_failure)
+        for (const CellFailure& f : result.failures) ctx.on_cell_failure(id, f);
       if (result.failures.empty()) {
         if (shapes) shapes(result, out);
       } else {

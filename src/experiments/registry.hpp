@@ -44,6 +44,16 @@ struct ExperimentContext {
   /// run_cell_cached, whose simulations raise CancelledError at the next
   /// event boundary once it fires.
   const CancelToken* cancel = nullptr;
+  /// Optional out-of-process cell executor (not owned): the supervised
+  /// worker sandbox under --isolation=process. Figure sweeps dispatch
+  /// store-missed, untraced, untimed cells through it; bespoke tables
+  /// (whose programs exist only as closures) always run in-process.
+  CellExecutor* executor = nullptr;
+  /// Optional observer of per-cell failures, invoked once per failed cell
+  /// after each figure sweep completes (experiment id + the structured
+  /// failure). The daemon uses it to stream "cell_error" responses for
+  /// poisoned/degraded cells without re-parsing the failure report file.
+  std::function<void(const std::string&, const CellFailure&)> on_cell_failure;
 };
 
 struct Experiment {
@@ -57,6 +67,10 @@ struct Experiment {
   /// the ostream. Returns a process exit code (nonzero only for invariant
   /// breaks, never for shape mismatches — those are data).
   std::function<int(const ExperimentContext&, std::ostream&)> run;
+  /// Rebuilds the experiment's FigureSpec (figure experiments only; null
+  /// for tables and micros). This is what lets a sandbox worker rerun one
+  /// cell of a registered figure from nothing but the experiment id.
+  std::function<FigureSpec()> make_spec;
 };
 
 /// All registered experiments in canonical order (figures, tables,

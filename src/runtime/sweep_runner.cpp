@@ -14,6 +14,7 @@
 #include <sstream>
 #include <thread>
 
+#include "runtime/cell_executor.hpp"
 #include "runtime/thread_pool.hpp"
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
@@ -103,6 +104,9 @@ bool SweepOutcome::invariant_break() const {
 double retry_backoff(const SweepOptions& opts, const std::string& label,
                      int procs, int attempt) {
   AFS_CHECK(attempt >= 1);
+  // A zero base means "retry immediately" regardless of attempt — and
+  // keeps the 0 exact instead of 0 * jitter's signed-zero edge cases.
+  if (opts.backoff_base <= 0.0) return 0.0;
   // One independent, reproducible stream per (seed, cell, attempt): the
   // jitter decorrelates cells retrying at once without wall-clock input.
   std::uint64_t h = fnv1a64(label, opts.retry_seed ^ 0x9e3779b97f4a7c15ULL);
@@ -110,7 +114,13 @@ double retry_backoff(const SweepOptions& opts, const std::string& label,
   h = fnv1a64(std::to_string(attempt), h);
   Xoshiro256 rng(h);
   const double jitter = 0.5 + rng.next_double();  // [0.5, 1.5)
-  const double exp = std::ldexp(opts.backoff_base, attempt - 1);  // base*2^(a-1)
+  // base * 2^(attempt-1), with the exponent clamped so a huge attempt
+  // count cannot push ldexp to +inf (inf * jitter is still inf, which
+  // min() would hide — but an inf intermediate is UB bait under
+  // -ffast-math and trips UBSan-adjacent checks; clamp deterministically
+  // instead). 64 doublings already exceed any finite backoff_max.
+  const int doublings = std::min(attempt - 1, 64);
+  const double exp = std::ldexp(opts.backoff_base, doublings);
   return std::min(exp * jitter, opts.backoff_max);
 }
 
@@ -388,6 +398,18 @@ SweepOutcome run_sweep(const std::string& sweep_id,
       } catch (const CheckFailure& e) {
         // Broken invariant: deterministic, never transient. Not retried.
         record_failure(k, "invariant", e.what(), attempts);
+        return;
+      } catch (const PoisonedCellError& e) {
+        // The cell is blacklisted by its executor (it crashed workers
+        // repeatedly): deterministic for the executor's lifetime, so a
+        // retry would only burn another restart token. Not retried.
+        record_failure(k, "poison", e.what(), attempts);
+        return;
+      } catch (const DegradedError& e) {
+        // The executor is in cache-only mode (restart budget exhausted).
+        // Recovery is time-based, not attempt-based — retrying here would
+        // spin against an empty token bucket. Not retried.
+        record_failure(k, "degraded", e.what(), attempts);
         return;
       } catch (const std::exception& e) {
         if (attempts > opts.max_retries) {

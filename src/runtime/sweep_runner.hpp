@@ -60,6 +60,10 @@ struct CellFailure {
   /// "cancelled" — the sweep-level token fired (deadline/abort) before or
   ///               during the cell, including queued cells never started;
   /// "invariant" — CheckFailure: a broken engine/scheduler contract;
+  /// "poison"    — PoisonedCellError: the cell crashed its executor's
+  ///               workers repeatedly and is blacklisted (never retried);
+  /// "degraded"  — DegradedError: the executor is in cache-only mode
+  ///               (worker restart budget exhausted; never retried);
   /// "error"     — any other exception, after retries were exhausted.
   std::string kind;
   std::string message;  ///< what() of the final attempt

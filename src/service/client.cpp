@@ -8,7 +8,9 @@
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <thread>
 
+#include "runtime/sweep_runner.hpp"
 #include "service/json.hpp"
 #include "service/protocol.hpp"
 
@@ -119,17 +121,25 @@ const JsonValue* find_str(const JsonValue& v, const char* key) {
 
 }  // namespace
 
-int run_request(const std::string& socket_path,
-                const std::string& request_line, std::ostream& out,
-                std::ostream& err, bool raw, double timeout_s) {
+namespace {
+
+/// One attempt of run_request. `retryable` is set for the transient
+/// outcomes only: transport failures and an `overloaded` bounce.
+int run_request_once(const std::string& socket_path,
+                     const std::string& request_line, std::ostream& out,
+                     std::ostream& err, bool raw, double timeout_s,
+                     bool& retryable) {
+  retryable = false;
   ServiceClient client;
   std::string error;
   if (!client.connect(socket_path, error)) {
     err << "request: " << error << "\n";
+    retryable = true;
     return 2;
   }
   if (!client.send_line(request_line)) {
     err << "request: send failed: " << std::strerror(errno) << "\n";
+    retryable = true;
     return 2;
   }
   std::string line;
@@ -157,6 +167,13 @@ int run_request(const std::string& socket_path,
       if (raw) out << line << "\n";
       continue;
     }
+    if (event->string == "cell_error") {
+      // Per-cell quarantine/degradation report: non-terminal (healthy
+      // cells and the done event still follow). Always printed as JSON —
+      // the code/cell fields are the point.
+      out << line << "\n";
+      continue;
+    }
     // Terminal events: done / error / stats / health / shutting_down.
     out << line << "\n";
     if (event->string == "done") {
@@ -165,15 +182,58 @@ int run_request(const std::string& socket_path,
     }
     if (event->string == "error") {
       const JsonValue* code = find_str(v, "code");
-      if (code != nullptr && (code->string == err::kOverloaded ||
-                              code->string == err::kShuttingDown))
+      if (code != nullptr && code->string == err::kOverloaded) {
+        retryable = true;  // backpressure clears; shutting_down does not
         return 3;
+      }
+      if (code != nullptr && code->string == err::kShuttingDown) return 3;
       return 1;
     }
     return 0;  // stats / health / shutting_down
   }
   err << "request: connection closed before a terminal response\n";
+  retryable = true;
   return 2;
+}
+
+}  // namespace
+
+int run_request(const std::string& socket_path,
+                const std::string& request_line, std::ostream& out,
+                std::ostream& err, bool raw, double timeout_s) {
+  return run_request(socket_path, request_line, out, err, raw, timeout_s,
+                     RequestRetryOptions{});
+}
+
+int run_request(const std::string& socket_path,
+                const std::string& request_line, std::ostream& out,
+                std::ostream& err, bool raw, double timeout_s,
+                const RequestRetryOptions& retry) {
+  // The delay schedule is the sweep runner's own deterministic
+  // retry_backoff, keyed on a fixed label so two runs of the same client
+  // sleep identically while different seeds decorrelate different
+  // clients.
+  SweepOptions shape;
+  shape.backoff_base = retry.backoff_base;
+  shape.backoff_max = retry.backoff_max;
+  shape.retry_seed = retry.seed;
+
+  int attempt = 0;
+  for (;;) {
+    bool retryable = false;
+    const int rc = run_request_once(socket_path, request_line, out, err, raw,
+                                    timeout_s, retryable);
+    ++attempt;
+    if (!retryable || attempt > retry.retries) return rc;
+    const double delay = retry_backoff(shape, "request", 0, attempt);
+    err << "request: transient failure (exit " << rc << "); retry "
+        << attempt << "/" << retry.retries << " in " << delay << "s\n";
+    if (retry.sleep_fn) {
+      retry.sleep_fn(delay);
+    } else if (delay > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(delay));
+    }
+  }
 }
 
 }  // namespace afs::service

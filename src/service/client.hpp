@@ -11,6 +11,8 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <functional>
 #include <ostream>
 #include <string>
 
@@ -52,18 +54,42 @@ class ServiceClient {
   std::string buffer_;  ///< bytes read past the last returned line
 };
 
+/// Client-side retry policy for run_request. Retried outcomes are the
+/// *transient* ones only: transport failures (exit 2) and `overloaded`
+/// bounces — the two a daemon restart or a drained queue cures by
+/// itself. `shutting_down` is not retried (the daemon told us it is
+/// going away), and request-level errors (exit 1) are deterministic.
+/// The delay before re-attempt k is the sweep runner's own
+/// retry_backoff() schedule — exponential with seeded jitter, clamped to
+/// backoff_max — so a fleet of bounced clients decorrelates
+/// deterministically instead of stampeding the socket in lockstep.
+struct RequestRetryOptions {
+  int retries = 0;            ///< re-attempts after the first try
+  double backoff_base = 0.25; ///< seconds; first retry delay scale
+  double backoff_max = 5.0;   ///< seconds; delay growth cap
+  std::uint64_t seed = 0xaf55eedULL;  ///< jitters the schedule
+  /// Test hook: replaces the real sleep (argument in seconds).
+  std::function<void(double)> sleep_fn;
+};
+
 /// Sends `request_line` to the daemon at `socket_path` and streams the
 /// responses to `out` until a terminal event. With `raw`, every response
-/// line is printed verbatim; otherwise log lines print as plain text and
-/// the terminal line prints as JSON. `timeout_s` bounds each read (0 =
-/// wait forever).
+/// line is printed verbatim; otherwise log lines print as plain text,
+/// `cell_error` events (poisoned/degraded cells — non-terminal) print as
+/// JSON, and the terminal line prints as JSON. `timeout_s` bounds each
+/// read (0 = wait forever).
 ///
 /// Exit codes: 0 = done ok (or stats/health/shutting_down answered);
 /// 1 = done with nonzero exit, or a request-level error;
-/// 2 = transport failure (connect/read/write);
-/// 3 = bounced by backpressure or drain (overloaded / shutting_down).
+/// 2 = transport failure (connect/read/write), after retries;
+/// 3 = bounced by backpressure or drain (overloaded / shutting_down) —
+///     overloaded only after the retry budget is exhausted.
 int run_request(const std::string& socket_path,
                 const std::string& request_line, std::ostream& out,
                 std::ostream& err, bool raw, double timeout_s = 0.0);
+int run_request(const std::string& socket_path,
+                const std::string& request_line, std::ostream& out,
+                std::ostream& err, bool raw, double timeout_s,
+                const RequestRetryOptions& retry);
 
 }  // namespace afs::service

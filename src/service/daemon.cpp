@@ -108,6 +108,11 @@ void DaemonOptions::validate() const {
   AFS_CHECK_MSG(write_timeout > 0.0 && write_timeout <= 3600.0,
                 "--write-timeout must be in (0, 3600] seconds");
   AFS_CHECK_MSG(cell_timeout >= 0.0, "--cell-timeout must be >= 0");
+  AFS_CHECK_MSG(isolation == "thread" || isolation == "process",
+                "--isolation must be thread or process");
+  AFS_CHECK_MSG(poison_strikes >= 1, "--poison-strikes must be >= 1");
+  AFS_CHECK_MSG(restart_burst >= 0.0, "--restart-burst must be >= 0");
+  AFS_CHECK_MSG(restart_refill >= 0.0, "--restart-refill must be >= 0");
 }
 
 SweepDaemon::SweepDaemon(DaemonOptions opts)
@@ -147,6 +152,25 @@ int SweepDaemon::serve() {
                                            : opts_.store_dir);
   }
   if (opts_.jobs > 1) pool_.emplace(opts_.jobs);
+
+  if (opts_.isolation == "process") {
+    WorkerPoolOptions wopts;
+    wopts.workers = opts_.jobs;
+    wopts.exe = opts_.worker_exe;
+    if (!opts_.worker_args.empty()) wopts.args = opts_.worker_args;
+    wopts.poison_strikes = opts_.poison_strikes;
+    wopts.restart_burst = opts_.restart_burst;
+    wopts.restart_refill_per_s = opts_.restart_refill;
+    wopts.log = opts_.log;
+    workers_ = std::make_unique<WorkerPool>(std::move(wopts));
+    std::string werror;
+    if (!workers_->start(werror)) {
+      if (opts_.log)
+        *opts_.log << "serve: cannot start sandbox workers: " << werror
+                   << "\n";
+      return 1;
+    }
+  }
 
   Listener::Handlers handlers;
   handlers.on_frame = [this](const std::shared_ptr<Connection>& conn,
@@ -237,6 +261,13 @@ int SweepDaemon::serve() {
       *opts_.log << " store_hits=" << store_->hits()
                  << " store_misses=" << store_->misses()
                  << " store_writes=" << store_->writes();
+    if (workers_) {
+      const WorkerPoolStats ws = workers_->stats();
+      *opts_.log << " worker_spawned=" << ws.spawned
+                 << " worker_crashes=" << ws.crashes
+                 << " worker_cells=" << ws.cells_executed
+                 << " poisoned_cells=" << ws.poisoned;
+    }
     *opts_.log << "\n";
   }
   return 0;
@@ -494,6 +525,27 @@ void SweepDaemon::execute(std::unique_ptr<ServiceRequest> r) {
   ctx.store = store_ ? &*store_ : nullptr;
   ctx.pool = pool_ ? &*pool_ : nullptr;
   ctx.cancel = &r->cancel;
+  ctx.executor = workers_ ? workers_.get() : nullptr;
+  // Quarantine and degradation are per-cell, not per-request: surface
+  // them as non-terminal "cell_error" events so a client naming a
+  // poisoned cell still gets every healthy cell's result (and the done
+  // event) on the same connection.
+  Connection* connp = r->conn.get();
+  const std::uint64_t rseq = r->seq;
+  ctx.on_cell_failure = [connp, rseq, &tag](const std::string& id,
+                                            const CellFailure& f) {
+    if (f.kind != "poison" && f.kind != "degraded") return;
+    connp->write_line(response_line(
+        "cell_error",
+        {{"request", json_number(double(rseq))},
+         {"code", json_quote(f.kind == "poison" ? err::kPoisonCell
+                                                : err::kDegraded)},
+         {"experiment", json_quote(id)},
+         {"scheduler", json_quote(f.label)},
+         {"procs", json_number(double(f.procs))},
+         {"message", json_quote(f.message)}},
+        tag));
+  };
 
   const std::int64_t hits0 = store_ ? store_->hits() : 0;
   const std::int64_t misses0 = store_ ? store_->misses() : 0;
@@ -577,20 +629,34 @@ void SweepDaemon::execute(std::unique_ptr<ServiceRequest> r) {
 }
 
 std::string SweepDaemon::health_response(const std::string& tag) const {
-  return response_line(
-      "health",
-      {{"status", json_quote(draining_.load() ? "draining" : "serving")},
-       {"uptime_s", json_number(uptime_s())},
-       {"queue_depth", json_number(double(queue_.depth()))},
-       {"max_queue", json_number(double(queue_.capacity()))},
-       {"in_flight", json_number(double(registry_.in_flight()))}},
-      tag);
+  // Drain beats degradation: a draining daemon rejects new work either
+  // way, and "draining" is the state a client must react to first.
+  const char* status = draining_.load()                ? "draining"
+                       : (workers_ && workers_->degraded()) ? "degraded"
+                                                            : "serving";
+  std::vector<JsonField> fields = {
+      {"status", json_quote(status)},
+      {"uptime_s", json_number(uptime_s())},
+      {"queue_depth", json_number(double(queue_.depth()))},
+      {"max_queue", json_number(double(queue_.capacity()))},
+      {"in_flight", json_number(double(registry_.in_flight()))}};
+  fields.push_back(
+      {"isolation", json_quote(workers_ ? "process" : "thread")});
+  if (workers_) {
+    const WorkerPoolStats ws = workers_->stats();
+    fields.push_back({"workers_live", json_number(double(ws.live))});
+    fields.push_back({"poisoned_cells", json_number(double(ws.poisoned))});
+  }
+  return response_line("health", fields, tag);
 }
 
 std::string SweepDaemon::stats_response(const std::string& tag) const {
   const std::int64_t finished = stats_.finished();
+  const char* status = draining_.load()                ? "draining"
+                       : (workers_ && workers_->degraded()) ? "degraded"
+                                                            : "serving";
   std::vector<JsonField> fields = {
-      {"status", json_quote(draining_.load() ? "draining" : "serving")},
+      {"status", json_quote(status)},
       {"uptime_s", json_number(uptime_s())},
       {"queue_depth", json_number(double(queue_.depth()))},
       {"max_queue", json_number(double(queue_.capacity()))},
@@ -627,6 +693,21 @@ std::string SweepDaemon::stats_response(const std::string& tag) const {
     fields.push_back({"store_misses", json_number(double(store_->misses()))});
     fields.push_back({"store_writes", json_number(double(store_->writes()))});
     fields.push_back({"store_hit_rate", json_number(store_->hit_rate())});
+  }
+  fields.push_back(
+      {"isolation", json_quote(workers_ ? "process" : "thread")});
+  if (workers_) {
+    const WorkerPoolStats ws = workers_->stats();
+    fields.push_back({"workers_live", json_number(double(ws.live))});
+    fields.push_back({"workers_spawned", json_number(double(ws.spawned))});
+    fields.push_back({"worker_crashes", json_number(double(ws.crashes))});
+    fields.push_back(
+        {"worker_deadline_kills", json_number(double(ws.deadline_kills))});
+    fields.push_back(
+        {"worker_restarts_denied", json_number(double(ws.restarts_denied))});
+    fields.push_back(
+        {"worker_cells_executed", json_number(double(ws.cells_executed))});
+    fields.push_back({"poisoned_cells", json_number(double(ws.poisoned))});
   }
   return response_line("stats", fields, tag);
 }

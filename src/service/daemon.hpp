@@ -36,11 +36,13 @@
 #include <ostream>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "runtime/thread_pool.hpp"
 #include "service/listener.hpp"
 #include "service/request.hpp"
 #include "service/service_stats.hpp"
+#include "service/worker.hpp"
 #include "store/result_store.hpp"
 #include "util/cancel.hpp"
 
@@ -59,6 +61,18 @@ struct DaemonOptions {
   double write_timeout = 10.0;    ///< seconds before a slow reader is cut
   double cell_timeout = 0.0;      ///< per-cell deadline, as in batch mode
   int cell_retries = -1;          ///< per-cell retries; -1 = runner default
+  /// "thread" (default): cells simulate in-process on the shared pool.
+  /// "process": store-missed cells run in supervised sandbox workers
+  /// (service/worker.hpp) — a crashing cell kills one subprocess, not the
+  /// daemon — under the quarantine/budget knobs below.
+  std::string isolation = "thread";
+  int poison_strikes = 3;           ///< worker crashes before quarantine
+  double restart_burst = 8.0;       ///< worker respawn token-bucket size
+  double restart_refill = 0.5;      ///< worker respawn tokens per second
+  /// Test hooks: the worker executable and argv. Empty = re-exec
+  /// /proc/self/exe with {"worker"} (what afs_sweep serve wants).
+  std::string worker_exe;
+  std::vector<std::string> worker_args;
   bool install_signal_handlers = true;  ///< SIGTERM/SIGINT -> drain
   std::ostream* log = nullptr;          ///< daemon progress; null = quiet
 
@@ -106,6 +120,7 @@ class SweepDaemon {
   CancelToken drain_token_;  ///< parent of every request token
   std::optional<ResultStore> store_;
   std::optional<ThreadPool> pool_;
+  std::unique_ptr<WorkerPool> workers_;  ///< non-null iff isolation=process
   std::unique_ptr<Listener> listener_;
   std::chrono::steady_clock::time_point start_{};
   std::atomic<bool> draining_{false};

@@ -69,6 +69,8 @@ inline constexpr const char* kOverloaded = "overloaded";
 inline constexpr const char* kShuttingDown = "shutting_down";
 inline constexpr const char* kDeadlineExpired = "deadline_expired";
 inline constexpr const char* kCancelled = "cancelled";
+inline constexpr const char* kPoisonCell = "poison_cell";
+inline constexpr const char* kDegraded = "degraded";
 inline constexpr const char* kInternal = "internal";
 }  // namespace err
 

@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -14,6 +16,7 @@
 #include "runtime/sweep_runner.hpp"  // serialize_sim_result / parse_sim_result
 #include "util/atomic_file.hpp"
 #include "util/check.hpp"
+#include "util/crc32c.hpp"
 #include "util/hash.hpp"
 
 namespace fs = std::filesystem;
@@ -21,26 +24,68 @@ namespace fs = std::filesystem;
 namespace afs {
 namespace {
 
-constexpr const char* kStoreSchema = "afs-store-v1";
+constexpr const char* kStoreSchema = "afs-store-v2";
+constexpr const char* kStoreSchemaV1 = "afs-store-v1";
 
-std::string entry_content(const CellKey& key, const SimResult& r) {
+/// The checksummed body of an entry: everything after the crc32c line.
+std::string entry_body(const std::string& key_text,
+                       const std::string& payload) {
   std::ostringstream os;
-  os << kStoreSchema << '\n'
-     << "keybytes " << key.text.size() << '\n'
-     << key.text << serialize_sim_result(r);
+  os << "keybytes " << key_text.size() << '\n' << key_text << payload;
   return os.str();
 }
 
-/// Parses an entry and authenticates it against `key`. Any malformation —
-/// wrong schema, short file, key mismatch (collision or corruption),
-/// unparseable payload — is a miss.
-bool parse_entry(const std::string& content, const CellKey& key,
-                 SimResult& out) {
+std::string crc_line(const std::string& body) {
+  char buf[24];
+  std::snprintf(buf, sizeof buf, "crc32c %08x", crc32c(body));
+  return buf;
+}
+
+std::string entry_content(const CellKey& key, const SimResult& r) {
+  const std::string body = entry_body(key.text, serialize_sim_result(r));
+  std::ostringstream os;
+  os << kStoreSchema << '\n' << crc_line(body) << '\n' << body;
+  return os.str();
+}
+
+/// The structural fields of an entry, independent of which CellKey the
+/// caller is looking for — what verify() needs, and what load()'s
+/// authentication is built from.
+struct ParsedEntry {
+  bool v1 = false;          ///< legacy entry without a checksum
+  std::string key_text;     ///< the embedded CellKey::text
+  std::string payload;      ///< the serialized SimResult
+  SimResult result;         ///< payload, parsed
+};
+
+/// Parses and self-validates an entry: schema, crc (v2), keybytes
+/// framing, payload parse. Key *authentication* against a lookup key is
+/// the caller's job — verify() has no lookup key and checks the filename
+/// hash instead.
+bool parse_entry_fields(const std::string& content, ParsedEntry& out) {
   std::size_t pos = content.find('\n');
-  if (pos == std::string::npos ||
-      content.compare(0, pos, kStoreSchema) != 0)
-    return false;
+  if (pos == std::string::npos) return false;
+  const bool v2 = content.compare(0, pos, kStoreSchema) == 0;
+  if (!v2 && content.compare(0, pos, kStoreSchemaV1) != 0) return false;
+  out.v1 = !v2;
   ++pos;
+
+  if (v2) {
+    // crc32c <8 hex> over everything after this line.
+    const std::size_t eol = content.find('\n', pos);
+    if (eol == std::string::npos) return false;
+    const std::string line = content.substr(pos, eol - pos);
+    constexpr const char* kCrc = "crc32c ";
+    if (line.rfind(kCrc, 0) != 0) return false;
+    const std::string hexv = line.substr(std::string(kCrc).size());
+    char* end = nullptr;
+    const unsigned long long want = std::strtoull(hexv.c_str(), &end, 16);
+    if (hexv.size() != 8 || end != hexv.c_str() + 8) return false;
+    pos = eol + 1;
+    if (crc32c(content.data() + pos, content.size() - pos) !=
+        static_cast<std::uint32_t>(want))
+      return false;
+  }
 
   const std::size_t eol = content.find('\n', pos);
   if (eol == std::string::npos) return false;
@@ -54,11 +99,22 @@ bool parse_entry(const std::string& content, const CellKey& key,
   pos = eol + 1;
 
   if (content.size() - pos < static_cast<std::size_t>(n)) return false;
-  if (content.compare(pos, static_cast<std::size_t>(n), key.text) != 0)
-    return false;
+  out.key_text = content.substr(pos, static_cast<std::size_t>(n));
   pos += static_cast<std::size_t>(n);
+  out.payload = content.substr(pos);
+  return parse_sim_result(out.payload, out.result);
+}
 
-  return parse_sim_result(content.substr(pos), out);
+/// Parses an entry and authenticates it against `key`. Any malformation —
+/// wrong schema, bad checksum, short file, key mismatch (collision or
+/// corruption), unparseable payload — is a miss.
+bool parse_entry(const std::string& content, const CellKey& key,
+                 SimResult& out) {
+  ParsedEntry e;
+  if (!parse_entry_fields(content, e)) return false;
+  if (e.key_text != key.text) return false;
+  out = e.result;
+  return true;
 }
 
 /// A temp name unique per (process, thread, call), so concurrent writers
@@ -253,6 +309,92 @@ GcOutcome ResultStore::gc(const GcOptions& opts) const {
       if (out.bytes_after <= opts.max_bytes) break;
       evict(e);
     }
+  }
+  return out;
+}
+
+ScrubOutcome ResultStore::verify() {
+  ScrubOutcome out;
+  const auto now = fs::file_time_type::clock::now();
+  // Grace period for temp files: a writer mid-commit holds its temp for
+  // milliseconds; anything a minute old was orphaned by a kill.
+  const auto tmp_cutoff = now - std::chrono::minutes(1);
+  // Clock-skew slack before an mtime counts as "in the future".
+  const auto future_cutoff = now + std::chrono::minutes(5);
+
+  std::error_code ec;
+  std::vector<fs::path> entries, tmps;
+  for (fs::recursive_directory_iterator it(root_, ec), end; it != end;
+       it.increment(ec)) {
+    if (ec) break;
+    if (it->is_directory(ec) && it->path().filename() == kQuarantineDir) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (!it->is_regular_file(ec)) continue;
+    const fs::path& p = it->path();
+    if (p.extension() == ".cell")
+      entries.push_back(p);
+    else if (p.filename().string().find(".tmp.") != std::string::npos)
+      tmps.push_back(p);
+  }
+
+  for (const fs::path& p : tmps) {
+    const auto mtime = fs::last_write_time(p, ec);
+    if (ec || mtime >= tmp_cutoff) continue;
+    if (fs::remove(p, ec)) ++out.tmp_removed;
+  }
+
+  for (const fs::path& p : entries) {
+    ++out.scanned;
+    std::string content;
+    {
+      std::ifstream in(p, std::ios::binary);
+      if (!in) continue;  // vanished under us (concurrent gc): not corrupt
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      content = buf.str();
+    }
+
+    // Self-validation plus the address check the filename encodes: an
+    // entry whose embedded key hashes elsewhere can never be served from
+    // this path — it is corruption (or a misplaced copy), not data.
+    ParsedEntry e;
+    const bool fields_ok = parse_entry_fields(content, e);
+    const bool address_ok =
+        fields_ok && p.stem().string() == hex64(fnv1a64(e.key_text));
+    if (!fields_ok || !address_ok) {
+      quarantine_entry(p.string());
+      ++out.corrupt;
+      continue;
+    }
+
+    if (e.v1) {
+      // Clean legacy entry: rewrite with a checksum so the whole store
+      // converges to v2 without invalidating anything. Same atomic
+      // protocol as save(); the rewrite refreshes mtime, which is fair —
+      // the scrub just touched it.
+      const std::string body = entry_body(e.key_text, e.payload);
+      const std::string tmp = unique_tmp_path(p.string());
+      {
+        std::ofstream outf(tmp, std::ios::binary | std::ios::trunc);
+        if (!outf.good()) continue;
+        outf << kStoreSchema << '\n' << crc_line(body) << '\n' << body;
+        outf.flush();
+        if (!outf.good()) continue;
+      }
+      commit_file_atomic(tmp, p.string());
+      ++out.upgraded;
+    } else {
+      const auto mtime = fs::last_write_time(p, ec);
+      if (!ec && mtime > future_cutoff) {
+        // A future-dated entry would survive every age pass and sort
+        // last in the LRU — clamp it so gc() ordering means something.
+        fs::last_write_time(p, now, ec);
+        if (!ec) ++out.mtime_repaired;
+      }
+    }
+    ++out.ok;
   }
   return out;
 }

@@ -9,17 +9,25 @@
 // Layout:   <root>/<hh>/<16-hex-hash>.cell   (hh = first hash byte, so a
 // million entries spread over 256 directories instead of one).
 //
-// Entry format (text):
-//     afs-store-v1
+// Entry format (text, schema afs-store-v2):
+//     afs-store-v2
+//     crc32c <8 hex digits>          (checksum of everything below it)
 //     keybytes <N>
 //     <N bytes: the full CellKey::text>
 //     <serialize_sim_result() output, schema afs-cell-v1>
 //
+// v1 entries (same layout without the crc32c line) are still readable;
+// verify() rewrites them with a checksum in place, so a scrub migrates an
+// old store without a flag day.
+//
 // Trust model: the hash only locates the entry; the embedded key text is
-// what authenticates it. load() re-reads and compares the full key, so a
-// hash collision, a truncated write the atomic protocol somehow missed, or
-// hand-edited garbage all degrade to a miss — the cell is recomputed and
-// the entry overwritten. The store can make a run slower, never wrong.
+// what authenticates it, and the CRC32C line detects payload corruption
+// (a flipped bit in a stored number still parses — only the checksum
+// catches it). load() re-reads the full key and re-checks the crc, so a
+// hash collision, a truncated write the atomic protocol somehow missed,
+// bit rot, or hand-edited garbage all degrade to a miss — the cell is
+// recomputed and the entry overwritten. The store can make a run slower,
+// never wrong.
 //
 // Concurrency: load and save are safe from many threads and many
 // processes. Writes go through a per-writer unique temp file plus the
@@ -68,6 +76,19 @@ struct GcOutcome {
   std::int64_t bytes_after = 0;
 };
 
+/// What a verify() scrub found and did. `corrupt` entries were moved to
+/// <root>/quarantine/; everything else was left valid on disk.
+struct ScrubOutcome {
+  std::int64_t scanned = 0;         ///< entries examined
+  std::int64_t ok = 0;              ///< entries that verified clean
+  std::int64_t corrupt = 0;         ///< quarantined (bad crc/key/payload)
+  std::int64_t upgraded = 0;        ///< v1 entries rewritten as v2
+  std::int64_t tmp_removed = 0;     ///< orphaned temp files deleted
+  std::int64_t mtime_repaired = 0;  ///< future-dated mtimes clamped to now
+
+  bool clean() const { return corrupt == 0; }
+};
+
 class ResultStore {
  public:
   /// Opens (and lazily creates) the store rooted at `root`.
@@ -109,6 +130,19 @@ class ResultStore {
 
   /// Evicts by age, then by LRU size bound. See GcOptions.
   GcOutcome gc(const GcOptions& opts) const;
+
+  /// Scrubs the whole store (`afs_sweep cache verify`): every entry is
+  /// read and checked — crc (v2), filename-vs-embedded-key address, and
+  /// payload parse — with corrupt entries quarantined exactly as load()
+  /// would have done on first touch. Clean v1 entries are rewritten as
+  /// checksummed v2 entries in place (atomic rename). LRU metadata is
+  /// repaired on the way: orphaned `.tmp.` files older than a minute are
+  /// removed, and entries whose mtime lies in the future (clock skew,
+  /// restored backups) are clamped to now so gc()'s age/LRU ordering
+  /// stays meaningful. Safe to run concurrently with readers; run it
+  /// while writers are quiescent (an in-flight write's temp file younger
+  /// than the grace period is left alone).
+  ScrubOutcome verify();
 
  private:
   /// Moves the corrupt entry at `path` into <root>/quarantine/ (or, if the

@@ -56,6 +56,14 @@ class CancelToken {
   /// Explicitly fires the token. Safe from any thread.
   void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
 
+  /// True when a deadline is armed on this token (not the parent chain).
+  /// The worker-pool supervisor uses the pair below to mirror a cell's
+  /// deadline onto its own poll loop: its low-frequency polling would
+  /// otherwise see the lazily-checked deadline only every kClockStride-th
+  /// call. Read-only; valid once set_deadline() returned.
+  bool has_deadline() const { return has_deadline_; }
+  std::chrono::steady_clock::time_point deadline() const { return deadline_; }
+
   /// True once the token has fired (explicitly, via the parent, or by
   /// passing its deadline). Latches: once true, always true.
   bool cancelled() const noexcept {

@@ -1,0 +1,33 @@
+#include "util/crc32c.hpp"
+
+#include <array>
+
+namespace afs {
+namespace {
+
+constexpr std::uint32_t kPoly = 0x82F63B78u;  // 0x1EDC6F41 reflected
+
+constexpr std::array<std::uint32_t, 256> make_table() {
+  std::array<std::uint32_t, 256> t{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t crc = i;
+    for (int k = 0; k < 8; ++k)
+      crc = (crc & 1u) ? (crc >> 1) ^ kPoly : crc >> 1;
+    t[i] = crc;
+  }
+  return t;
+}
+
+constexpr std::array<std::uint32_t, 256> kTable = make_table();
+
+}  // namespace
+
+std::uint32_t crc32c(const void* data, std::size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    crc = (crc >> 8) ^ kTable[(crc ^ p[i]) & 0xFFu];
+  return crc ^ 0xFFFFFFFFu;
+}
+
+}  // namespace afs

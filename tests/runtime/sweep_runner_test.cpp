@@ -20,6 +20,7 @@
 #include "kernels/gauss.hpp"
 #include "kernels/synthetic.hpp"
 #include "machines/machines.hpp"
+#include "runtime/cell_executor.hpp"
 #include "sched/registry.hpp"
 #include "sim/machine_sim.hpp"
 #include "util/check.hpp"
@@ -277,6 +278,93 @@ TEST(SweepRunner, RetryScheduleIsDeterministic) {
   EXPECT_EQ(run1, run2);
   EXPECT_EQ(run1[0], retry_backoff(o, "FLAKY", 2, 1));
   EXPECT_EQ(run1[1], retry_backoff(o, "FLAKY", 2, 2));
+}
+
+TEST(SweepRunner, RetryBackoffSurvivesDegenerateInputs) {
+  SweepOptions opts;
+  opts.backoff_max = 10.0;
+
+  // A zero (or negative) base means "retry immediately", not NaN/garbage.
+  opts.backoff_base = 0.0;
+  EXPECT_EQ(retry_backoff(opts, "AFS", 4, 1), 0.0);
+  EXPECT_EQ(retry_backoff(opts, "AFS", 4, 7), 0.0);
+  opts.backoff_base = -1.0;
+  EXPECT_EQ(retry_backoff(opts, "AFS", 4, 1), 0.0);
+
+  // Absurd attempt numbers must not overflow ldexp into inf before the
+  // clamp: the delay saturates at backoff_max and stays finite.
+  opts.backoff_base = 0.05;
+  for (int attempt : {64, 1100, 10'000, 1'000'000'000}) {
+    const double d = retry_backoff(opts, "AFS", 4, attempt);
+    EXPECT_TRUE(std::isfinite(d)) << attempt;
+    EXPECT_EQ(d, opts.backoff_max) << attempt;
+  }
+}
+
+TEST(SweepRunner, RetryBackoffGoldenSchedule) {
+  // The exact schedule is part of the service contract: clients and the
+  // daemon both derive sleeps from it, and operators read these numbers
+  // out of logs. Pin it so a "harmless" tweak to the hash or jitter shape
+  // shows up as a test diff, not as a silently different fleet cadence.
+  SweepOptions opts;  // defaults: base 0.05, max 2.0, seed 0xaf55eed
+  const struct {
+    const char* label;
+    int procs;
+    int attempt;
+    double delay;
+  } golden[] = {
+      {"request", 0, 1, 0x1.d9038c80df98cp-5},
+      {"request", 0, 2, 0x1.5284c4d65428p-4},
+      {"request", 0, 3, 0x1.1e50cfaf2431bp-3},
+      {"AFS", 4, 1, 0x1.c700aeeb2b13dp-5},
+      {"GSS", 8, 2, 0x1.28bfa07f520e5p-3},
+  };
+  for (const auto& g : golden)
+    EXPECT_EQ(retry_backoff(opts, g.label, g.procs, g.attempt), g.delay)
+        << g.label << " P=" << g.procs << " attempt " << g.attempt;
+}
+
+TEST(SweepRunner, PoisonedCellIsNeverRetried) {
+  // A PoisonedCellError is the sandbox saying "this cell has already
+  // crashed its budget of workers" — retrying would just burn more
+  // workers, so the runner records it and moves on.
+  SweepOptions opts;
+  opts.max_retries = 5;
+  opts.sleep_fn = [](double) { FAIL() << "poison must not sleep/retry"; };
+  int calls = 0;
+  std::vector<SweepCellSpec> cells = synthetic_cells({"OK"}, {1});
+  cells.push_back({"BAD", 2, [&calls](const CancelToken&) -> SimResult {
+                     ++calls;
+                     throw PoisonedCellError("quarantined after 3 crashes");
+                   }});
+  const SweepOutcome outcome = run_sweep("poison", cells, opts);
+  EXPECT_EQ(calls, 1);
+  EXPECT_FALSE(outcome.invariant_break());
+  EXPECT_EQ(outcome.results.at("OK").size(), 1u);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].kind, "poison");
+  EXPECT_EQ(outcome.failures[0].attempts, 1);
+  EXPECT_NE(outcome.failures[0].message.find("quarantined"),
+            std::string::npos);
+}
+
+TEST(SweepRunner, DegradedModeIsNeverRetried) {
+  // DegradedError means the worker pool is refusing new work entirely;
+  // retrying the same cell against a dead pool is pointless.
+  SweepOptions opts;
+  opts.max_retries = 5;
+  opts.sleep_fn = [](double) { FAIL() << "degraded must not sleep/retry"; };
+  int calls = 0;
+  std::vector<SweepCellSpec> cells{
+      {"ANY", 1, [&calls](const CancelToken&) -> SimResult {
+         ++calls;
+         throw DegradedError("restart budget exhausted; cache-only");
+       }}};
+  const SweepOutcome outcome = run_sweep("degraded", cells, opts);
+  EXPECT_EQ(calls, 1);
+  ASSERT_EQ(outcome.failures.size(), 1u);
+  EXPECT_EQ(outcome.failures[0].kind, "degraded");
+  EXPECT_EQ(outcome.failures[0].attempts, 1);
 }
 
 TEST(SweepRunner, ExhaustedRetriesIsolateTheFailingCell) {

@@ -15,6 +15,7 @@
 
 #include "kernels/gauss.hpp"
 #include "machines/machines.hpp"
+#include "runtime/sweep_runner.hpp"
 #include "sched/registry.hpp"
 #include "sim/machine_sim.hpp"
 #include "store/cell_key.hpp"
@@ -332,6 +333,164 @@ TEST(ResultStore, CleanMissesNeverQuarantine) {
   EXPECT_EQ(store.quarantined(), 0);
   EXPECT_FALSE(fs::exists(fs::path(store.root()) / "quarantine"));
   EXPECT_EQ(store.scan().quarantined, 0);
+}
+
+TEST(ResultStore, VerifyOnCleanStoreTouchesNothing) {
+  ResultStore store(fresh_dir("rs_scrub_clean"));
+  const SimResult r = simulate();
+  for (int p = 1; p <= 3; ++p) store.save(key_for(p), r);
+
+  const ScrubOutcome o = store.verify();
+  EXPECT_EQ(o.scanned, 3);
+  EXPECT_EQ(o.ok, 3);
+  EXPECT_EQ(o.corrupt, 0);
+  EXPECT_EQ(o.upgraded, 0);
+  EXPECT_EQ(o.tmp_removed, 0);
+  EXPECT_TRUE(o.clean());
+
+  SimResult out;
+  for (int p = 1; p <= 3; ++p) ASSERT_TRUE(store.load(key_for(p), out));
+}
+
+TEST(ResultStore, VerifyQuarantinesBitFlippedEntryOnly) {
+  ResultStore store(fresh_dir("rs_scrub_flip"));
+  const SimResult r = simulate();
+  const CellKey victim = key_for(2);
+  const CellKey bystander = key_for(3);
+  store.save(victim, r);
+  store.save(bystander, r);
+
+  // Flip one bit inside the payload. The damaged digit still parses as a
+  // number, so only the checksum can catch this.
+  {
+    std::fstream f(store.entry_path(victim),
+                   std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(-5, std::ios::end);
+    char c = 0;
+    f.get(c);
+    f.seekp(-5, std::ios::end);
+    f.put(static_cast<char>(c ^ 0x01));
+  }
+
+  const ScrubOutcome o = store.verify();
+  EXPECT_EQ(o.scanned, 2);
+  EXPECT_EQ(o.ok, 1);
+  EXPECT_EQ(o.corrupt, 1);
+  EXPECT_FALSE(o.clean());
+
+  // The corrupt entry is under quarantine, its address free; the valid
+  // neighbour is untouched and still serves a bit-identical hit.
+  EXPECT_FALSE(fs::exists(store.entry_path(victim)));
+  EXPECT_EQ(store.scan().quarantined, 1);
+  SimResult out;
+  EXPECT_FALSE(store.load(victim, out));
+  ASSERT_TRUE(store.load(bystander, out));
+  expect_identical(r, out);
+
+  // A second scrub over the repaired store is clean.
+  const ScrubOutcome again = store.verify();
+  EXPECT_EQ(again.scanned, 1);
+  EXPECT_EQ(again.corrupt, 0);
+  EXPECT_TRUE(again.clean());
+}
+
+TEST(ResultStore, VerifyUpgradesV1EntriesInPlace) {
+  ResultStore store(fresh_dir("rs_scrub_v1"));
+  const CellKey key = key_for();
+  const SimResult r = simulate();
+  store.save(key, r);  // creates the shard directory for us
+
+  // Rewrite the entry in the pre-checksum v1 layout: same body, no
+  // crc32c line.
+  const std::string payload = serialize_sim_result(r);
+  {
+    std::ofstream f(store.entry_path(key),
+                    std::ios::binary | std::ios::trunc);
+    f << "afs-store-v1\n"
+      << "keybytes " << key.text.size() << "\n"
+      << key.text << payload;
+  }
+
+  // v1 is still a hit even before the scrub (no flag day)...
+  SimResult out;
+  ASSERT_TRUE(store.load(key, out));
+  expect_identical(r, out);
+
+  // ...and verify() migrates it to a checksummed v2 entry in place.
+  const ScrubOutcome o = store.verify();
+  EXPECT_EQ(o.scanned, 1);
+  EXPECT_EQ(o.ok, 1);
+  EXPECT_EQ(o.upgraded, 1);
+  EXPECT_TRUE(o.clean());
+
+  std::ifstream f(store.entry_path(key), std::ios::binary);
+  std::string schema;
+  std::getline(f, schema);
+  EXPECT_EQ(schema, "afs-store-v2");
+  ASSERT_TRUE(store.load(key, out));
+  expect_identical(r, out);
+  EXPECT_EQ(store.verify().upgraded, 0);  // the migration is one-shot
+}
+
+TEST(ResultStore, VerifyQuarantinesCorruptV1Entry) {
+  // The upgrade path must not launder damage: a v1 entry whose payload is
+  // garbage gets quarantined, not rewritten as "valid" v2.
+  ResultStore store(fresh_dir("rs_scrub_v1_bad"));
+  const CellKey key = key_for();
+  store.save(key, simulate());
+  {
+    std::ofstream f(store.entry_path(key),
+                    std::ios::binary | std::ios::trunc);
+    f << "afs-store-v1\n"
+      << "keybytes " << key.text.size() << "\n"
+      << key.text << "this is not a serialized SimResult";
+  }
+  const ScrubOutcome o = store.verify();
+  EXPECT_EQ(o.corrupt, 1);
+  EXPECT_EQ(o.upgraded, 0);
+  EXPECT_FALSE(fs::exists(store.entry_path(key)));
+}
+
+TEST(ResultStore, VerifyRemovesStaleTempFilesKeepsFreshOnes) {
+  ResultStore store(fresh_dir("rs_scrub_tmp"));
+  const CellKey key = key_for();
+  store.save(key, simulate());
+
+  const fs::path dir = fs::path(store.entry_path(key)).parent_path();
+  const fs::path stale = dir / "deadbeef.cell.tmp.1234.abcd";
+  const fs::path fresh = dir / "deadbeef.cell.tmp.5678.ef01";
+  std::ofstream(stale) << "orphaned write";
+  std::ofstream(fresh) << "in-flight write";
+  fs::last_write_time(stale,
+                      fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  const ScrubOutcome o = store.verify();
+  EXPECT_EQ(o.tmp_removed, 1);
+  EXPECT_FALSE(fs::exists(stale));  // orphan reclaimed
+  EXPECT_TRUE(fs::exists(fresh));   // possible in-flight write left alone
+  EXPECT_EQ(o.corrupt, 0);          // temp files are not "entries"
+  EXPECT_EQ(o.scanned, 1);
+}
+
+TEST(ResultStore, VerifyClampsFutureMtimes) {
+  // A restored backup or clock skew can date entries in the future, which
+  // would make them immortal under LRU ("most recently used forever").
+  ResultStore store(fresh_dir("rs_scrub_mtime"));
+  const CellKey key = key_for();
+  store.save(key, simulate());
+  fs::last_write_time(store.entry_path(key),
+                      fs::file_time_type::clock::now() +
+                          std::chrono::hours(24 * 365));
+
+  const ScrubOutcome o = store.verify();
+  EXPECT_EQ(o.mtime_repaired, 1);
+  EXPECT_TRUE(o.clean());
+  EXPECT_LE(fs::last_write_time(store.entry_path(key)),
+            fs::file_time_type::clock::now() + std::chrono::minutes(10));
+  EXPECT_EQ(store.verify().mtime_repaired, 0);
+
+  SimResult out;
+  ASSERT_TRUE(store.load(key, out));
 }
 
 TEST(ResultStore, GcByAgeEvictsStaleEntries) {

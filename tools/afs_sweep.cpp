@@ -16,17 +16,30 @@
 //       <out-dir>/grid.csv.
 //   afs_sweep cache stats [--store=DIR]
 //   afs_sweep cache gc [--store=DIR] [--max-age-days=D] [--max-bytes=B]
-//       store maintenance: entry count/bytes/quarantined, and eviction by
-//       age then LRU size cap.
+//   afs_sweep cache verify [--store=DIR]
+//       store maintenance: entry count/bytes/quarantined; eviction by age
+//       then LRU size cap; and the integrity scrub — re-checksum every
+//       entry, quarantine corruption, repair metadata (exit 1 when
+//       anything corrupt was found).
 //   afs_sweep serve --socket=PATH [--jobs=N --max-queue=M ...]
 //       the long-running sweep daemon: line-delimited JSON requests over
 //       a Unix-domain socket, served in arrival order against the same
-//       registry and store (docs/SWEEP_SERVICE.md, "Serving").
+//       registry and store (docs/SWEEP_SERVICE.md, "Serving"). With
+//       --isolation=process cells execute in supervised sandbox worker
+//       subprocesses: crashes are contained, crash-looping cells are
+//       quarantined (poison_cell), and an exhausted restart budget turns
+//       the daemon cache-only (degraded) until it refills
+//       (docs/ROBUSTNESS.md).
 //   afs_sweep request --socket=PATH run fig04 [--deadline=S] [--tag=T]
 //   afs_sweep request --socket=PATH '{"verb":"stats"}'
 //       client helper: send one request, stream the responses, exit with
 //       0 = ok, 1 = failed, 2 = transport error, 3 = bounced
-//       (overloaded / shutting down).
+//       (overloaded / shutting down). --retries=N retries transport
+//       failures and overloaded bounces under deterministic jittered
+//       exponential backoff (--backoff=S scales it).
+//
+// (Hidden: `afs_sweep worker` is the sandbox worker entry point that
+// --isolation=process re-execs; it is not part of the CLI surface.)
 //
 // Shared flags are exactly the bench-binary flags (see --help).
 #include <algorithm>
@@ -35,6 +48,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <iostream>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -46,6 +60,7 @@
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/json.hpp"
+#include "service/worker.hpp"
 #include "store/result_store.hpp"
 #include "util/cancel.hpp"
 #include "util/table.hpp"
@@ -53,6 +68,11 @@
 namespace {
 
 using namespace afs;
+
+bool parse_double_flag(const std::string& arg, std::size_t prefix,
+                       const char* flag, double lo, double hi, double& out);
+bool parse_int_flag(const std::string& arg, std::size_t prefix,
+                    const char* flag, long lo, long hi, int& out);
 
 int usage(std::ostream& out, int rc) {
   out << "usage: afs_sweep <command> [args]\n"
@@ -64,13 +84,19 @@ int usage(std::ostream& out, int rc) {
          "  cache stats [--store=DIR] store entries, bytes, quarantined\n"
          "  cache gc [--store=DIR] [--max-age-days=D] [--max-bytes=B]\n"
          "                            evict by age, then by LRU size cap\n"
+         "  cache verify [--store=DIR]\n"
+         "                            scrub: checksum every entry,\n"
+         "                            quarantine corruption (exit 1 if any)\n"
          "  serve --socket=PATH [--jobs=N] [--max-queue=M]\n"
          "      [--default-deadline=S] [--drain-timeout=S]\n"
          "      [--write-timeout=S] [--max-connections=N] [--quiet]\n"
          "      [--out-dir=DIR] [--store=DIR|--no-store]\n"
          "      [--cell-timeout=S] [--cell-retries=N]\n"
+         "      [--isolation=thread|process] [--poison-strikes=N]\n"
+         "      [--restart-burst=N] [--restart-refill=R]\n"
          "                            the sweep daemon (SIGTERM drains)\n"
-         "  request --socket=PATH [--raw] [--timeout=S] <request>\n"
+         "  request --socket=PATH [--raw] [--timeout=S]\n"
+         "      [--retries=N] [--backoff=S] <request>\n"
          "      where <request> is one of\n"
          "        run <id>... | run --all   [--deadline=S] [--tag=T]\n"
          "        grid --kernel=K --machine=M --schedulers=S,S\n"
@@ -78,7 +104,10 @@ int usage(std::ostream& out, int rc) {
          "        stats | health | shutdown\n"
          "        '{\"verb\":...}'       a raw protocol line\n"
          "shared flags: the bench-binary flags (afs_sweep run --help);\n"
-         "the store defaults to <out-dir>/.store unless --no-store\n";
+         "run also takes --isolation=thread|process [--workers=N]\n"
+         "(sandboxed cell execution: a crash loses one attempt, not the\n"
+         "batch); the store defaults to <out-dir>/.store unless "
+         "--no-store\n";
   return rc;
 }
 
@@ -165,6 +194,19 @@ int cmd_cache(const std::vector<std::string>& args) {
               << "\n";
     return 0;
   }
+  if (sub == "verify") {
+    const ScrubOutcome o = store.verify();
+    std::cout << "store: " << store.root() << "\n"
+              << "scanned: " << o.scanned << "\n"
+              << "ok: " << o.ok << "\n"
+              << "corrupt: " << o.corrupt << "\n"
+              << "upgraded: " << o.upgraded << "\n"
+              << "tmp_removed: " << o.tmp_removed << "\n"
+              << "mtime_repaired: " << o.mtime_repaired << "\n";
+    // Nonzero exit iff corruption was found (and quarantined) — what a
+    // cron job or CI stage keys its alerting on.
+    return o.clean() ? 0 : 1;
+  }
   std::cerr << "afs_sweep cache: unknown subcommand '" << sub << "'\n";
   return usage(std::cerr, 2);
 }
@@ -188,6 +230,8 @@ int cmd_run(const std::vector<std::string>& args) {
   std::vector<std::string> shared;
   bool run_all = false;
   std::string kernel, machine, schedulers, perturb;
+  std::string isolation = "thread";
+  int sandbox_workers = 0;  // 0 = default to --jobs
   for (const std::string& a : args) {
     if (a == "--all") {
       run_all = true;
@@ -199,6 +243,15 @@ int cmd_run(const std::vector<std::string>& args) {
       schedulers = a.substr(13);
     } else if (a.rfind("--perturb=", 0) == 0) {
       perturb = a.substr(10);
+    } else if (a.rfind("--isolation=", 0) == 0) {
+      isolation = a.substr(12);
+      if (isolation != "thread" && isolation != "process") {
+        std::cerr << "afs_sweep run: --isolation must be thread or process\n";
+        return 2;
+      }
+    } else if (a.rfind("--workers=", 0) == 0) {
+      if (!parse_int_flag(a, 10, "--workers", 1, 256, sandbox_workers))
+        return 2;
     } else if (a.rfind("--", 0) == 0) {
       shared.push_back(a);
     } else {
@@ -254,6 +307,24 @@ int cmd_run(const std::vector<std::string>& args) {
     ctx.pool = &*pool;
   }
 
+  // --isolation=process: store-missed cells run in supervised sandbox
+  // subprocesses (re-exec'ing this binary's hidden `worker` command), so
+  // an engine crash loses one cell attempt, not the whole batch.
+  std::unique_ptr<service::WorkerPool> sandbox;
+  if (isolation == "process") {
+    service::WorkerPoolOptions wopts;
+    wopts.workers = sandbox_workers > 0 ? sandbox_workers : cli.jobs;
+    wopts.log = &std::cerr;
+    sandbox = std::make_unique<service::WorkerPool>(std::move(wopts));
+    std::string werror;
+    if (!sandbox->start(werror)) {
+      std::cerr << "afs_sweep run: cannot start sandbox workers: " << werror
+                << "\n";
+      return 2;
+    }
+    ctx.executor = sandbox.get();
+  }
+
   int rc = 0;
   if (grid) {
     if (kernel.empty() || machine.empty() || schedulers.empty()) {
@@ -307,6 +378,12 @@ int cmd_run(const std::vector<std::string>& args) {
               << " misses=" << ctx.store->misses()
               << " writes=" << ctx.store->writes() << " hit_rate=" << buf
               << "%\n";
+  }
+  if (sandbox) {
+    const service::WorkerPoolStats ws = sandbox->stats();
+    std::cout << "workers: cells=" << ws.cells_executed
+              << " spawned=" << ws.spawned << " crashes=" << ws.crashes
+              << " poisoned=" << ws.poisoned << "\n";
   }
 
   sigaction(SIGINT, &old_int, nullptr);
@@ -392,6 +469,25 @@ int cmd_serve(const std::vector<std::string>& args) {
         return 2;
     } else if (a.rfind("--cell-retries=", 0) == 0) {
       if (!parse_int_flag(a, 15, "--cell-retries", 0, 100, opts.cell_retries))
+        return 2;
+    } else if (a.rfind("--isolation=", 0) == 0) {
+      opts.isolation = a.substr(12);
+      if (opts.isolation != "thread" && opts.isolation != "process") {
+        std::cerr << "afs_sweep serve: --isolation must be thread or "
+                     "process\n";
+        return 2;
+      }
+    } else if (a.rfind("--poison-strikes=", 0) == 0) {
+      if (!parse_int_flag(a, 17, "--poison-strikes", 1, 100,
+                          opts.poison_strikes))
+        return 2;
+    } else if (a.rfind("--restart-burst=", 0) == 0) {
+      if (!parse_double_flag(a, 16, "--restart-burst", 0.0, 10000.0,
+                             opts.restart_burst))
+        return 2;
+    } else if (a.rfind("--restart-refill=", 0) == 0) {
+      if (!parse_double_flag(a, 17, "--restart-refill", 0.0, 10000.0,
+                             opts.restart_refill))
         return 2;
     } else if (a == "--quiet") {
       opts.log = nullptr;
@@ -497,6 +593,7 @@ int cmd_request(const std::vector<std::string>& args) {
   std::string socket_path;
   bool raw = false;
   double timeout = 0.0;
+  service::RequestRetryOptions retry;
   std::vector<std::string> rest;
   for (const std::string& a : args) {
     if (a.rfind("--socket=", 0) == 0) {
@@ -505,6 +602,13 @@ int cmd_request(const std::vector<std::string>& args) {
       raw = true;
     } else if (a.rfind("--timeout=", 0) == 0) {
       if (!parse_double_flag(a, 10, "--timeout", 0.001, 86400.0, timeout))
+        return 2;
+    } else if (a.rfind("--retries=", 0) == 0) {
+      if (!parse_int_flag(a, 10, "--retries", 0, 100, retry.retries))
+        return 2;
+    } else if (a.rfind("--backoff=", 0) == 0) {
+      if (!parse_double_flag(a, 10, "--backoff", 0.0, 3600.0,
+                             retry.backoff_base))
         return 2;
     } else {
       rest.push_back(a);
@@ -520,7 +624,7 @@ int cmd_request(const std::vector<std::string>& args) {
     return 2;
   }
   return service::run_request(socket_path, line, std::cout, std::cerr, raw,
-                              timeout);
+                              timeout, retry);
 }
 
 }  // namespace
@@ -535,6 +639,9 @@ int main(int argc, char** argv) {
   if (cmd == "cache") return cmd_cache(rest);
   if (cmd == "serve") return cmd_serve(rest);
   if (cmd == "request") return cmd_request(rest);
+  // Hidden: the sandbox worker entry point. A WorkerPool re-execs this
+  // binary with argv {"worker"}; stdin/stdout are the protocol pipes.
+  if (cmd == "worker") return afs::service::worker_main();
   if (cmd == "--help" || cmd == "-h" || cmd == "help")
     return usage(std::cout, 0);
   std::cerr << "afs_sweep: unknown command '" << cmd << "'\n";
