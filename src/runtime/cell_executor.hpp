@@ -61,6 +61,18 @@ struct CellExecSpec {
   bool valid() const { return !experiment.empty() || !kernel.empty(); }
 };
 
+/// The engine A/B toggles a cell run carries besides its recipe — the
+/// only SimOptions a CLI can change that the recipe does not already
+/// encode. All four are proven bit-identical on/off; they exist so A/B
+/// sweeps (and the store keys derived from them) actually exercise both
+/// engines.
+struct EngineToggles {
+  bool batch_iterations = true;  ///< iteration-batching fast path
+  bool memory_fast_path = true;  ///< exclusive-residency shortcut
+  bool calendar_queue = true;    ///< calendar-ring EventCore
+  bool epoch_batch = true;       ///< warm-state reuse across runs
+};
+
 /// The cell is blacklisted: it crashed workers `poison_strikes` times.
 /// Deterministic for the executor's lifetime — never retried.
 class PoisonedCellError : public std::runtime_error {
@@ -80,14 +92,11 @@ class CellExecutor {
   virtual ~CellExecutor() = default;
 
   /// Executes one (label, procs) cell of the sweep `spec` describes.
-  /// `batch_iterations` / `memory_fast_path` carry the caller's A/B
-  /// toggles (the only SimOptions a CLI can change that the recipe does
-  /// not already encode). Blocks until the result is available; polls
-  /// `token` and kills the worker when it fires. Throws per the taxonomy
-  /// in the header comment.
+  /// `toggles` carries the caller's engine A/B switches. Blocks until the
+  /// result is available; polls `token` and kills the worker when it
+  /// fires. Throws per the taxonomy in the header comment.
   virtual SimResult execute(const CellExecSpec& spec, const std::string& label,
-                            int procs, bool batch_iterations,
-                            bool memory_fast_path,
+                            int procs, const EngineToggles& toggles,
                             const CancelToken& token) = 0;
 };
 

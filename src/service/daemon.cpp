@@ -256,7 +256,9 @@ int SweepDaemon::serve() {
                << " rejected_overloaded=" << stats_.rejected_overloaded.load()
                << " rejected_draining=" << stats_.rejected_draining.load()
                << " protocol_errors=" << stats_.protocol_errors.load()
-               << " connections=" << stats_.connections_total.load();
+               << " connections=" << stats_.connections_total.load()
+               << " queue_wait_ms_mean=" << stats_.queue_wait_ms_mean()
+               << " run_ms_mean=" << stats_.run_ms_mean();
     if (store_)
       *opts_.log << " store_hits=" << store_->hits()
                  << " store_misses=" << store_->misses()
@@ -651,7 +653,6 @@ std::string SweepDaemon::health_response(const std::string& tag) const {
 }
 
 std::string SweepDaemon::stats_response(const std::string& tag) const {
-  const std::int64_t finished = stats_.finished();
   const char* status = draining_.load()                ? "draining"
                        : (workers_ && workers_->degraded()) ? "degraded"
                                                             : "serving";
@@ -678,15 +679,8 @@ std::string SweepDaemon::stats_response(const std::string& tag) const {
        json_number(double(stats_.connections_open.load()))},
       {"connections_torn_down",
        json_number(double(stats_.connections_torn_down.load()))},
-      {"queue_wait_ms_mean",
-       json_number(finished > 0
-                       ? double(stats_.queue_wait_us.load()) / 1000.0 /
-                             double(finished)
-                       : 0.0)},
-      {"run_ms_mean",
-       json_number(finished > 0 ? double(stats_.run_us.load()) / 1000.0 /
-                                      double(finished)
-                                : 0.0)},
+      {"queue_wait_ms_mean", json_number(stats_.queue_wait_ms_mean())},
+      {"run_ms_mean", json_number(stats_.run_ms_mean())},
   };
   if (store_) {
     fields.push_back({"store_hits", json_number(double(store_->hits()))});

@@ -43,6 +43,28 @@ struct ServiceStats {
     return completed.load() + failed.load() + cancelled.load() +
            deadline_expired.load();
   }
+
+  /// Mean admission->dispatch wait per finished request, in milliseconds.
+  /// Guarded against the zero-request case: a naive sum/count would be
+  /// 0/0 = NaN, which the strict JSON printer has no representation for
+  /// (json_number renders non-finite doubles as null). Every consumer —
+  /// the stats verb, the drained: log — must go through these helpers
+  /// rather than dividing the raw counters itself.
+  double queue_wait_ms_mean() const {
+    const std::int64_t n = finished();
+    return n > 0 ? static_cast<double>(queue_wait_us.load()) / 1000.0 /
+                       static_cast<double>(n)
+                 : 0.0;
+  }
+
+  /// Mean dispatch->response time per finished request, in milliseconds.
+  /// Same zero-request guard as queue_wait_ms_mean().
+  double run_ms_mean() const {
+    const std::int64_t n = finished();
+    return n > 0 ? static_cast<double>(run_us.load()) / 1000.0 /
+                       static_cast<double>(n)
+                 : 0.0;
+  }
 };
 
 }  // namespace afs::service

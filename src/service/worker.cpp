@@ -365,7 +365,7 @@ bool WorkerPool::start(std::string& error) {
 
 SimResult WorkerPool::execute(const CellExecSpec& spec,
                               const std::string& label, int procs,
-                              bool batch_iterations, bool memory_fast_path,
+                              const EngineToggles& toggles,
                               const CancelToken& token) {
   const std::string cid = cell_id(spec, label, procs);
 
@@ -418,8 +418,10 @@ SimResult WorkerPool::execute(const CellExecSpec& spec,
   std::ostringstream req;
   req << "{\"op\":\"cell\",\"label\":" << json_quote(label)
       << ",\"procs\":" << procs
-      << ",\"batch\":" << (batch_iterations ? "true" : "false")
-      << ",\"memfast\":" << (memory_fast_path ? "true" : "false");
+      << ",\"batch\":" << (toggles.batch_iterations ? "true" : "false")
+      << ",\"memfast\":" << (toggles.memory_fast_path ? "true" : "false")
+      << ",\"calendar\":" << (toggles.calendar_queue ? "true" : "false")
+      << ",\"epochbatch\":" << (toggles.epoch_batch ? "true" : "false");
   if (!spec.experiment.empty()) {
     req << ",\"experiment\":" << json_quote(spec.experiment);
   } else {
@@ -734,6 +736,12 @@ int worker_main() {
       if (const JsonValue* memfast = msg.find("memfast");
           memfast != nullptr && memfast->is_bool())
         spec.sim_options.memory_fast_path = memfast->boolean;
+      if (const JsonValue* calendar = msg.find("calendar");
+          calendar != nullptr && calendar->is_bool())
+        spec.sim_options.calendar_queue = calendar->boolean;
+      if (const JsonValue* epochbatch = msg.find("epochbatch");
+          epochbatch != nullptr && epochbatch->is_bool())
+        spec.sim_options.epoch_batch = epochbatch->boolean;
 
       const SchedulerEntry* se = nullptr;
       for (const SchedulerEntry& e : spec.schedulers)

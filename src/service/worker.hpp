@@ -104,7 +104,7 @@ class WorkerPool : public CellExecutor {
   /// as needed) and blocks for the result. Throws per the taxonomy in
   /// runtime/cell_executor.hpp.
   SimResult execute(const CellExecSpec& spec, const std::string& label,
-                    int procs, bool batch_iterations, bool memory_fast_path,
+                    int procs, const EngineToggles& toggles,
                     const CancelToken& token) override;
 
   WorkerPoolStats stats() const;

@@ -10,13 +10,20 @@
 //
 // Representation (hot-path engineering, no semantic content): blocks are
 // indexed with FlatMap64 (util/flat_map.hpp) and the LRU chain is an
-// intrusive doubly-linked list over a slot vector with a free list —
+// intrusive doubly-linked list over a slot pool with a free list —
 // several residency/sharer probes happen per simulated access, and the
 // straightforward unordered_map + std::list version spent ~25% of a big
-// sweep's wall clock on hashing and node allocation. Each line also
-// carries an exclusivity hint (excl == true implies the directory lists
-// this processor as the block's sole sharer) so MemorySystem's
-// exclusive-residency fast path can answer "is this write a coherence
+// sweep's wall clock on hashing and node allocation. The slot pool is
+// SoA-packed: the fields the steady-state residency probe reads (block
+// tag, exclusivity hint, MRU successor) live in a 16-byte hot record so
+// the MRU-2 probe in access_hit_state touches one cache line, while the
+// relink/evict-only fields (LRU predecessor, block size) sit in a cold
+// array the hit path never loads. Build with -DAFS_CACHE_AOS=ON to
+// restore the legacy array-of-structs layout — layout carries no
+// semantics, so the two builds are a bit-identical A/B pair. Each line's
+// exclusivity hint (excl == true implies the directory lists this
+// processor as the block's sole sharer) lets MemorySystem's
+// exclusive-residency fast path answer "is this write a coherence
 // no-op?" from the residency probe alone, without a directory lookup.
 // Determinism note: no behavior may depend on hash-table or allocator
 // order — eviction order comes from the LRU chain, and invalidation order
@@ -106,27 +113,24 @@ class ProcCache {
   /// lookup it probes the two most-recently-used lines directly: loop
   /// kernels touch the same couple of blocks every iteration (pivot row +
   /// own row alternate at the front of the chain), and catching them there
-  /// skips the hash probe while leaving the LRU state bit-identical.
+  /// skips the hash probe while leaving the LRU state bit-identical. The
+  /// SoA layout puts everything this probe reads — tag, hint, successor —
+  /// in one 16-byte hot record per line.
   Hit access_hit_state(std::int64_t block) {
     if (head_ != kNil) {
-      const Line& h = lines_[static_cast<std::size_t>(head_)];
-      if (h.block == block)  // already MRU: move_to_front is a no-op
-        return h.excl ? Hit::kExclusive : Hit::kShared;
-      const std::int32_t s2 = h.next;
-      if (s2 != kNil) {
-        const Line& l2 = lines_[static_cast<std::size_t>(s2)];
-        if (l2.block == block) {
-          const bool excl = l2.excl;
-          move_to_front(s2);
-          return excl ? Hit::kExclusive : Hit::kShared;
-        }
+      if (line_block(head_) == block)  // already MRU: move_to_front no-ops
+        return line_excl(head_) ? Hit::kExclusive : Hit::kShared;
+      const std::int32_t s2 = line_next(head_);
+      if (s2 != kNil && line_block(s2) == block) {
+        const bool excl = line_excl(s2);
+        move_to_front(s2);
+        return excl ? Hit::kExclusive : Hit::kShared;
       }
     }
     const std::int32_t* slot = index_.find(block);
     if (slot == nullptr) return Hit::kMiss;
     move_to_front(*slot);
-    return lines_[static_cast<std::size_t>(*slot)].excl ? Hit::kExclusive
-                                                        : Hit::kShared;
+    return line_excl(*slot) ? Hit::kExclusive : Hit::kShared;
   }
 
   /// Marks a resident block as exclusively owned. Caller's invariant: the
@@ -135,7 +139,7 @@ class ProcCache {
   void set_exclusive(std::int64_t block) {
     const std::int32_t* slot = index_.find(block);
     AFS_DCHECK(slot != nullptr);
-    lines_[static_cast<std::size_t>(*slot)].excl = true;
+    line_excl(*slot) = true;
   }
 
   /// Marks the most-recently-used line exclusive without an index lookup.
@@ -143,23 +147,22 @@ class ProcCache {
   /// `block` (so it sits at the LRU head) and the directory lists this
   /// processor as the block's only sharer.
   void set_exclusive_front(std::int64_t block) {
-    AFS_DCHECK(head_ != kNil &&
-               lines_[static_cast<std::size_t>(head_)].block == block);
+    AFS_DCHECK(head_ != kNil && line_block(head_) == block);
     (void)block;
-    lines_[static_cast<std::size_t>(head_)].excl = true;
+    line_excl(head_) = true;
   }
 
   /// Downgrades a resident block to shared (another processor gained a
   /// copy). No-op when the block is not resident here.
   void clear_exclusive(std::int64_t block) {
     const std::int32_t* slot = index_.find(block);
-    if (slot != nullptr) lines_[static_cast<std::size_t>(*slot)].excl = false;
+    if (slot != nullptr) line_excl(*slot) = false;
   }
 
   /// Test/debug view of the exclusivity hint; false when not resident.
   bool exclusive(std::int64_t block) const {
     const std::int32_t* slot = index_.find(block);
-    return slot != nullptr && lines_[static_cast<std::size_t>(*slot)].excl;
+    return slot != nullptr && line_excl(*slot);
   }
 
   /// Marks the block most-recently used. Precondition: contains(block).
@@ -180,17 +183,16 @@ class ProcCache {
     AFS_DCHECK(!contains(block));
     if (size > capacity_) return false;  // streamed, never resident
     while (used_ + size > capacity_ && tail_ != kNil) {
-      const Line& victim = lines_[static_cast<std::size_t>(tail_)];
-      used_ -= victim.size;
-      on_evict(victim.block);
-      index_.erase(victim.block);
+      const std::int64_t victim = line_block(tail_);
+      used_ -= line_size(tail_);
+      on_evict(victim);
+      index_.erase(victim);
       unlink_tail();
     }
     const std::int32_t slot = alloc_slot();
-    Line& line = lines_[static_cast<std::size_t>(slot)];
-    line.block = block;
-    line.size = size;
-    line.excl = false;  // a fresh copy is shared until a write upgrades it
+    line_block(slot) = block;
+    line_size(slot) = size;
+    line_excl(slot) = false;  // a fresh copy is shared until a write upgrades
     link_front(slot);
     index_[block] = slot;
     used_ += size;
@@ -202,14 +204,18 @@ class ProcCache {
     const std::int32_t* slot = index_.find(block);
     if (slot == nullptr) return;
     const std::int32_t s = *slot;
-    used_ -= lines_[static_cast<std::size_t>(s)].size;
+    used_ -= line_size(s);
     unlink(s);
     free_.push_back(s);
     index_.erase(block);
   }
 
+  /// Empties the cache in place: slot pool, free list and hash table keep
+  /// their capacity (what MemorySystem's warm reset relies on), but no
+  /// resident state survives — a cleared cache is indistinguishable from a
+  /// freshly constructed one of the same capacity.
   void clear() {
-    lines_.clear();
+    clear_slots();
     free_.clear();
     head_ = tail_ = kNil;
     index_.clear();
@@ -223,6 +229,9 @@ class ProcCache {
  private:
   static constexpr std::int32_t kNil = -1;
 
+#if defined(AFS_CACHE_AOS)
+  /// Legacy array-of-structs layout (the -DAFS_CACHE_AOS=ON A/B
+  /// reference): one 32-byte record per line.
   struct Line {
     std::int64_t block = 0;
     double size = 0.0;
@@ -231,35 +240,93 @@ class ProcCache {
     bool excl = false;  ///< directory lists this proc as the sole sharer
   };
 
+  std::int64_t& line_block(std::int32_t s) { return lines_[idx(s)].block; }
+  std::int64_t line_block(std::int32_t s) const { return lines_[idx(s)].block; }
+  double& line_size(std::int32_t s) { return lines_[idx(s)].size; }
+  double line_size(std::int32_t s) const { return lines_[idx(s)].size; }
+  std::int32_t& line_prev(std::int32_t s) { return lines_[idx(s)].prev; }
+  std::int32_t line_prev(std::int32_t s) const { return lines_[idx(s)].prev; }
+  std::int32_t& line_next(std::int32_t s) { return lines_[idx(s)].next; }
+  std::int32_t line_next(std::int32_t s) const { return lines_[idx(s)].next; }
+  bool& line_excl(std::int32_t s) { return lines_[idx(s)].excl; }
+  bool line_excl(std::int32_t s) const { return lines_[idx(s)].excl; }
+
+  std::size_t pool_size() const { return lines_.size(); }
+  void grow_pool() { lines_.emplace_back(); }
+  void clear_slots() { lines_.clear(); }
+
+  std::vector<Line> lines_;  // slot pool; free slots tracked in free_
+#else
+  /// SoA slot pool: the residency probe's working set (tag, MRU
+  /// successor, exclusivity hint) packs into 16 bytes per line; the
+  /// relink/evict-only fields live apart so the hit path never loads them.
+  struct LineHot {
+    std::int64_t block = 0;
+    std::int32_t next = kNil;
+    bool excl = false;  ///< directory lists this proc as the sole sharer
+  };
+  struct LineCold {
+    double size = 0.0;
+    std::int32_t prev = kNil;
+  };
+  static_assert(sizeof(LineHot) == 16, "hot line metadata must stay packed");
+
+  std::int64_t& line_block(std::int32_t s) { return hot_[idx(s)].block; }
+  std::int64_t line_block(std::int32_t s) const { return hot_[idx(s)].block; }
+  double& line_size(std::int32_t s) { return cold_[idx(s)].size; }
+  double line_size(std::int32_t s) const { return cold_[idx(s)].size; }
+  std::int32_t& line_prev(std::int32_t s) { return cold_[idx(s)].prev; }
+  std::int32_t line_prev(std::int32_t s) const { return cold_[idx(s)].prev; }
+  std::int32_t& line_next(std::int32_t s) { return hot_[idx(s)].next; }
+  std::int32_t line_next(std::int32_t s) const { return hot_[idx(s)].next; }
+  bool& line_excl(std::int32_t s) { return hot_[idx(s)].excl; }
+  bool line_excl(std::int32_t s) const { return hot_[idx(s)].excl; }
+
+  std::size_t pool_size() const { return hot_.size(); }
+  void grow_pool() {
+    hot_.emplace_back();
+    cold_.emplace_back();
+  }
+  void clear_slots() {
+    hot_.clear();
+    cold_.clear();
+  }
+
+  std::vector<LineHot> hot_;    // slot pool, probe-path fields
+  std::vector<LineCold> cold_;  // slot pool, relink/evict-only fields
+#endif
+
+  static std::size_t idx(std::int32_t s) { return static_cast<std::size_t>(s); }
+
   std::int32_t alloc_slot() {
     if (!free_.empty()) {
       const std::int32_t s = free_.back();
       free_.pop_back();
       return s;
     }
-    lines_.emplace_back();
-    return static_cast<std::int32_t>(lines_.size() - 1);
+    grow_pool();
+    return static_cast<std::int32_t>(pool_size() - 1);
   }
 
   void link_front(std::int32_t s) {
-    Line& line = lines_[static_cast<std::size_t>(s)];
-    line.prev = kNil;
-    line.next = head_;
-    if (head_ != kNil) lines_[static_cast<std::size_t>(head_)].prev = s;
+    line_prev(s) = kNil;
+    line_next(s) = head_;
+    if (head_ != kNil) line_prev(head_) = s;
     head_ = s;
     if (tail_ == kNil) tail_ = s;
   }
 
   void unlink(std::int32_t s) {
-    const Line& line = lines_[static_cast<std::size_t>(s)];
-    if (line.prev != kNil)
-      lines_[static_cast<std::size_t>(line.prev)].next = line.next;
+    const std::int32_t prev = line_prev(s);
+    const std::int32_t next = line_next(s);
+    if (prev != kNil)
+      line_next(prev) = next;
     else
-      head_ = line.next;
-    if (line.next != kNil)
-      lines_[static_cast<std::size_t>(line.next)].prev = line.prev;
+      head_ = next;
+    if (next != kNil)
+      line_prev(next) = prev;
     else
-      tail_ = line.prev;
+      tail_ = prev;
   }
 
   void unlink_tail() {
@@ -278,7 +345,6 @@ class ProcCache {
   double used_ = 0.0;
   std::int32_t head_ = kNil;  // most recently used
   std::int32_t tail_ = kNil;  // least recently used
-  std::vector<Line> lines_;   // slot pool; free slots tracked in free_
   std::vector<std::int32_t> free_;
   FlatMap64<std::int32_t> index_;
 };

@@ -9,14 +9,6 @@
 namespace afs {
 namespace {
 
-/// The chunk a processor is executing: remaining iterations plus the data
-/// the chunk-level trace event needs (original begin, execution start).
-struct ChunkState {
-  IterRange range{};
-  std::int64_t first = 0;
-  double exec_start = 0.0;
-};
-
 // Phase-timer plumbing (SimOptions::time_phases). The untimed engine
 // instantiation never touches any of this.
 using Clock = std::chrono::steady_clock;
@@ -89,7 +81,8 @@ void MachineSim::run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched,
     events_.reset(start, alive);
   }
 
-  std::vector<ChunkState> pending(static_cast<std::size_t>(p));
+  pending_.assign(static_cast<std::size_t>(p), ChunkState{});
+  std::vector<ChunkState>& pending = pending_;
   const bool batch = options_.batch_iterations;
   // Horizon hoisting is sound only off the shared-link machines; constant
   // for the whole run, so resolved here rather than per event.
@@ -342,8 +335,10 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
   SimResult result;
   MetricsFanout m(result, options_.trace);
   events_.set_cancel(options_.cancel);
+  events_.set_calendar(options_.calendar_queue);
   pert_.reset(options_.perturb, p);
-  memory_.reset(config_, p, &pert_, options_.memory_fast_path);
+  memory_.reset(config_, p, &pert_, options_.memory_fast_path,
+                /*warm=*/options_.epoch_batch);
   sync_.reset(config_, sched, p, &pert_);
   sched.reset_stats();
   m.on_run_begin(config_, program.name, sched.name(), p);
@@ -361,7 +356,8 @@ SimResult MachineSim::run(const LoopProgram& program, Scheduler& sched, int p) {
   for (int e = 0; e < program.epochs; ++e) {
     for (const ParallelLoopSpec& spec : program.epoch_loops(e)) {
       AFS_CHECK(spec.work != nullptr || (spec.work_sum && !spec.footprint));
-      std::vector<double> start(static_cast<std::size_t>(p), now);
+      start_.assign(static_cast<std::size_t>(p), now);
+      std::vector<double>& start = start_;
       for (int i = 0; i < p; ++i) {
         auto& s = start[static_cast<std::size_t>(i)];
         if (config_.epoch_jitter > 0.0)

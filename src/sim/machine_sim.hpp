@@ -76,6 +76,25 @@ struct SimOptions {
   /// off exists for A/B tests.
   bool batch_iterations = true;
 
+  /// Calendar-queue EventCore (on by default): the pending events live in
+  /// a sorted circular ring — O(1) tail insert / head pop in the
+  /// same-cost steady state, a bounded insertion scan otherwise — instead
+  /// of the reference binary heap. Drain order is the same (time,
+  /// processor-id) total order either way, so results are bit-identical;
+  /// off exists for A/B tests (see docs/SIMULATOR.md, "Event queue").
+  bool calendar_queue = true;
+
+  /// Epoch batching (on by default): repeated runs on the same warm
+  /// simulator reuse the previous run's host-side allocations — the
+  /// ProcCache line pools and hash tables, the Directory table, the event
+  /// ring — instead of rebuilding them per run. Simulated state still
+  /// starts cold every run (same cold caches, same empty directory), so
+  /// results are bit-identical; the sweep harness keys warm simulators by
+  /// (machine, options) and multi-run tables/figures ride one warmed
+  /// engine. Off exists for A/B tests and forces the pre-reuse
+  /// rebuild-per-run path.
+  bool epoch_batch = true;
+
   /// MemorySystem exclusive-residency fast path (on by default): accesses
   /// that hit a resident — and, for writes, exclusively-owned — block are
   /// charged from the single residency probe, skipping the directory
@@ -128,6 +147,12 @@ class MachineSim {
   /// (overrides SimOptions::trace). Not owned.
   void set_trace_sink(MetricsSink* sink) { options_.trace = sink; }
 
+  /// Attaches / detaches the cancellation token for subsequent run()
+  /// calls (overrides SimOptions::cancel). Not owned. Lets a warm
+  /// simulator be reused across sweep cells that each carry their own
+  /// token (see SimOptions::epoch_batch).
+  void set_cancel(const CancelToken* token) { options_.cancel = token; }
+
  private:
   /// Executes one parallel loop starting at per-processor times `start`;
   /// leaves per-processor completion times in events_.completion_times().
@@ -143,6 +168,14 @@ class MachineSim {
   void run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched, int p,
                      const std::vector<double>& start, MetricsFanout& m);
 
+  /// The chunk a processor is executing: remaining iterations plus the
+  /// data the chunk-level trace event needs (original begin, exec start).
+  struct ChunkState {
+    IterRange range{};
+    std::int64_t first = 0;
+    double exec_start = 0.0;
+  };
+
   MachineConfig config_;
   SimOptions options_;
   EventCore events_;
@@ -152,6 +185,11 @@ class MachineSim {
   /// Reusable access-plan scratch, hoisted out of the per-iteration loop
   /// so footprint() fills pre-sized storage instead of a fresh vector.
   std::vector<BlockAccess> plan_;
+  /// Reusable per-loop scratch (in-flight chunks, per-processor start
+  /// times), hoisted out of the per-epoch loop so repeated loops — and,
+  /// under epoch batching, repeated runs — reuse the same storage.
+  std::vector<ChunkState> pending_;
+  std::vector<double> start_;
   EnginePhaseTimers timers_;  ///< accumulates while time_phases is set
 };
 

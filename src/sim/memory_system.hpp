@@ -45,9 +45,15 @@ class MemorySystem {
   /// memory, so the unperturbed miss path is untouched. `fast_path`
   /// enables the exclusive-residency shortcut (see the header comment);
   /// off reproduces the pre-shortcut code path instruction for
-  /// instruction.
+  /// instruction. `warm` (epoch batching) clears the existing per-
+  /// processor caches in place — line pools and hash tables keep their
+  /// capacity — instead of reallocating them per run; the simulated state
+  /// is identically cold either way (hash-table capacity carries no
+  /// semantics — see cache.hpp's determinism note), so results are
+  /// bit-identical, and off reproduces the rebuild-per-run path exactly.
   void reset(const MachineConfig& config, int p,
-             PerturbationModel* pert = nullptr, bool fast_path = true);
+             PerturbationModel* pert = nullptr, bool fast_path = true,
+             bool warm = false);
 
   /// Charges one data access by `proc` at time `t`; returns the new time.
   /// Inline so the engine's per-iteration access loop pays no cross-TU

@@ -72,10 +72,10 @@ CellKey make_cell_key(const MachineConfig& machine,
   PerturbationConfig perturb = options.perturb;
   if (!options.start_delays.empty()) perturb.start_delays = options.start_delays;
 
-  // The engine toggles (batching, memory fast path) are part of the key
-  // even though both are proven bit-identical: tab7's batching A/B
-  // invariant check must actually run both engines, not be served the
-  // first one's result twice.
+  // The engine toggles (batching, memory fast path, calendar queue,
+  // epoch batching) are part of the key even though all are proven
+  // bit-identical: tab7's batching A/B invariant check must actually run
+  // both engines, not be served the first one's result twice.
   std::ostringstream os;
   os << kKeySchema << '\n'
      << "engine " << kEngineVersion << '\n'
@@ -86,6 +86,8 @@ CellKey make_cell_key(const MachineConfig& machine,
      << "jitter_seed " << options.jitter_seed << '\n'
      << "batch " << (options.batch_iterations ? 1 : 0) << '\n'
      << "memfast " << (options.memory_fast_path ? 1 : 0) << '\n'
+     << "calendar " << (options.calendar_queue ? 1 : 0) << '\n'
+     << "epochbatch " << (options.epoch_batch ? 1 : 0) << '\n'
      << perturb_key(perturb) << '\n';
   key.text = os.str();
   key.hash = fnv1a64(key.text);

@@ -45,7 +45,13 @@ class XorShift64 {
   }
   std::uint64_t operator()() { return next(); }
 
-  static constexpr std::uint64_t min() { return 0; }
+  /// xorshift64* never emits 0: the xorshift core is a bijection on
+  /// nonzero 64-bit states (zero is its only fixed point, and the
+  /// constructor remaps a zero seed), and multiplying a nonzero value by
+  /// an odd constant is nonzero mod 2^64. Declaring min() == 0 would
+  /// violate the UniformRandomBitGenerator contract and subtly bias any
+  /// std::uniform_int_distribution built on top of this generator.
+  static constexpr std::uint64_t min() { return 1; }
   static constexpr std::uint64_t max() { return ~0ULL; }
 
   /// Uniform double in [0, 1).

@@ -167,6 +167,17 @@ TEST_F(DaemonTest, HealthAndStatsAnswerInline) {
         "deadline_expired", "connections_total", "queue_wait_ms_mean",
         "run_ms_mean"})
     EXPECT_NE(v.find(key), nullptr) << "stats missing " << key;
+
+  // Zero-request round-trip: not a single request has finished, so the
+  // latency means must be real JSON zeros. A naive sum/count would be
+  // 0/0 = NaN, which json_number renders as null — ServiceStats'
+  // guarded mean helpers are what keep these numeric.
+  for (const char* key : {"queue_wait_ms_mean", "run_ms_mean"}) {
+    const JsonValue* mean = v.find(key);
+    ASSERT_NE(mean, nullptr);
+    ASSERT_TRUE(mean->is_number()) << key << " is not a number (NaN->null?)";
+    EXPECT_DOUBLE_EQ(mean->number, 0.0) << key;
+  }
 }
 
 TEST_F(DaemonTest, UnknownExperimentRejectedDaemonKeepsServing) {

@@ -34,10 +34,11 @@ MachineConfig quiet(MachineConfig m) {
 
 SimResult run_one(const MachineConfig& m, const LoopProgram& prog,
                   const std::string& spec, int p, bool batch, bool fast,
-                  const PerturbationConfig* pc) {
+                  const PerturbationConfig* pc, bool calendar = true) {
   SimOptions opts;
   opts.batch_iterations = batch;
   opts.memory_fast_path = fast;
+  opts.calendar_queue = calendar;
   if (pc != nullptr) opts.perturb = *pc;
   MachineSim sim(m, opts);
   auto sched = make_scheduler(spec);
@@ -66,18 +67,24 @@ void expect_identical(const SimResult& a, const SimResult& b,
   EXPECT_EQ(a.abandoned_iterations, b.abandoned_iterations) << label;
 }
 
-/// Runs all four engine configurations and checks the three optimized ones
-/// against the (no-batch, no-fast-path) reference.
+/// Runs the engine configurations and checks the optimized ones against
+/// the fully-disabled reference: no batching, no fast path, and the
+/// reference binary-heap event queue instead of the calendar ring.
 void check_all_modes(const MachineConfig& m, const LoopProgram& prog,
                      const std::string& spec, int p, const std::string& label,
                      const PerturbationConfig* pc = nullptr) {
-  const SimResult ref = run_one(m, prog, spec, p, false, false, pc);
+  const SimResult ref =
+      run_one(m, prog, spec, p, false, false, pc, /*calendar=*/false);
   expect_identical(ref, run_one(m, prog, spec, p, true, false, pc),
                    label + " [batch]");
   expect_identical(ref, run_one(m, prog, spec, p, false, true, pc),
                    label + " [fastpath]");
   expect_identical(ref, run_one(m, prog, spec, p, true, true, pc),
                    label + " [batch+fastpath]");
+  expect_identical(ref,
+                   run_one(m, prog, spec, p, true, true, pc,
+                           /*calendar=*/false),
+                   label + " [batch+fastpath, heap queue]");
 }
 
 /// A random footprint-carrying program: gauss and SOR touch real blocks
@@ -124,6 +131,37 @@ TEST(BatchingEquivalence, HighProcessorCountOnKsr1) {
   for (const char* spec : {"AFS", "GSS", "STATIC"}) {
     check_all_modes(quiet(ksr1()), prog, spec, 32,
                     std::string("ksr1/") + spec + "/gauss96/P=32");
+  }
+}
+
+TEST(BatchingEquivalence, EpochBatchWarmReuseMatchesColdRuns) {
+  // epoch_batch (SimOptions, default on) lets one MachineSim carry its
+  // warmed allocations — event ring, per-processor caches, scratch —
+  // across run() calls, the sweep runner's multi-run steady state. The
+  // simulated state must still start cold every run: a warmed sim's Nth
+  // run must be bit-identical to a cold sim's only run for the same cell,
+  // even as the program, scheduler, and processor count change between
+  // rounds (shrinking and regrowing the cache array in place).
+  std::mt19937 rng(0xE90Cu);
+  const MachineConfig m = quiet(ksr1());
+  SimOptions opts;  // defaults: batching, fast path, calendar, epoch_batch
+  MachineSim warm(m, opts);
+  const std::vector<std::string> specs = paper_scheduler_specs();
+  for (int round = 0; round < 12; ++round) {
+    const LoopProgram prog = random_program(rng);
+    const std::string& spec =
+        specs[std::uniform_int_distribution<std::size_t>(0, specs.size() - 1)(
+            rng)];
+    const int p = std::uniform_int_distribution<int>(
+        2, std::min(m.max_processors, 16))(rng);
+    auto sched_warm = make_scheduler(spec);
+    const SimResult reused = warm.run(prog, *sched_warm, p);
+    MachineSim cold(m, opts);
+    auto sched_cold = make_scheduler(spec);
+    const SimResult fresh = cold.run(prog, *sched_cold, p);
+    expect_identical(fresh, reused,
+                     "warm-reuse round " + std::to_string(round) + " " + spec +
+                         "/" + prog.name + "/P=" + std::to_string(p));
   }
 }
 

@@ -107,6 +107,23 @@ TEST(XorShift64, ZeroSeedIsRemapped) {
   for (int i = 0; i < 10; ++i) EXPECT_EQ(z2.next(), remapped.next());
 }
 
+TEST(XorShift64, NeverEmitsZeroAndMinIsOne) {
+  // xorshift64* is a bijection on nonzero 64-bit states and the final
+  // multiply is by an odd constant, so the output is never 0. min() must
+  // say so: the UniformRandomBitGenerator contract requires min() to be
+  // the least value the generator can actually produce, and a min() of 0
+  // would let <random> distributions build a range one wider than what
+  // the generator delivers.
+  static_assert(XorShift64::min() == 1);
+  static_assert(XorShift64::max() == ~0ULL);
+  for (const std::uint64_t seed : {0ULL, 1ULL, 42ULL, 0xDEADBEEFULL, ~0ULL}) {
+    XorShift64 rng(seed);
+    for (int i = 0; i < 200000; ++i) {
+      ASSERT_NE(rng.next(), 0ULL) << "seed " << seed << " draw " << i;
+    }
+  }
+}
+
 TEST(XorShift64, DoubleInUnitInterval) {
   XorShift64 rng(7);
   for (int i = 0; i < 10000; ++i) {
