@@ -1,0 +1,8 @@
+// Thin shim: the experiment lives in src/experiments/ under id
+// "frontier_tradeoff" (see docs/SWEEP_SERVICE.md). Equivalent to
+// `afs_sweep run frontier_tradeoff`.
+#include "experiments/shim.hpp"
+
+int main(int argc, char** argv) {
+  return afs::shim_main("frontier_tradeoff", argc, argv);
+}

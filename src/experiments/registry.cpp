@@ -17,6 +17,7 @@ const std::vector<Experiment>& all_experiments() {
     register_scale_experiments(out);
     register_table_experiments(out);
     register_extra_experiments(out);
+    register_frontier_experiments(out);
     return out;
   }();
   return experiments;

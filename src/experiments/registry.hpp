@@ -128,5 +128,6 @@ void register_butterfly_experiments(std::vector<Experiment>& experiments);  // f
 void register_scale_experiments(std::vector<Experiment>& experiments);      // fig14-17
 void register_table_experiments(std::vector<Experiment>& experiments);      // tab2-7
 void register_extra_experiments(std::vector<Experiment>& experiments);  // ablation etc.
+void register_frontier_experiments(std::vector<Experiment>& experiments);  // adaptive frontier
 
 }  // namespace afs

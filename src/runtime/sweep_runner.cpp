@@ -156,6 +156,12 @@ std::string serialize_sim_result(const SimResult& r) {
   for (const QueueStats& q : r.sched_stats.queues)
     os << "q " << q.local_grabs << ' ' << q.remote_grabs << ' '
        << q.iters_local << ' ' << q.iters_remote << '\n';
+  // Optional trace-derived enrichment: written only when computed, so
+  // cells serialized before the fields existed stay byte-identical and
+  // the parser below accepts both generations under the same schema id.
+  if (r.trace_affinity_score >= 0.0)
+    d("xaff", r.trace_affinity_score);
+  if (r.trace_imbalance >= 0.0) d("ximb", r.trace_imbalance);
   os << "end\n";
   return os.str();
 }
@@ -212,7 +218,28 @@ bool parse_sim_result(const std::string& text, SimResult& out) {
         tag != "q")
       return false;
   }
-  if (!std::getline(is, line) || line != "end") return false;
+  // Between the q-lines and "end": optional `xaff`/`ximb` enrichment
+  // lines (absent in entries written before those fields existed).
+  auto parse_x = [&](const std::string& value, double& v) {
+    char* end = nullptr;
+    v = std::strtod(value.c_str(), &end);
+    return end != value.c_str() && *end == '\0';
+  };
+  for (;;) {
+    if (!std::getline(is, line)) return false;
+    if (line == "end") break;
+    const std::size_t sp = line.find(' ');
+    if (sp == std::string::npos) return false;
+    const std::string key = line.substr(0, sp);
+    const std::string value = line.substr(sp + 1);
+    if (key == "xaff") {
+      if (!parse_x(value, r.trace_affinity_score)) return false;
+    } else if (key == "ximb") {
+      if (!parse_x(value, r.trace_imbalance)) return false;
+    } else {
+      return false;
+    }
+  }
 
   out = r;
   return true;

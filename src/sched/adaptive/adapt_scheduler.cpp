@@ -1,0 +1,90 @@
+#include "sched/adaptive/adapt_scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace afs {
+
+AdaptScheduler::AdaptScheduler(AdaptOptions options) : options_(options) {
+  AFS_CHECK(options_.alpha > 0.0 && options_.alpha <= 1.0);
+  AFS_CHECK(options_.initial_divisor >= 1);
+  AFS_CHECK(options_.min_chunk >= 1);
+}
+
+const std::string& AdaptScheduler::name() const { return name_; }
+
+void AdaptScheduler::start_loop(std::int64_t n, int p) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  std::scoped_lock lock(mutex_);
+  next_ = 0;
+  end_ = n;
+  p_ = p;
+  // mean_/dev_ persist across loop instances: the enclosing sequential
+  // loop of SOR/Gauss re-runs the same body, so learned costs stay valid.
+  ++loops_;
+}
+
+std::int64_t AdaptScheduler::next_chunk_locked(std::int64_t remaining) const {
+  const double share = static_cast<double>(remaining) / p_;
+  double frac = 1.0 / options_.initial_divisor;
+  if (have_mean_)
+    frac = (mean_ + dev_) > 0.0 ? mean_ / (mean_ + dev_) : 1.0;
+  const auto want = static_cast<std::int64_t>(std::ceil(share * frac));
+  return std::min(remaining, std::max(options_.min_chunk, want));
+}
+
+Grab AdaptScheduler::next(int worker) {
+  (void)worker;  // A central queue serves all workers identically.
+  std::scoped_lock lock(mutex_);
+  const std::int64_t remaining = end_ - next_;
+  if (remaining <= 0) return {};
+  const std::int64_t c = next_chunk_locked(remaining);
+  AFS_DCHECK(c >= 1 && c <= remaining);
+  Grab g{{next_, next_ + c}, GrabKind::kCentral, 0};
+  next_ += c;
+  ++queue_stats_.local_grabs;
+  queue_stats_.iters_local += c;
+  history_.push_back(c);
+  return g;
+}
+
+void AdaptScheduler::report(const ChunkFeedback& fb) {
+  if (fb.iterations() <= 0) return;
+  std::scoped_lock lock(mutex_);
+  const double x =
+      fb.duration() / static_cast<double>(fb.iterations());
+  if (!have_mean_) {
+    mean_ = x;
+    dev_ = 0.0;
+    have_mean_ = true;
+    return;
+  }
+  const double delta = x - mean_;
+  dev_ += options_.alpha * (std::abs(delta) - dev_);
+  mean_ += options_.alpha * delta;
+}
+
+SyncStats AdaptScheduler::stats() const {
+  std::scoped_lock lock(mutex_);
+  return SyncStats{{queue_stats_}, loops_};
+}
+
+void AdaptScheduler::reset_stats() {
+  std::scoped_lock lock(mutex_);
+  queue_stats_ = {};
+  loops_ = 0;
+  history_.clear();
+}
+
+std::unique_ptr<Scheduler> AdaptScheduler::clone() const {
+  return std::make_unique<AdaptScheduler>(options_);
+}
+
+std::vector<std::int64_t> AdaptScheduler::chunk_history() const {
+  std::scoped_lock lock(mutex_);
+  return history_;
+}
+
+}  // namespace afs

@@ -1,0 +1,30 @@
+// AFS-NN — affinity scheduling with nearest-neighbor-first victim order.
+//
+// The paper's AFS steals from the most-loaded queue, which on a ring or
+// mesh interconnect can migrate a chunk across the whole machine while a
+// neighbor one hop away also had surplus. AFS-NN scans outward from the
+// thief by ring distance (right neighbor before left at each distance) and
+// steals from the FIRST non-empty queue it finds: the cheapest migration
+// wins even when a farther queue is fuller.
+//
+// The variant lives entirely inside AffinityScheduler as
+// AffinityOptions::Victim::kNearestNeighbor (sched/affinity_scheduler.cpp);
+// this header is the adaptive-frontier entry point for building it. It is
+// not feedback-driven — it rides with the frontier because it adapts the
+// MIGRATION pattern to machine topology, where ADAPT/TAILOR/WORKSHARE
+// adapt to observed runtimes.
+#pragma once
+
+#include <memory>
+
+#include "sched/affinity_scheduler.hpp"
+
+namespace afs {
+
+inline std::unique_ptr<AffinityScheduler> make_afs_nn() {
+  AffinityOptions o;
+  o.victim = AffinityOptions::Victim::kNearestNeighbor;
+  return std::make_unique<AffinityScheduler>(o);
+}
+
+}  // namespace afs

@@ -1,0 +1,184 @@
+#include "sched/adaptive/tailor_scheduler.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sched/affinity_scheduler.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+
+namespace {
+
+// Sorts and coalesces a range list in place; drops empties.
+void coalesce(std::vector<IterRange>* ranges) {
+  std::sort(ranges->begin(), ranges->end(),
+            [](const IterRange& a, const IterRange& b) {
+              return a.begin < b.begin;
+            });
+  std::vector<IterRange> out;
+  for (const IterRange& r : *ranges) {
+    if (r.empty()) continue;
+    if (!out.empty() && out.back().end == r.begin) {
+      out.back().end = r.end;
+    } else {
+      out.push_back(r);
+    }
+  }
+  *ranges = std::move(out);
+}
+
+// Iterations common to two sorted, disjoint range lists.
+std::int64_t overlap(const std::vector<IterRange>& a,
+                     const std::vector<IterRange>& b) {
+  std::int64_t common = 0;
+  std::size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    const std::int64_t lo = std::max(a[i].begin, b[j].begin);
+    const std::int64_t hi = std::min(a[i].end, b[j].end);
+    if (hi > lo) common += hi - lo;
+    if (a[i].end < b[j].end) ++i; else ++j;
+  }
+  return common;
+}
+
+}  // namespace
+
+TailorScheduler::TailorScheduler(TailorOptions options) : options_(options) {
+  AFS_CHECK(options_.threshold >= 0.0 && options_.threshold <= 1.0);
+  AFS_CHECK(options_.k >= 0);
+  AFS_CHECK(options_.steal_denom >= 0);
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%g", options_.threshold);
+  name_ = std::string("TAILOR(") + buf + ")";
+}
+
+const std::string& TailorScheduler::name() const { return name_; }
+
+void TailorScheduler::start_loop(std::int64_t n, int p) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  std::scoped_lock lock(mutex_);
+  k_ = options_.k > 0 ? options_.k : p;
+  steal_denom_ = options_.steal_denom > 0 ? options_.steal_denom : p;
+
+  if (p != p_ || n != n_) {
+    // Shape change: start over from the paper's deterministic partition.
+    p_ = p;
+    n_ = n;
+    procs_.assign(static_cast<std::size_t>(p), {});
+    homes_.assign(static_cast<std::size_t>(p), {});
+    for (int i = 0; i < p; ++i) {
+      const IterRange r = affinity_initial_chunk(n, p, i);
+      if (!r.empty()) homes_[static_cast<std::size_t>(i)].push_back(r);
+    }
+  }
+
+  for (int i = 0; i < p_; ++i) {
+    ProcState& ps = procs_[static_cast<std::size_t>(i)];
+    ps.queue.clear();
+    ps.size = 0;
+    ps.executed.clear();
+    for (const IterRange& r : homes_[static_cast<std::size_t>(i)]) {
+      ps.queue.push_back(r);
+      ps.size += r.size();
+    }
+  }
+  ++loops_;
+}
+
+Grab TailorScheduler::next(int worker) {
+  std::scoped_lock lock(mutex_);
+  AFS_CHECK(worker >= 0 && worker < p_);
+  ProcState& me = procs_[static_cast<std::size_t>(worker)];
+  if (me.size > 0) {
+    const std::int64_t want = ceil_div(me.size, k_);
+    IterRange& front = me.queue.front();
+    const IterRange taken = front.take_front(want);
+    if (front.empty()) me.queue.pop_front();
+    me.size -= taken.size();
+    ++me.stats.local_grabs;
+    me.stats.iters_local += taken.size();
+    return {taken, GrabKind::kLocal, worker};
+  }
+  // Steal from the most-loaded queue, AFS-style.
+  int victim = -1;
+  std::int64_t best = 0;
+  for (int i = 0; i < p_; ++i) {
+    if (procs_[static_cast<std::size_t>(i)].size > best) {
+      best = procs_[static_cast<std::size_t>(i)].size;
+      victim = i;
+    }
+  }
+  if (victim < 0) return {};  // Drained: the loop is finished.
+  ProcState& v = procs_[static_cast<std::size_t>(victim)];
+  const std::int64_t want = ceil_div(v.size, steal_denom_);
+  IterRange& back = v.queue.back();
+  const IterRange taken = back.take_back(want);
+  if (back.empty()) v.queue.pop_back();
+  v.size -= taken.size();
+  ++v.stats.remote_grabs;
+  v.stats.iters_remote += taken.size();
+  return {taken, GrabKind::kRemote, victim};
+}
+
+void TailorScheduler::report(const ChunkFeedback& fb) {
+  if (fb.end <= fb.begin) return;
+  std::scoped_lock lock(mutex_);
+  AFS_CHECK(fb.proc >= 0 && fb.proc < p_);
+  procs_[static_cast<std::size_t>(fb.proc)].executed.push_back(
+      {fb.begin, fb.end});
+}
+
+void TailorScheduler::end_loop() {
+  std::scoped_lock lock(mutex_);
+  std::int64_t total = 0;
+  std::int64_t at_home = 0;
+  for (int i = 0; i < p_; ++i) {
+    ProcState& ps = procs_[static_cast<std::size_t>(i)];
+    coalesce(&ps.executed);
+    for (const IterRange& r : ps.executed) total += r.size();
+    at_home += overlap(ps.executed, homes_[static_cast<std::size_t>(i)]);
+  }
+  if (total <= 0) return;  // Nothing reported (n == 0): keep everything.
+  last_estimate_ = static_cast<double>(at_home) / static_cast<double>(total);
+  // Re-home only from a complete epoch: under deaths or fault injection
+  // some iterations are never reported, and a partition missing them
+  // would leak iterations out of the next epoch's seed.
+  if (last_estimate_ < options_.threshold && total == n_) {
+    for (int i = 0; i < p_; ++i)
+      homes_[static_cast<std::size_t>(i)] =
+          procs_[static_cast<std::size_t>(i)].executed;
+    ++rehomes_;
+  }
+}
+
+SyncStats TailorScheduler::stats() const {
+  std::scoped_lock lock(mutex_);
+  SyncStats s;
+  s.loops = loops_;
+  s.queues.reserve(procs_.size());
+  for (const ProcState& ps : procs_) s.queues.push_back(ps.stats);
+  return s;
+}
+
+void TailorScheduler::reset_stats() {
+  std::scoped_lock lock(mutex_);
+  for (ProcState& ps : procs_) ps.stats = {};
+  loops_ = 0;
+}
+
+std::unique_ptr<Scheduler> TailorScheduler::clone() const {
+  return std::make_unique<TailorScheduler>(options_);
+}
+
+double TailorScheduler::last_affinity_estimate() const {
+  std::scoped_lock lock(mutex_);
+  return last_estimate_;
+}
+
+std::int64_t TailorScheduler::rehome_count() const {
+  std::scoped_lock lock(mutex_);
+  return rehomes_;
+}
+
+}  // namespace afs

@@ -1,0 +1,95 @@
+// TAILOR — dynamic locality-aware reassignment (Affinity-Tailor style).
+//
+// AFS places chunk i on processor i's queue every epoch and relies on
+// steals being rare for its cache-reuse argument. When steals are NOT rare
+// — persistent imbalance, a perturbed processor, a workload whose cost
+// profile drifts — the deterministic placement keeps seeding work on the
+// wrong processor and every epoch re-pays the migration.
+//
+// TAILOR keeps AFS's per-processor queues and most-loaded stealing, but
+// adds AFS-style previous-owner bookkeeping through the feedback channel:
+// report() records which processor actually executed each chunk. At
+// end_loop() the scheduler computes an affinity estimate for the epoch,
+//
+//     estimate = (iterations executed by their current home owner) / N,
+//
+// and when the estimate drops below `threshold` it re-homes: next epoch's
+// queues are seeded with exactly the ranges each processor executed this
+// epoch (coalesced), so the placement chases where the data now lives.
+// While the estimate stays above the threshold the homes are left alone
+// and TAILOR is operationally identical to AFS — which is why its
+// affinity score can only match or beat AFS when locality is already good.
+//
+// Re-homing only happens when every iteration of the epoch was reported
+// (under processor deaths or fault injection some are lost; the stale but
+// complete partition is then safer than a partial one).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace afs {
+
+struct TailorOptions {
+  /// Re-home when the epoch's affinity estimate falls below this.
+  double threshold = 0.5;
+
+  /// Owner grab fraction: take ceil(size/k) of the local queue. 0 => P.
+  int k = 0;
+
+  /// Steal fraction: take ceil(size/steal_denom) from the victim. 0 => P.
+  int steal_denom = 0;
+};
+
+class TailorScheduler final : public Scheduler {
+ public:
+  explicit TailorScheduler(TailorOptions options = {});
+
+  const std::string& name() const override;
+  void start_loop(std::int64_t n, int p) override;
+  Grab next(int worker) override;
+  void end_loop() override;
+  SyncStats stats() const override;
+  void reset_stats() override;
+  std::unique_ptr<Scheduler> clone() const override;
+  bool wants_feedback() const override { return true; }
+  void report(const ChunkFeedback& fb) override;
+
+  /// The affinity estimate of the most recently completed epoch (1.0
+  /// before any epoch finishes).
+  double last_affinity_estimate() const;
+
+  /// How many epochs ended with a re-homing since construction.
+  std::int64_t rehome_count() const;
+
+  const TailorOptions& options() const { return options_; }
+
+ private:
+  struct ProcState {
+    std::deque<IterRange> queue;       // owner front, thieves back
+    std::int64_t size = 0;             // total iterations queued
+    QueueStats stats;
+    std::vector<IterRange> executed;   // chunks reported this epoch
+  };
+
+  TailorOptions options_;
+  std::string name_;
+  mutable std::mutex mutex_;
+  int p_ = 0;
+  std::int64_t n_ = -1;
+  int k_ = 1;
+  int steal_denom_ = 1;
+  std::vector<ProcState> procs_;
+  std::vector<std::vector<IterRange>> homes_;  // sorted, disjoint per proc
+  double last_estimate_ = 1.0;
+  std::int64_t rehomes_ = 0;
+  std::int64_t loops_ = 0;
+};
+
+}  // namespace afs

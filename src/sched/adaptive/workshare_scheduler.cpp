@@ -1,0 +1,153 @@
+#include "sched/adaptive/workshare_scheduler.hpp"
+
+#include <algorithm>
+
+#include "sched/affinity_scheduler.hpp"
+#include "util/check.hpp"
+
+namespace afs {
+
+WorkshareScheduler::WorkshareScheduler(WorkshareOptions options)
+    : options_(options) {
+  AFS_CHECK(options_.alpha > 0.0 && options_.alpha <= 1.0);
+  AFS_CHECK(options_.k >= 0);
+}
+
+const std::string& WorkshareScheduler::name() const { return name_; }
+
+void WorkshareScheduler::start_loop(std::int64_t n, int p) {
+  AFS_CHECK(n >= 0 && p >= 1);
+  std::scoped_lock lock(mutex_);
+  k_ = options_.k > 0 ? options_.k : p;
+  if (p != p_) {
+    procs_.assign(static_cast<std::size_t>(p), {});
+    p_ = p;
+  }
+  for (int i = 0; i < p_; ++i) {
+    ProcState& ps = procs_[static_cast<std::size_t>(i)];
+    ps.queue.clear();
+    ps.size = 0;
+    ps.done = false;
+    // ewma persists across epochs: the cost profile it learned is still
+    // the best available estimate when the same loop body re-runs.
+    const IterRange r = affinity_initial_chunk(n, p, i);
+    if (!r.empty()) {
+      ps.queue.push_back({r, i});
+      ps.size = r.size();
+    }
+  }
+  ++loops_;
+}
+
+Grab WorkshareScheduler::next(int worker) {
+  std::scoped_lock lock(mutex_);
+  AFS_CHECK(worker >= 0 && worker < p_);
+  ProcState& me = procs_[static_cast<std::size_t>(worker)];
+  if (me.size <= 0) {
+    // No stealing: an empty queue ends this processor's loop. Mark it so
+    // report()-driven pushes never strand work on it.
+    me.done = true;
+    return {};
+  }
+  const std::int64_t want = ceil_div(me.size, k_);
+  Entry& front = me.queue.front();
+  const int origin = front.origin;
+  const IterRange taken = front.range.take_front(want);
+  if (front.range.empty()) me.queue.pop_front();
+  me.size -= taken.size();
+  if (origin == worker) {
+    ++me.stats.local_grabs;
+    me.stats.iters_local += taken.size();
+    return {taken, GrabKind::kLocal, worker};
+  }
+  // Migrated work: the data is warm in the origin's cache, so the grab
+  // pays remote sync against the origin's queue (probe cost is zero).
+  ProcState& from = procs_[static_cast<std::size_t>(origin)];
+  ++from.stats.remote_grabs;
+  from.stats.iters_remote += taken.size();
+  return {taken, GrabKind::kRemote, origin};
+}
+
+void WorkshareScheduler::report(const ChunkFeedback& fb) {
+  if (fb.iterations() <= 0) return;
+  std::scoped_lock lock(mutex_);
+  AFS_CHECK(fb.proc >= 0 && fb.proc < p_);
+  ProcState& me = procs_[static_cast<std::size_t>(fb.proc)];
+  const double x = fb.duration() / static_cast<double>(fb.iterations());
+  if (!me.have_ewma) {
+    me.ewma = x;
+    me.have_ewma = true;
+  } else {
+    me.ewma += options_.alpha * (x - me.ewma);
+  }
+  if (me.done || me.size < 2 || me.ewma <= 0.0) return;
+
+  // Remaining-work estimates over active processors; unknown costs borrow
+  // the reporter's estimate so the comparison stays well-defined.
+  const double my_r = static_cast<double>(me.size) * me.ewma;
+  double sum = 0.0;
+  int active = 0;
+  int target = -1;
+  double target_r = 0.0;
+  for (int j = 0; j < p_; ++j) {
+    const ProcState& ps = procs_[static_cast<std::size_t>(j)];
+    if (ps.done) continue;
+    const double e = ps.have_ewma ? ps.ewma : me.ewma;
+    const double r = static_cast<double>(ps.size) * e;
+    sum += r;
+    ++active;
+    if (j != fb.proc && (target < 0 || r < target_r)) {
+      target = j;
+      target_r = r;
+    }
+  }
+  if (active < 2 || target < 0) return;
+  const double mean = sum / active;
+  if (my_r <= mean) return;
+
+  // Push half the excess, capped at half the queue so the sender keeps
+  // a working set of its own.
+  std::int64_t want =
+      static_cast<std::int64_t>((my_r - mean) / (2.0 * me.ewma));
+  want = std::min(want, me.size / 2);
+  if (want < 1) return;
+  ProcState& to = procs_[static_cast<std::size_t>(target)];
+  while (want > 0 && !me.queue.empty()) {
+    Entry& back = me.queue.back();
+    const int origin = back.origin;
+    const IterRange taken = back.range.take_back(want);
+    if (back.range.empty()) me.queue.pop_back();
+    want -= taken.size();
+    me.size -= taken.size();
+    to.queue.push_back({taken, origin});
+    to.size += taken.size();
+    ++pushes_;
+  }
+}
+
+SyncStats WorkshareScheduler::stats() const {
+  std::scoped_lock lock(mutex_);
+  SyncStats s;
+  s.loops = loops_;
+  s.queues.reserve(procs_.size());
+  for (const ProcState& ps : procs_) s.queues.push_back(ps.stats);
+  return s;
+}
+
+void WorkshareScheduler::reset_stats() {
+  std::scoped_lock lock(mutex_);
+  for (ProcState& ps : procs_) ps.stats = {};
+  pushes_ = 0;
+  loops_ = 0;
+}
+
+std::unique_ptr<Scheduler> WorkshareScheduler::clone() const {
+  return std::make_unique<WorkshareScheduler>(options_);
+}
+
+std::int64_t WorkshareScheduler::push_count() const {
+  std::scoped_lock lock(mutex_);
+  return pushes_;
+}
+
+}  // namespace afs

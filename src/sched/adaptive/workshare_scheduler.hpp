@@ -1,0 +1,88 @@
+// WORKSHARE — interrupt-driven work sharing (AFS's steal direction
+// inverted).
+//
+// AFS is receiver-initiated: an idle processor scans queues and steals.
+// WORKSHARE is sender-initiated: processors only ever grab from their own
+// queue, and an OVERLOADED processor pushes work away. The trigger is the
+// feedback channel: each chunk-completion report refreshes the reporting
+// processor's EWMA of per-iteration cost, and when its remaining-work
+// estimate (queue size x EWMA) exceeds the mean estimate over active
+// processors, it pushes roughly half the excess to the processor with the
+// smallest estimate — the simulated analogue of raising an interrupt on
+// the idle processor.
+//
+// Because idle processors never probe, victim_probe_count() is 0 and an
+// empty queue means the processor is done for this loop (it is then
+// excluded as a push target so no work can be stranded on a processor the
+// engine will never run again). Pushed ranges keep their origin tag; when
+// the receiver grabs one, the grab is kRemote against the origin's queue,
+// so migration pays the same remote-sync cost a steal would.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "sched/scheduler.hpp"
+
+namespace afs {
+
+struct WorkshareOptions {
+  /// EWMA smoothing factor for the per-iteration cost estimates.
+  double alpha = 0.25;
+
+  /// Owner grab fraction: take ceil(size/k) of the local queue. 0 => P.
+  int k = 0;
+};
+
+class WorkshareScheduler final : public Scheduler {
+ public:
+  explicit WorkshareScheduler(WorkshareOptions options = {});
+
+  const std::string& name() const override;
+  void start_loop(std::int64_t n, int p) override;
+  Grab next(int worker) override;
+  SyncStats stats() const override;
+  void reset_stats() override;
+  std::unique_ptr<Scheduler> clone() const override;
+  /// Sender-initiated: nobody probes queue loads.
+  int victim_probe_count(int p) const override {
+    (void)p;
+    return 0;
+  }
+  bool wants_feedback() const override { return true; }
+  void report(const ChunkFeedback& fb) override;
+
+  /// Ranges pushed to another processor since construction.
+  std::int64_t push_count() const;
+
+  const WorkshareOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    IterRange range;
+    int origin;  // whose cache the data is warm in
+  };
+  struct ProcState {
+    std::deque<Entry> queue;  // owner front; pushes land at the back
+    std::int64_t size = 0;
+    QueueStats stats;
+    bool done = false;    // returned kNone: never push to it again
+    double ewma = 0.0;    // per-iteration simulated time
+    bool have_ewma = false;
+  };
+
+  WorkshareOptions options_;
+  std::string name_ = "WORKSHARE";
+  mutable std::mutex mutex_;
+  int p_ = 0;
+  int k_ = 1;
+  std::vector<ProcState> procs_;
+  std::int64_t pushes_ = 0;
+  std::int64_t loops_ = 0;
+};
+
+}  // namespace afs

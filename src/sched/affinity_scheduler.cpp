@@ -27,6 +27,8 @@ AffinityScheduler::AffinityScheduler(AffinityOptions options)
     name_ += "-LE";
   if (options_.victim == AffinityOptions::Victim::kRandomProbe)
     name_ += "-RAND(" + std::to_string(options_.probe_count) + ")";
+  if (options_.victim == AffinityOptions::Victim::kNearestNeighbor)
+    name_ += "-NN";
 }
 
 const std::string& AffinityScheduler::name() const { return name_; }
@@ -99,6 +101,22 @@ Grab AffinityScheduler::local_grab(int worker) {
 
 int AffinityScheduler::find_victim(int thief) {
   // Reading loads requires no synchronization (paper, footnote 4).
+  if (options_.victim == AffinityOptions::Victim::kNearestNeighbor) {
+    // Locality-aware victim order: scan outward from the thief by ring
+    // distance (right neighbor before left at each distance) and steal
+    // from the first non-empty queue. On a ring or mesh the nearest
+    // victim's cache lines are the cheapest to migrate; the scan still
+    // covers every queue, so termination detection stays exact.
+    for (int dist = 1; dist < p_; ++dist) {
+      for (const int cand : {(thief + dist) % p_, (thief - dist + p_) % p_}) {
+        if (cand == thief) continue;
+        if (queues_[static_cast<std::size_t>(cand)]->value.size.load(
+                std::memory_order_relaxed) > 0)
+          return cand;
+      }
+    }
+    return -1;
+  }
   if (options_.victim == AffinityOptions::Victim::kRandomProbe) {
     // Scalable variant: sample probe_count queues; if none of the sample
     // has work, fall back to a full scan so termination detection stays

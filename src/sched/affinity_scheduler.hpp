@@ -50,8 +50,9 @@ struct AffinityOptions {
   /// kRandomProbe samples `probe_count` random queues and steals from the
   /// most loaded of the sample.
   enum class Victim {
-    kMostLoaded,   ///< full scan (paper default)
-    kRandomProbe,  ///< sample probe_count queues, pick the fullest
+    kMostLoaded,       ///< full scan (paper default)
+    kRandomProbe,      ///< sample probe_count queues, pick the fullest
+    kNearestNeighbor,  ///< first non-empty queue by ring distance (AFS-NN)
   };
   Victim victim = Victim::kMostLoaded;
   int probe_count = 2;            ///< for kRandomProbe

@@ -3,6 +3,10 @@
 #include <algorithm>
 #include <cctype>
 
+#include "sched/adaptive/adapt_scheduler.hpp"
+#include "sched/adaptive/afs_nn.hpp"
+#include "sched/adaptive/tailor_scheduler.hpp"
+#include "sched/adaptive/workshare_scheduler.hpp"
 #include "sched/affinity_scheduler.hpp"
 #include "sched/central_scheduler.hpp"
 #include "sched/mod_factoring_scheduler.hpp"
@@ -126,8 +130,25 @@ std::unique_ptr<Scheduler> make_scheduler(const std::string& raw_spec) {
     }
     return std::make_unique<AffinityScheduler>(o);
   }
+  if (spec == "ADAPT") return std::make_unique<AdaptScheduler>();
+  if (spec == "TAILOR") return std::make_unique<TailorScheduler>();
+  if (split_arg(spec, "TAILOR", &arg)) {
+    TailorOptions o;
+    o.threshold = parse_double(arg, raw_spec);
+    AFS_CHECK_MSG(o.threshold >= 0.0 && o.threshold <= 1.0,
+                  "TAILOR threshold must be in [0, 1]: " << raw_spec);
+    return std::make_unique<TailorScheduler>(o);
+  }
+  if (spec == "WORKSHARE") return std::make_unique<WorkshareScheduler>();
+  if (spec == "AFS-NN") return make_afs_nn();
 
-  AFS_CHECK_MSG(false, "unknown scheduler spec: " << raw_spec);
+  // Unknown spec: fail with the whole grammar, so the message from a typo
+  // in a sweep config or daemon request is self-service.
+  std::string grammar;
+  for (const SchedulerSpecInfo& info : scheduler_spec_infos())
+    grammar += "\n  " + info.spec + "  - " + info.description;
+  AFS_CHECK_MSG(false, "unknown scheduler spec: " << raw_spec
+                                                  << "\nvalid specs:" << grammar);
   return nullptr;  // unreachable
 }
 
@@ -138,6 +159,44 @@ std::vector<std::string> paper_scheduler_specs() {
 
 std::vector<std::string> butterfly_scheduler_specs() {
   return {"GSS", "TRAPEZOID", "AFS"};
+}
+
+std::vector<std::string> adaptive_scheduler_specs() {
+  return {"ADAPT", "TAILOR(0.5)", "WORKSHARE", "AFS-NN"};
+}
+
+const std::vector<SchedulerSpecInfo>& scheduler_spec_infos() {
+  static const std::vector<SchedulerSpecInfo> kInfos = {
+      {"STATIC", "pre-split N/P blocks, no run-time queue access"},
+      {"BEST-STATIC", "static blocks balanced by the cost oracle"},
+      {"SS", "self-scheduling: one iteration per central-queue grab"},
+      {"CHUNK(<K>)", "fixed chunks of K iterations from a central queue"},
+      {"GSS", "guided self-scheduling: grab ceil(remaining/P)"},
+      {"GSS(<k>)", "GSS with a minimum chunk of k iterations"},
+      {"FACTORING", "batched halving: P chunks of ceil(remaining/2P)"},
+      {"TRAPEZOID", "trapezoid self-scheduling: linearly decreasing chunks"},
+      {"TAPER(<cv>)", "Lucco's taper for iteration-cost variation cv"},
+      {"MOD-FACTORING", "factoring with indexed central-queue accesses"},
+      {"AFS", "affinity scheduling: per-proc queues, most-loaded steal"},
+      {"AFS(k=<k>)", "AFS taking 1/k of the local queue per grab"},
+      {"AFS(steal=<d>)", "AFS stealing 1/d of the victim's queue"},
+      {"AFS-LE", "AFS seeding epochs with last-executed iterations"},
+      {"AFS-RAND", "AFS with randomized two-choice victim probing"},
+      {"AFS-RAND(<n>)", "AFS probing n random victims per steal"},
+      {"WS", "randomized work stealing: take/steal half, random victims"},
+      {"ADAPT", "adaptive self-scheduling: chunk size from an EWMA of "
+                "observed per-chunk runtimes"},
+      {"TAILOR", "AFS re-homing iteration ranges to their previous "
+                 "executor when epoch affinity drops below 0.5"},
+      {"TAILOR(<threshold>)", "TAILOR with an explicit re-home threshold "
+                              "in [0, 1]"},
+      {"WORKSHARE", "sender-initiated sharing: overloaded processors push "
+                    "chunks to the most-idle processor"},
+      {"AFS-NN", "AFS stealing from the nearest non-empty queue by ring "
+                 "distance"},
+      {"REV:<spec>", "run <spec> over the reversed index space"},
+  };
+  return kInfos;
 }
 
 }  // namespace afs

@@ -1,10 +1,13 @@
 // String-spec scheduler factory, used by benches, examples and tests so an
 // algorithm can be selected from the command line.
 //
-// Grammar (case-insensitive):
+// Grammar (case-insensitive; see scheduler_spec_infos() for the same list
+// with descriptions, and docs/SCHEDULERS.md for the algorithms):
 //   "SS" | "CHUNK(<K>)" | "GSS" | "GSS(<k>)" | "FACTORING" | "FACT"
 //   | "TRAPEZOID" | "TSS" | "TAPER(<cv>)" | "STATIC" | "BEST-STATIC"
-//   | "MOD-FACTORING" | "MODFACT" | "AFS" | "AFS(k=<k>)" | "AFS-LE"
+//   | "MOD-FACTORING" | "MODFACT" | "AFS" | "AFS(k=<k>)"
+//   | "AFS(steal=<d>)" | "AFS-LE" | "AFS-RAND" | "AFS-RAND(<n>)" | "WS"
+//   | "ADAPT" | "TAILOR" | "TAILOR(<threshold>)" | "WORKSHARE" | "AFS-NN"
 //   | "REV:<spec>"
 //
 // BEST-STATIC built through the registry has a uniform cost oracle; use
@@ -21,7 +24,7 @@
 namespace afs {
 
 /// Creates a scheduler from a spec string. Throws CheckFailure on an
-/// unknown spec.
+/// unknown spec; the message lists every valid spec form.
 std::unique_ptr<Scheduler> make_scheduler(const std::string& spec);
 
 /// The eight algorithms the paper evaluates head-to-head on the Iris
@@ -30,5 +33,19 @@ std::vector<std::string> paper_scheduler_specs();
 
 /// The dynamic subset used for the Butterfly / Symmetry experiments.
 std::vector<std::string> butterfly_scheduler_specs();
+
+/// The feedback-driven / topology-aware frontier beyond the paper's nine
+/// (src/sched/adaptive/), in the order the frontier experiments sweep them.
+std::vector<std::string> adaptive_scheduler_specs();
+
+/// One entry per spec form make_scheduler() accepts.
+struct SchedulerSpecInfo {
+  std::string spec;         ///< canonical form, e.g. "TAILOR(<threshold>)"
+  std::string description;  ///< one line, shown by `afs_sweep list --schedulers`
+};
+
+/// The registry's full grammar, in declaration order. Single source of
+/// truth for `afs_sweep list --schedulers` and the unknown-spec error.
+const std::vector<SchedulerSpecInfo>& scheduler_spec_infos();
 
 }  // namespace afs

@@ -28,6 +28,15 @@ class ReverseScheduler final : public Scheduler {
   bool central_queue_is_indexed() const override {
     return inner_->central_queue_is_indexed();
   }
+  bool wants_feedback() const override { return inner_->wants_feedback(); }
+  /// Chunk reports arrive in real index space; the inner scheduler thinks
+  /// in the virtual (reversed) space, so map [b, e) back to [n-e, n-b).
+  void report(const ChunkFeedback& fb) override {
+    ChunkFeedback v = fb;
+    v.begin = n_ - fb.end;
+    v.end = n_ - fb.begin;
+    inner_->report(v);
+  }
 
  private:
   std::unique_ptr<Scheduler> inner_;

@@ -27,6 +27,22 @@
 
 namespace afs {
 
+/// One completed chunk, reported back to a feedback-driven scheduler: the
+/// executing processor, the iteration range it ran, and the simulated
+/// interval the execution occupied (compute plus memory-system stalls,
+/// excluding the grab's own sync cost). A chunk truncated by a processor
+/// death reports only the executed prefix.
+struct ChunkFeedback {
+  int proc = -1;
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  double t_start = 0.0;
+  double t_end = 0.0;
+
+  std::int64_t iterations() const { return end - begin; }
+  double duration() const { return t_end - t_start; }
+};
+
 class Scheduler {
  public:
   virtual ~Scheduler() = default;
@@ -65,6 +81,20 @@ class Scheduler {
   /// selection, for the simulator's cost model. The paper's AFS scans all
   /// P queues; its randomized variant samples a constant number.
   virtual int victim_probe_count(int p) const { return p; }
+
+  /// True when the scheduler consumes per-chunk completion reports. The
+  /// execution substrates check this once per loop; when false (the
+  /// default, and the case for all nine paper schedulers) report() is
+  /// never called and the feedback channel is provably zero-cost.
+  virtual bool wants_feedback() const { return false; }
+
+  /// Delivers one completed chunk to a feedback-driven scheduler
+  /// (src/sched/adaptive/). Called at every chunk-completion boundary —
+  /// a point both batched and unbatched engine modes visit at identical
+  /// simulated clocks and in identical order, which is what keeps
+  /// feedback-driven scheduling bit-identical across engine toggles.
+  /// Thread-safe, like next().
+  virtual void report(const ChunkFeedback& fb) { (void)fb; }
 };
 
 }  // namespace afs

@@ -84,6 +84,14 @@ void MachineSim::run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched,
   pending_.assign(static_cast<std::size_t>(p), ChunkState{});
   std::vector<ChunkState>& pending = pending_;
   const bool batch = options_.batch_iterations;
+  // Feedback channel (adaptive schedulers): resolved once per loop, so the
+  // paper's nine schedulers pay a single virtual call and nothing else.
+  // Reports fire exactly where on_chunk fires — boundaries both batching
+  // modes visit at identical clocks in identical order — with one carve-out
+  // below: the footprint-free whole-chunk coalesce is sound only when no
+  // other agent can observe the interleaving, and a feedback scheduler is
+  // such an agent, so feedback runs route through the leads()-checked path.
+  const bool feedback = sched.wants_feedback();
   // Horizon hoisting is sound only off the shared-link machines; constant
   // for the whole run, so resolved here rather than per event.
   const bool hoist = !memory_.serialized_link();
@@ -143,8 +151,12 @@ void MachineSim::run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched,
           // record so trace consumers see every executed iteration inside
           // exactly one chunk record. Both batching modes reach this
           // boundary at the same clock, so the record is identical.
-          if (!mine.range.empty() && mine.range.begin > mine.first)
+          if (!mine.range.empty() && mine.range.begin > mine.first) {
             m.on_chunk(proc, mine.first, mine.range.begin, mine.exec_start, t);
+            if (feedback)
+              sched.report(
+                  {proc, mine.first, mine.range.begin, mine.exec_start, t});
+          }
           pert_.mark_lost(proc, t);
           m.on_proc_lost(proc, t);
           mine.range = IterRange{};
@@ -184,6 +196,7 @@ void MachineSim::run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched,
           executed += g.range.size();
           const double te = t + w;
           m.on_chunk(proc, g.range.begin, g.range.end, t, te);
+          if (feedback) sched.report({proc, g.range.begin, g.range.end, t, te});
           t = te;
           if constexpr (kTimed) timers_.work += dsec(ph, Clock::now());
         } else {
@@ -191,7 +204,7 @@ void MachineSim::run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched,
           mine.first = g.range.begin;
           mine.exec_start = t;
         }
-      } else if (batch && !spec.footprint) {
+      } else if (batch && !spec.footprint && !feedback) {
         // Footprint-free chunk: coalesce every remaining iteration into
         // this event (no shared-resource interaction to serialize). Under
         // fault injection each iteration still hits the same boundary
@@ -214,7 +227,7 @@ void MachineSim::run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched,
         if (mine.range.empty())
           m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
         if constexpr (kTimed) timers_.work += dsec(ph, Clock::now());
-      } else if (batch && !faulty) {
+      } else if (batch && !faulty && spec.footprint) {
         // Horizon-batched footprint execution: the chunk's iterations —
         // memory accesses included — run inline until the chunk drains or
         // this processor would no longer be popped next. The event heap is
@@ -260,6 +273,9 @@ void MachineSim::run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched,
           }
           if (mine.range.empty()) {
             m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
+            if (feedback)
+              sched.report(
+                  {proc, mine.first, mine.range.end, mine.exec_start, t});
             break;  // chunk done — the outer check decides on a regrab
           }
           const bool leads =
@@ -301,8 +317,11 @@ void MachineSim::run_loop_impl(const ParallelLoopSpec& spec, Scheduler& sched,
             timers_.memory_accesses += static_cast<std::int64_t>(plan_.size());
           }
         }
-        if (mine.range.empty())
+        if (mine.range.empty()) {
           m.on_chunk(proc, mine.first, mine.range.end, mine.exec_start, t);
+          if (feedback)
+            sched.report({proc, mine.first, mine.range.end, mine.exec_start, t});
+        }
       }
 
       if (!batch || !events_.leads(t, proc)) break;

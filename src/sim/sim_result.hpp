@@ -76,6 +76,14 @@ struct SimResult {
 
   SyncStats sched_stats;  ///< the scheduler's own accounting (Tables 3-5)
 
+  // Trace-derived enrichment (frontier_tradeoff): filled by experiments
+  // that analyze a binary trace of the run and want the derived scores to
+  // ride the result store with the simulated metrics. Negative means "not
+  // computed". Properties of ONE run, so operator+= deliberately skips
+  // them (a sum of affinity scores means nothing).
+  double trace_affinity_score = -1.0;  ///< analyze_trace affinity_score()
+  double trace_imbalance = -1.0;       ///< max/mean exec time - 1 across procs
+
   /// Host wall-clock phase breakdown (opt-in via SimOptions::time_phases;
   /// all-zero otherwise). Not simulated state: never checkpointed, never
   /// part of a determinism comparison.

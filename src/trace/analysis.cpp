@@ -31,6 +31,18 @@ std::int64_t TraceAnalysis::fault_steals() const {
   return matrix_sum(fault_steal_iters);
 }
 
+double TraceAnalysis::exec_imbalance() const {
+  double sum = 0.0;
+  double max = 0.0;
+  for (const ProcBreakdown& pb : procs) {
+    sum += pb.exec;
+    max = std::max(max, pb.exec);
+  }
+  const double mean =
+      procs.empty() ? 0.0 : sum / static_cast<double>(procs.size());
+  return mean > 0.0 ? max / mean - 1.0 : 0.0;
+}
+
 std::vector<TraceAnalysis> analyze_trace(
     const std::vector<TraceRecord>& records) {
   std::vector<TraceAnalysis> out;

@@ -73,6 +73,11 @@ struct TraceAnalysis {
   std::int64_t remote_steals() const;      ///< total remote-grab iterations
   std::int64_t fault_steals() const;       ///< total fault-recovery iterations
 
+  /// Load imbalance over in-chunk time: max_p(exec) / mean_p(exec) - 1.
+  /// 0 for a perfectly balanced run (or an empty one); the y-axis of the
+  /// frontier_tradeoff curves, paired with affinity_score() as the x.
+  double exec_imbalance() const;
+
   /// The trace conservation law: every iteration announced by a
   /// loop_begin is either narrated in a chunk or abandoned.
   bool conserved() const {

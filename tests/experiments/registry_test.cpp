@@ -32,7 +32,8 @@ TEST(Registry, AllHistoricalBinariesAreRegistered) {
       "fig03", "fig04", "fig05", "fig06", "fig07", "fig08", "fig09",
       "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16",
       "fig17", "tab2",  "tab3",  "tab4",  "tab5",  "tab6",  "tab7",
-      "ablation_afs", "trend_comm_ratio", "micro_queues"};
+      "ablation_afs", "trend_comm_ratio", "frontier_tradeoff",
+      "micro_queues"};
   std::set<std::string> actual;
   for (const Experiment& e : all_experiments()) actual.insert(e.id);
   EXPECT_EQ(actual, expected);

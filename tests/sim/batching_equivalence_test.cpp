@@ -124,6 +124,26 @@ TEST(BatchingEquivalence, RandomProgramsAllMachinesAllSchedulers) {
   }
 }
 
+TEST(BatchingEquivalence, AdaptiveSchedulersAllMachines) {
+  // The feedback channel (Scheduler::report) fires at chunk-completion
+  // boundaries that both engine modes visit at identical clocks, so the
+  // adaptive schedulers must be bit-identical across every toggle too —
+  // even though their next() decisions depend on earlier report() calls.
+  std::mt19937 rng(0xADA9u);
+  const std::vector<MachineConfig> machines = {
+      quiet(iris()), quiet(symmetry()), quiet(butterfly1()), quiet(ksr1())};
+  for (const MachineConfig& m : machines) {
+    for (const std::string& spec : adaptive_scheduler_specs()) {
+      const LoopProgram prog = random_program(rng);
+      const int p = std::uniform_int_distribution<int>(
+          2, std::min(m.max_processors, 8))(rng);
+      check_all_modes(m, prog, spec, p,
+                      m.name + "/" + spec + "/" + prog.name +
+                          "/P=" + std::to_string(p));
+    }
+  }
+}
+
 TEST(BatchingEquivalence, HighProcessorCountOnKsr1) {
   // The horizon hoist pays off (and is riskiest) when many processors
   // interleave; pin one dense-footprint case at a high P.
@@ -146,7 +166,8 @@ TEST(BatchingEquivalence, EpochBatchWarmReuseMatchesColdRuns) {
   const MachineConfig m = quiet(ksr1());
   SimOptions opts;  // defaults: batching, fast path, calendar, epoch_batch
   MachineSim warm(m, opts);
-  const std::vector<std::string> specs = paper_scheduler_specs();
+  std::vector<std::string> specs = paper_scheduler_specs();
+  for (const std::string& s : adaptive_scheduler_specs()) specs.push_back(s);
   for (int round = 0; round < 12; ++round) {
     const LoopProgram prog = random_program(rng);
     const std::string& spec =
@@ -184,7 +205,8 @@ TEST(BatchingEquivalence, UnderKitchenSinkFaults) {
   const std::vector<MachineConfig> machines = {
       quiet(iris()), quiet(symmetry()), quiet(butterfly1()), quiet(ksr1())};
   for (const MachineConfig& m : machines) {
-    for (const char* spec : {"AFS", "GSS", "STATIC"}) {
+    for (const char* spec : {"AFS", "GSS", "STATIC", "ADAPT", "TAILOR(0.5)",
+                             "WORKSHARE", "AFS-NN"}) {
       const LoopProgram prog = random_program(rng);
       const int p = std::uniform_int_distribution<int>(
           2, std::min(m.max_processors, 8))(rng);

@@ -83,6 +83,35 @@ TEST(TraceAnalysis, BreakdownArithmetic) {
   EXPECT_DOUBLE_EQ(a.affinity_score(), 0.0);
 }
 
+TEST(TraceAnalysis, ExecImbalanceIsMaxOverMeanMinusOne) {
+  // P0 executes for 12, P1 for 8: mean 10, max 12 -> imbalance 0.2.
+  std::vector<TraceRecord> recs = {
+      run_begin(2),
+      loop_begin(0, 10, 2),
+      chunk(0, 0, 6, 0.0, 12.0),
+      chunk(1, 6, 10, 0.0, 8.0),
+      loop_end(0, 12.0),
+      run_end(12.0),
+  };
+  const auto runs = analyze_trace(recs);
+  ASSERT_EQ(runs.size(), 1u);
+  EXPECT_DOUBLE_EQ(runs.front().exec_imbalance(), 0.2);
+
+  // Perfect balance scores exactly 0.
+  std::vector<TraceRecord> even = {
+      run_begin(2),
+      loop_begin(0, 10, 2),
+      chunk(0, 0, 5, 0.0, 7.0),
+      chunk(1, 5, 10, 0.0, 7.0),
+      loop_end(0, 7.0),
+      run_end(7.0),
+  };
+  EXPECT_DOUBLE_EQ(analyze_trace(even).front().exec_imbalance(), 0.0);
+
+  // An empty analysis (no procs) is defined as balanced, not NaN.
+  EXPECT_DOUBLE_EQ(TraceAnalysis{}.exec_imbalance(), 0.0);
+}
+
 TEST(TraceAnalysis, AffinityScoreCountsPreviousEpochOwners) {
   // Epoch 0: P0 runs [0,6), P1 runs [6,10).
   // Epoch 1: P0 runs [0,8), P1 runs [8,10) — P0 keeps its 6, steals 2 of

@@ -57,6 +57,7 @@
 #include "experiments/grid.hpp"
 #include "experiments/registry.hpp"
 #include "runtime/thread_pool.hpp"
+#include "sched/registry.hpp"
 #include "service/client.hpp"
 #include "service/daemon.hpp"
 #include "service/json.hpp"
@@ -77,6 +78,7 @@ bool parse_int_flag(const std::string& arg, std::size_t prefix,
 int usage(std::ostream& out, int rc) {
   out << "usage: afs_sweep <command> [args]\n"
          "  list                      registered experiments\n"
+         "  list --schedulers         registered scheduler specs\n"
          "  run <id>... [flags]       run experiments by id\n"
          "  run --all [flags]         run every runnable experiment\n"
          "  run --kernel=K --machine=M --schedulers=S,S [--procs=P,P]\n"
@@ -123,7 +125,21 @@ const char* kind_name(ExperimentKind k) {
   return "?";
 }
 
-int cmd_list() {
+int cmd_list(const std::vector<std::string>& args) {
+  for (const std::string& a : args) {
+    if (a == "--schedulers") {
+      // Every spec form make_scheduler() accepts, with the registry's own
+      // one-line description — the same single source of truth the
+      // unknown-spec error prints.
+      Table t({"spec", "description"});
+      for (const SchedulerSpecInfo& info : scheduler_spec_infos())
+        t.add_row({info.spec, info.description});
+      std::cout << t.to_ascii();
+      return 0;
+    }
+    std::cerr << "afs_sweep list: unknown flag '" << a << "'\n";
+    return usage(std::cerr, 2);
+  }
   Table t({"id", "kind", "csv", "title"});
   for (const Experiment& e : all_experiments()) {
     std::string csvs;
@@ -634,7 +650,7 @@ int main(int argc, char** argv) {
   if (args.empty()) return usage(std::cerr, 2);
   const std::string& cmd = args[0];
   const std::vector<std::string> rest(args.begin() + 1, args.end());
-  if (cmd == "list") return cmd_list();
+  if (cmd == "list") return cmd_list(rest);
   if (cmd == "run") return cmd_run(rest);
   if (cmd == "cache") return cmd_cache(rest);
   if (cmd == "serve") return cmd_serve(rest);
